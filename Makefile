@@ -1,0 +1,26 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench examples paper report clean
+
+install:
+	pip install -e .[test]
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null && echo OK; done
+
+# regenerate every table and figure into benchmarks/results/REPORT.md
+paper:
+	python -m repro.bench.paper
+
+report:
+	python -m repro.bench.paper --quick
+
+clean:
+	rm -rf benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,21 @@
+"""Fig. 2 benchmark: speed-ups vs HSL (regenerates the figure's series)."""
+
+from repro.bench.fig2 import speedups, PLOT_APPROACHES
+from repro.bench.table1 import collect, QUICK_SET
+from repro.bench.report import render_table, write_csv
+
+
+def test_regenerate_fig2(benchmark, results_dir):
+    def run():
+        return speedups(collect(QUICK_SET, thread_counts=(1, 2, 4, 8, 12, 24)))
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers = ["Name"] + PLOT_APPROACHES
+    print()
+    print(render_table(headers, table, title="Fig. 2 — speed-up vs HSL", float_fmt="{:.2f}"))
+    write_csv(results_dir / "fig2.csv", headers, table)
+
+    # shape assertions mirroring the paper
+    for row in table:
+        by = dict(zip(headers[1:], row[1:]))
+        assert by["CPU-RCM"] > 1.0, "CPU-RCM must beat HSL (paper: 5.8x avg)"

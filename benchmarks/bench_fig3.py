@@ -1,0 +1,20 @@
+"""Fig. 3 benchmark: GPU-BATCH queue-slot fates (early termination)."""
+
+from repro.bench.fig3 import collect_queue_stats, HEADERS
+from repro.bench.report import render_table, write_csv
+from conftest import BENCH_MATRICES
+
+
+def test_regenerate_fig3(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        collect_queue_stats, args=(BENCH_MATRICES,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(HEADERS, rows, title="Fig. 3 — queue-slot fates", float_fmt="{:.1f}"))
+    write_csv(results_dir / "fig3.csv", HEADERS, rows)
+
+    by_name = {r[0]: r for r in rows}
+    # the paper's outliers: hub and Mycielski matrices discard most batches
+    assert by_name["mycielskian18"][4] < 25.0   # dequeued% tiny
+    assert by_name["gupta3"][4] < 50.0
+    assert by_name["ecology1"][4] > 90.0        # regular grids consume ~all

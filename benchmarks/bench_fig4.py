@@ -1,0 +1,27 @@
+"""Fig. 4 benchmark: overall runtime decomposition (core+peripheral+transfer)."""
+
+from repro.bench.fig4 import collect_overall, FIG4_MATRICES
+from repro.bench.report import render_table, write_csv
+
+
+def test_regenerate_fig4(benchmark, results_dir):
+    def run():
+        rows = []
+        for name in FIG4_MATRICES:
+            for s in collect_overall(name):
+                rows.append([name, s.approach, s.core_ms, s.peripheral_ms,
+                             s.transfer_ms, s.total_ms])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers = ["Matrix", "Approach", "core ms", "peripheral ms", "transfer ms", "total ms"]
+    print()
+    print(render_table(headers, rows, title="Fig. 4 — overall runtime", float_fmt="{:.3f}"))
+    write_csv(results_dir / "fig4.csv", headers, rows)
+
+    # shape: cuSolver is the distant last on every matrix (paper Fig. 4)
+    for name in FIG4_MATRICES:
+        per = {r[1]: r[5] for r in rows if r[0] == name}
+        assert per["cuSolver"] == max(per.values())
+        # our parallel core beats MATLAB overall
+        assert per["CPU-BATCH"] < per["MATLAB"]

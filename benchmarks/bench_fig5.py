@@ -1,0 +1,33 @@
+"""Fig. 5 benchmark: CPU-BATCH thread-scaling heatmaps."""
+
+import numpy as np
+
+from repro.bench.fig5 import scaling_matrix, normalized
+from repro.bench.report import render_heatmap, write_csv
+from conftest import BENCH_MATRICES
+
+THREADS = (1, 2, 4, 8, 12, 16, 24)
+
+
+def test_regenerate_fig5(benchmark, results_dir):
+    names, grid = benchmark.pedantic(
+        scaling_matrix, args=(BENCH_MATRICES, THREADS), rounds=1, iterations=1
+    )
+    cols = [str(t) for t in THREADS]
+    print()
+    print(render_heatmap(names, cols, grid,
+                         title="Fig. 5a — speed-up over CPU-RCM", cell_fmt="{:.1f}"))
+    print()
+    print(render_heatmap(names, cols, normalized(grid),
+                         title="Fig. 5b — normalized", cell_fmt="{:.2f}"))
+    write_csv(results_dir / "fig5.csv", ["Name"] + cols,
+              [[n] + list(r) for n, r in zip(names, grid)])
+
+    by = {n: grid[i] for i, n in enumerate(names)}
+    # paper shapes: tiny matrices never profit; wide large ones scale
+    assert by["bcspwr10"].max() < 1.0
+    assert by["nlpkkt160"].max() > 3.0
+    # scaling improves from 1 to 8 threads on the wide matrix
+    assert by["nlpkkt160"][3] > by["nlpkkt160"][0]
+    # mycielskian's early-stop superlinearity
+    assert by["mycielskian18"].max() > 10.0

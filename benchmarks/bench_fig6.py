@@ -1,0 +1,33 @@
+"""Fig. 6 benchmark: relative cycles per stage vs thread count."""
+
+from repro.bench.fig6 import stage_profile
+from repro.bench.report import render_table, write_csv
+from repro.machine.stats import STAGE_ORDER
+from conftest import BENCH_MATRICES
+
+THREADS = (1, 2, 4, 8, 12, 24)
+
+
+def test_regenerate_fig6(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        stage_profile, args=(BENCH_MATRICES, THREADS), rounds=1, iterations=1
+    )
+    headers = ["threads"] + [st.value for st in STAGE_ORDER] + ["cycles/thread"]
+    table = [[r["threads"]] + [f"{100*r[st.value]:.1f}%" for st in STAGE_ORDER]
+             + [f"{r['cycles_per_thread']:.2e}"] for r in rows]
+    print()
+    print(render_table(headers, table, title="Fig. 6 — stage shares"))
+    write_csv(results_dir / "fig6.csv", headers,
+              [[r["threads"]] + [r[st.value] for st in STAGE_ORDER]
+               + [r["cycles_per_thread"]] for r in rows])
+
+    by_tc = {r["threads"]: r for r in rows}
+    # paper shapes: Discover dominates compute at low thread counts ...
+    assert by_tc[1]["Discover"] > 0.5
+    # ... Stall grows monotonically toward ~half at 12+ threads ...
+    assert by_tc[24]["Stall"] > by_tc[12]["Stall"] > by_tc[2]["Stall"]
+    assert by_tc[12]["Stall"] > 0.3
+    # ... Rediscover and Signal stay marginal throughout
+    for tc in THREADS:
+        assert by_tc[tc]["Rediscover"] < 0.05
+        assert by_tc[tc]["Signal"] < 0.05

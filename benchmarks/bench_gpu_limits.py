@@ -1,0 +1,47 @@
+"""GPU scratchpad-limit benchmark (Sec. V-B histogram chunking).
+
+Times GPU-BATCH on hub matrices whose maximum valence exceeds the
+scratchpad, and regenerates a small table of chunking statistics across
+scratchpad sizes — the ablation DESIGN.md lists for the memory-limit
+handling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matrices import generators as g
+from repro.core.batch_gpu import run_batch_rcm_gpu, chunk_plan
+from repro.core.serial import rcm_serial
+from repro.machine.costmodel import GPUCostModel
+from repro.bench.report import render_table, write_csv
+
+
+@pytest.mark.parametrize("hub_frac", [0.5, 0.9])
+def test_gpu_hub_matrix(benchmark, hub_frac):
+    mat = g.hub_matrix(1800, n_hubs=1, hub_degree_frac=hub_frac, seed=1)
+    ref = rcm_serial(mat, 0)
+    res = benchmark(run_batch_rcm_gpu, mat, 0)
+    assert np.array_equal(res.permutation, ref)
+
+
+def test_regenerate_chunking_table(benchmark, results_dir):
+    def run():
+        rows = []
+        mat = g.hub_matrix(2500, n_hubs=2, hub_degree_frac=0.9, seed=2)
+        for temp in (256, 512, 1024, 2048):
+            model = GPUCostModel(temp_limit=temp)
+            res = run_batch_rcm_gpu(mat, 0, model=model)
+            st = res.stats
+            rows.append([temp, st.chunked_batches, st.histogram_refinements,
+                         res.milliseconds])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers = ["scratchpad", "chunked batches", "refinements", "ms"]
+    print()
+    print(render_table(headers, rows, title="GPU scratchpad-limit ablation",
+                       float_fmt="{:.3f}"))
+    write_csv(results_dir / "gpu_limits.csv", headers, rows)
+    # smaller scratchpad -> at least as much chunking
+    chunked = [r[1] for r in rows]
+    assert chunked[0] >= chunked[-1]

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the library's real computational kernels.
+
+These time actual Python/NumPy execution (not simulated cycles): the serial
+RCM kernel, BFS, speculative discovery+sort, batch planning and bandwidth
+metrics — the pieces a downstream user pays for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matrices import get_matrix, generators as g
+from repro.core.serial import rcm_serial, cuthill_mckee
+from repro.core.leveled import rcm_leveled
+from repro.core.peripheral import find_pseudo_peripheral
+from repro.core.batches import BatchConfig, clamped_valences, estimate_batch_count, plan_ranges
+from repro.sparse.graph import bfs_levels, front_statistics
+from repro.sparse.bandwidth import bandwidth, envelope_size, rms_wavefront
+from repro.baselines.scipy_ref import scipy_rcm
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return g.delaunay_mesh(8000, seed=3)
+
+
+def test_kernel_serial_rcm(benchmark, mesh):
+    benchmark(rcm_serial, mesh, 0)
+
+
+def test_kernel_leveled_rcm(benchmark, mesh):
+    benchmark(rcm_leveled, mesh, 0)
+
+
+def test_kernel_scipy_rcm(benchmark, mesh):
+    """External reference point: SciPy's Cython RCM."""
+    benchmark(scipy_rcm, mesh)
+
+
+def test_kernel_bfs(benchmark, mesh):
+    benchmark(bfs_levels, mesh, 0)
+
+
+def test_kernel_front_statistics(benchmark, mesh):
+    benchmark(front_statistics, mesh, 0)
+
+
+def test_kernel_peripheral(benchmark, mesh):
+    benchmark(find_pseudo_peripheral, mesh, 0)
+
+
+def test_kernel_bandwidth(benchmark, mesh):
+    benchmark(bandwidth, mesh)
+
+
+def test_kernel_envelope(benchmark, mesh):
+    benchmark(envelope_size, mesh)
+
+
+def test_kernel_wavefront(benchmark, mesh):
+    benchmark(rms_wavefront, mesh)
+
+
+def test_kernel_planner(benchmark):
+    rng = np.random.default_rng(0)
+    vals = rng.integers(1, 60, size=20_000).astype(np.int64)
+    cfg = BatchConfig(batch_size=64, temp_limit=1024)
+
+    def run():
+        cv = clamped_valences(vals, cfg.temp_limit)
+        k = estimate_batch_count(vals.size, int(cv.sum()), cfg)
+        return plan_ranges(cv, k, cfg)
+
+    benchmark(run)
+
+
+def test_kernel_permute(benchmark, mesh):
+    rng = np.random.default_rng(1)
+    perm = rng.permutation(mesh.n)
+    benchmark(mesh.permute_symmetric, perm)

@@ -1,0 +1,70 @@
+"""Multi-device extension benchmark (the paper's Sec. VII outlook).
+
+Sweeps device counts and interconnect latencies for a fixed total worker
+budget: the signal chain crosses devices, so higher link latency stretches
+the critical path — quantifying how far "transmitting signals across
+devices/nodes" can go before the chain dominates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matrices import get_matrix
+from repro.core.batch import run_batch_rcm
+from repro.core.batches import BatchConfig
+from repro.core.serial import rcm_serial
+from repro.machine.costmodel import CPUCostModel
+from repro.machine.multidevice import DeviceTopology
+from repro.bench.runner import pick_start
+from repro.bench.report import render_table, write_csv
+
+MODEL = CPUCostModel()
+CFG = BatchConfig(batch_size=32)
+
+
+@pytest.mark.parametrize("devices", [1, 2, 4])
+def test_multidevice_run(benchmark, devices):
+    mat = get_matrix("nlpkkt160")
+    start, total = pick_start(mat)
+    topo = DeviceTopology(
+        n_devices=devices, workers_per_device=24 // devices,
+        cross_signal_cycles=8_000.0,
+    )
+    res = benchmark(
+        run_batch_rcm, mat, start, model=MODEL, n_workers=24,
+        topology=topo, config=CFG, total=total,
+    )
+    assert np.array_equal(res.permutation, rcm_serial(mat, start))
+
+
+def test_regenerate_multidevice_table(benchmark, results_dir):
+    def run():
+        mat = get_matrix("nlpkkt160")
+        start, total = pick_start(mat)
+        rows = []
+        for devices in (1, 2, 4):
+            for latency in (2_000.0, 8_000.0, 120_000.0):
+                topo = DeviceTopology(
+                    n_devices=devices,
+                    workers_per_device=24 // devices,
+                    cross_signal_cycles=latency,
+                )
+                res = run_batch_rcm(
+                    mat, start, model=MODEL, n_workers=24,
+                    topology=topo, config=CFG, total=total,
+                )
+                rows.append([devices, latency, res.milliseconds])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers = ["devices", "link latency (cycles)", "ms"]
+    print()
+    print(render_table(headers, rows, title="Multi-device signal-chain sweep",
+                       float_fmt="{:.3f}"))
+    write_csv(results_dir / "multidevice.csv", headers, rows)
+
+    by = {(r[0], r[1]): r[2] for r in rows}
+    # single device ignores the link; more devices + slower links cost more
+    assert by[(1, 2_000.0)] == pytest.approx(by[(1, 120_000.0)])
+    assert by[(4, 120_000.0)] > by[(4, 2_000.0)]
+    assert by[(2, 120_000.0)] > by[(1, 120_000.0)]

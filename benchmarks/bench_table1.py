@@ -1,0 +1,69 @@
+"""Table I benchmark: per-approach core-RCM timings on the test set.
+
+Each benchmark runs one approach on one representative matrix (real work on
+the simulated machine); ``test_regenerate_table1`` sweeps the quick set and
+writes the regenerated table to ``benchmarks/results/table1.csv``.  Use
+``python -m repro.bench.table1`` for the full 26-matrix table.
+"""
+
+import pytest
+
+from repro.bench.runner import bench_matrix, pick_start
+from repro.bench.table1 import collect, rows, HEADERS, QUICK_SET
+from repro.bench.report import render_table, write_csv
+from repro.matrices import get_matrix
+from repro.core.serial import rcm_serial
+from repro.core.batch import run_batch_rcm
+from repro.core.batch_gpu import run_batch_rcm_gpu
+from repro.core.batches import BatchConfig
+from repro.machine.costmodel import CPUCostModel
+
+from conftest import BENCH_MATRICES
+
+MODEL = CPUCostModel()
+
+
+@pytest.mark.parametrize("name", BENCH_MATRICES)
+def test_serial_rcm(benchmark, name):
+    mat = get_matrix(name)
+    start, _ = pick_start(mat)
+    benchmark(rcm_serial, mat, start)
+
+
+@pytest.mark.parametrize("name", BENCH_MATRICES)
+def test_cpu_batch(benchmark, name):
+    mat = get_matrix(name)
+    start, total = pick_start(mat)
+    benchmark(
+        run_batch_rcm, mat, start, model=MODEL, n_workers=8, total=total
+    )
+
+
+@pytest.mark.parametrize("name", BENCH_MATRICES)
+def test_cpu_batch_basic(benchmark, name):
+    mat = get_matrix(name)
+    start, total = pick_start(mat)
+    cfg = BatchConfig(early_signaling=False, overhang=False, multibatch=1)
+    benchmark(
+        run_batch_rcm, mat, start, model=MODEL, n_workers=8, config=cfg, total=total
+    )
+
+
+@pytest.mark.parametrize("name", BENCH_MATRICES)
+def test_gpu_batch(benchmark, name):
+    mat = get_matrix(name)
+    start, total = pick_start(mat)
+    benchmark(run_batch_rcm_gpu, mat, start, total=total)
+
+
+def test_regenerate_table1(benchmark, results_dir):
+    """Regenerate the Table I quick set and save it."""
+
+    def run():
+        benches = collect(QUICK_SET, thread_counts=(1, 2, 4, 8, 12, 24))
+        return rows(benches)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(HEADERS, table, title="Table I (quick set)", float_fmt="{:.3f}"))
+    write_csv(results_dir / "table1.csv", HEADERS, table)

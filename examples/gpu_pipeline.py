@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Many-core pipeline: RCM in a sequence of on-device matrix operations.
+
+The paper's punchline: "it is now possible to include RCM reordering into
+sequences of sparse matrix operations without major performance loss".  This
+example plays a GPU workflow — assemble, reorder, iterate — comparing three
+strategies using the simulated device and the PCIe transfer model:
+
+  A. no reordering (pay scattered memory access in every SpMV — modelled
+     via the cache-miss proxy);
+  B. transfer to host, serial CPU RCM, transfer back (the pre-paper option);
+  C. GPU-BATCH on the device (the paper's contribution).
+
+Run: ``python examples/gpu_pipeline.py``
+"""
+
+import numpy as np
+
+from repro import reverse_cuthill_mckee, run_batch_rcm_gpu
+from repro.core.serial import serial_cycles, cuthill_mckee
+from repro.machine.costmodel import SERIAL_CPU
+from repro.baselines.transfer import transfer_ms
+from repro.matrices import grid3d
+from repro.bench.runner import pick_start
+
+
+def main() -> None:
+    mat = grid3d(20, 20, 20, stencil=27)
+    rng = np.random.default_rng(3)
+    scrambled = mat.permute_symmetric(rng.permutation(mat.n))
+    scrambled.data = np.ones(scrambled.nnz)  # valued: transfers carry values
+    start, total = pick_start(scrambled)
+
+    print(f"device-resident matrix: n={mat.n}, nnz={mat.nnz}")
+
+    # --- B: round trip over PCIe + serial host RCM ----------------------
+    xfer = transfer_ms(scrambled)
+    host_ms = serial_cycles(scrambled, cuthill_mckee(scrambled, start)) / (
+        SERIAL_CPU.clock_ghz * 1e6
+    )
+    print(f"\n[B] host reorder: transfer {xfer:.3f} ms + "
+          f"serial RCM {host_ms:.3f} ms = {xfer + host_ms:.3f} ms")
+
+    # --- C: reorder where the data lives ---------------------------------
+    res = run_batch_rcm_gpu(scrambled, start, total=total)
+    print(f"[C] GPU-BATCH on device: {res.milliseconds:.3f} ms "
+          f"({res.n_workers} thread-blocks, "
+          f"{res.stats.batches_executed} batches executed, "
+          f"{res.stats.batches_empty} empties discarded)")
+
+    winner = "C (on-device)" if res.milliseconds < xfer + host_ms else "B (host)"
+    print(f"    -> {winner} wins; the paper finds transfer only ever "
+          f"amortizes for the smallest matrices")
+
+    # --- A vs C: is reordering worth it for the iteration phase? ---------
+    ref = reverse_cuthill_mckee(scrambled, method="serial", start=start)
+    assert np.array_equal(res.permutation, ref.permutation)
+    print(f"\nbandwidth {ref.initial_bandwidth} -> {ref.reordered_bandwidth}; "
+          "every SpMV in the subsequent solver iteration now walks a banded "
+          "matrix — see examples/spmv_locality.py for the cache effect")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Multi-device RCM: how far does the signal chain stretch? (Sec. VII)
+
+The paper closes with: "its intrinsic properties lend themselves to
+multi-device and multi-node extensions, transmitting signals across
+devices/nodes".  This example runs the batch algorithm on simulated 1-, 2-
+and 4-device topologies with NVLink-, PCIe- and network-class interconnects,
+holding the total worker budget fixed — showing when the cross-device signal
+latency starts to eat the parallel gains, and that the permutation stays
+exactly the serial one throughout.
+
+Run: ``python examples/multidevice_study.py``
+"""
+
+import numpy as np
+
+from repro import run_batch_rcm, CPUCostModel, BatchConfig
+from repro.core.serial import rcm_serial
+from repro.machine.multidevice import DeviceTopology
+from repro.matrices import grid3d
+from repro.bench.runner import pick_start
+
+TOTAL_WORKERS = 24
+LINKS = {
+    "NVLink (~2µs)": 8_000.0,
+    "PCIe p2p (~8µs)": 30_000.0,
+    "network (~30µs)": 120_000.0,
+}
+
+
+def main() -> None:
+    mat = grid3d(14, 14, 14, stencil=27)
+    start, total = pick_start(mat)
+    ref = rcm_serial(mat, start)
+    model = CPUCostModel()
+    cfg = BatchConfig(batch_size=32)
+
+    base = run_batch_rcm(
+        mat, start, model=model, n_workers=TOTAL_WORKERS, config=cfg, total=total
+    )
+    print(f"matrix: n={mat.n}, nnz={mat.nnz}")
+    print(f"single device, {TOTAL_WORKERS} workers: {base.milliseconds:.3f} ms\n")
+
+    print(f"{'devices':>8s}  " + "  ".join(f"{k:>16s}" for k in LINKS))
+    for devices in (2, 4):
+        cells = []
+        for latency in LINKS.values():
+            topo = DeviceTopology(
+                n_devices=devices,
+                workers_per_device=TOTAL_WORKERS // devices,
+                cross_signal_cycles=latency,
+            )
+            res = run_batch_rcm(
+                mat, start, model=model, n_workers=TOTAL_WORKERS,
+                topology=topo, config=cfg, total=total,
+            )
+            assert np.array_equal(res.permutation, ref), "permutation changed!"
+            slowdown = res.milliseconds / base.milliseconds
+            cells.append(f"{res.milliseconds:8.3f} ({slowdown:4.1f}x)")
+        print(f"{devices:>8d}  " + "  ".join(f"{c:>16s}" for c in cells))
+
+    print("\npermutation identical to serial RCM in every configuration ✓")
+    print("takeaway: NVLink-class links keep multi-device RCM viable; "
+          "network-class latency lets the slot-chained signals dominate — "
+          "the extension the paper anticipates needs latency-hiding across "
+          "nodes (deeper multi-batch queues or chain batching).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Ordering-heuristic shoot-out: RCM vs Sloan vs GPS vs min-degree vs spectral.
+
+The paper's related work surveys the classical alternatives and notes RCM
+remains the practical default.  This example makes that concrete on a
+scrambled FEM mesh: each heuristic's bandwidth/envelope/wavefront next to
+its runtime, with spy plots of the two extremes.
+
+Run: ``python examples/ordering_comparison.py``
+"""
+
+import time
+
+import numpy as np
+
+from repro import reverse_cuthill_mckee
+from repro.orderings import (
+    sloan,
+    gibbs_poole_stockmeyer,
+    minimum_degree,
+    spectral_ordering,
+)
+from repro.matrices import delaunay_mesh
+from repro.sparse.bandwidth import bandwidth_after, envelope_size, rms_wavefront
+from repro.sparse.spy import side_by_side
+
+
+def main() -> None:
+    mesh = delaunay_mesh(1500, seed=5)
+    rng = np.random.default_rng(1)
+    mat = mesh.permute_symmetric(rng.permutation(mesh.n))
+    print(f"scrambled mesh: n={mat.n}, nnz={mat.nnz}")
+
+    heuristics = {
+        "RCM (batch-cpu)": lambda m: reverse_cuthill_mckee(
+            m, method="batch-cpu", n_workers=8, start="peripheral"
+        ).permutation,
+        "Sloan": sloan,
+        "GPS": gibbs_poole_stockmeyer,
+        "min-degree": minimum_degree,
+        "spectral": spectral_ordering,
+    }
+
+    print(f"\n{'heuristic':18s} {'bandwidth':>9s} {'envelope':>10s} "
+          f"{'rms wavefront':>13s} {'seconds':>8s}")
+    results = {}
+    for name, fn in heuristics.items():
+        t0 = time.perf_counter()
+        perm = fn(mat)
+        dt = time.perf_counter() - t0
+        after = mat.permute_symmetric(perm)
+        results[name] = after
+        print(f"{name:18s} {bandwidth_after(mat, perm):9d} "
+              f"{envelope_size(after):10d} {rms_wavefront(after):13.1f} "
+              f"{dt:8.2f}")
+
+    print("\nthe two extremes, side by side:")
+    print(side_by_side(
+        results["min-degree"], results["RCM (batch-cpu)"],
+        size=30, titles=("min-degree (fill-oriented)", "RCM (band-oriented)"),
+    ))
+    print("\ntakeaway: min-degree scatters the pattern (it optimizes factor "
+          "fill, not bandwidth); RCM/GPS produce the tight band the paper's "
+          "SpMV and envelope use cases need.")
+
+
+if __name__ == "__main__":
+    main()

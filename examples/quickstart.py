@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: reorder a sparse matrix and inspect the bandwidth reduction.
+
+Builds a 2-D grid Laplacian pattern, scrambles it with a random permutation
+(so the natural band structure is hidden, as in real assembled systems),
+then recovers a banded form with RCM — serial, simulated-parallel CPU and
+simulated many-core GPU all return the *identical* permutation, which is the
+paper's central guarantee.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import numpy as np
+
+from repro import reverse_cuthill_mckee, bandwidth
+from repro.matrices import grid2d
+from repro.sparse.bandwidth import envelope_size, rms_wavefront
+
+
+def main() -> None:
+    # a 60x60 five-point grid, scrambled
+    mat = grid2d(60, 60)
+    rng = np.random.default_rng(42)
+    scrambled = mat.permute_symmetric(rng.permutation(mat.n))
+    print(f"matrix: n={scrambled.n}, nnz={scrambled.nnz}")
+    print(f"scrambled bandwidth: {bandwidth(scrambled)}")
+    print(f"scrambled envelope:  {envelope_size(scrambled)}")
+
+    # serial ground truth
+    res = reverse_cuthill_mckee(scrambled, method="serial", start="peripheral")
+    print(f"\nRCM (serial):        bandwidth {res.initial_bandwidth} -> "
+          f"{res.reordered_bandwidth}")
+
+    # the paper's parallel algorithm on the simulated 8-thread CPU
+    res_cpu = reverse_cuthill_mckee(
+        scrambled, method="batch-cpu", start="peripheral", n_workers=8
+    )
+    assert np.array_equal(res_cpu.permutation, res.permutation), \
+        "parallel RCM must equal the serial permutation"
+    print("RCM (batch-cpu, 8 simulated workers): identical permutation ✓")
+
+    # the first GPU RCM, on the simulated many-core device
+    res_gpu = reverse_cuthill_mckee(
+        scrambled, method="batch-gpu", start="peripheral"
+    )
+    assert np.array_equal(res_gpu.permutation, res.permutation)
+    print("RCM (batch-gpu, 160 simulated thread-blocks): identical ✓")
+
+    reordered = scrambled.permute_symmetric(res.permutation)
+    print(f"\nreordered envelope:  {envelope_size(reordered)}")
+    print(f"reordered RMS wavefront: {rms_wavefront(reordered):.1f} "
+          f"(was {rms_wavefront(scrambled):.1f})")
+
+    st = res_cpu.stats[0]
+    print(f"\nsimulated CPU run: {st.summary()}")
+
+
+if __name__ == "__main__":
+    main()

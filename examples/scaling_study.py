@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Scaling study: how much parallelism does *your* matrix offer?
+
+The paper's Sec. VI-E: NNZ alone does not predict batch-RCM scaling — the
+average BFS front width does.  This example sweeps worker counts for
+matrices from three structural regimes, prints speed-up curves next to
+their front statistics, and shows the stage breakdown (Fig. 6 style) so you
+can see stalls eat the gains exactly when the front is narrow.
+
+Run: ``python examples/scaling_study.py``
+"""
+
+from repro import run_batch_rcm, CPUCostModel
+from repro.core.serial import serial_cycles
+from repro.machine.costmodel import SERIAL_CPU
+from repro.machine.stats import Stage
+from repro.matrices import grid2d, grid3d, road_network
+from repro.sparse.graph import front_statistics
+from repro.bench.runner import pick_start
+
+WORKERS = (1, 2, 4, 8, 16)
+
+
+def study(name, mat):
+    start, total = pick_start(mat)
+    fs = front_statistics(mat, start)
+    serial_ms = serial_cycles(mat, start=start) / (SERIAL_CPU.clock_ghz * 1e6)
+    print(f"\n{name}: n={mat.n} nnz={mat.nnz} "
+          f"avg front={fs.avg_front:.1f} depth={fs.depth}")
+    print(f"  serial: {serial_ms:.3f} ms")
+    model = CPUCostModel()
+    for w in WORKERS:
+        res = run_batch_rcm(mat, start, model=model, n_workers=w, total=total)
+        sh = res.stats.stage_shares()
+        print(f"  {w:2d} workers: {res.milliseconds:7.3f} ms "
+              f"(speedup {serial_ms / res.milliseconds:4.2f}x, "
+              f"stall {sh[Stage.STALL]:4.0%}, "
+              f"discover {sh[Stage.DISCOVER]:4.0%})")
+
+
+def main() -> None:
+    study("3-D FEM (wide front — scales)", grid3d(14, 14, 14, stencil=27))
+    study("2-D grid (moderate front)", grid2d(90, 90))
+    study("road network (narrow front — does not scale)",
+          road_network(6000, seed=1))
+    print("\ntakeaway: the average BFS front predicts scaling; "
+          "on narrow graphs the serial version remains the right tool "
+          "(paper Sec. VI-E)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Direct-solver fill-in: why bandwidth reduction matters for Cholesky.
+
+The paper's motivation: "the matrix bandwidth is a good indicator for the
+fill-in, e.g., in Cholesky solvers".  This example factorizes a 2-D FEM-style
+system before and after RCM and counts the factor's nonzeros — the envelope
+bound in action — using SciPy's sparse LU (with natural ordering so *our*
+permutation is the only reordering in play).
+
+Run: ``python examples/solver_fillin.py``
+"""
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro import reverse_cuthill_mckee
+from repro.matrices import delaunay_mesh
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.bandwidth import envelope_size
+
+
+def laplacian_system(pattern: CSRMatrix) -> sp.csc_matrix:
+    """SPD graph Laplacian + I on the mesh pattern."""
+    a = pattern.to_scipy()
+    deg = np.asarray(a.sum(axis=1)).ravel()
+    lap = sp.diags(deg + 1.0) - a
+    return lap.tocsc()
+
+
+def factor_nnz(system: sp.csc_matrix) -> int:
+    """Nonzeros of the LU factors under natural ordering."""
+    lu = spla.splu(
+        system,
+        permc_spec="NATURAL",
+        options=dict(SymmetricMode=True, DiagPivotThresh=0.0),
+    )
+    return int(lu.L.nnz + lu.U.nnz)
+
+
+def main() -> None:
+    mesh = delaunay_mesh(2500, seed=11)
+    rng = np.random.default_rng(0)
+    scrambled = mesh.permute_symmetric(rng.permutation(mesh.n))
+
+    res = reverse_cuthill_mckee(scrambled, method="batch-cpu", n_workers=8,
+                               start="peripheral")
+    reordered = scrambled.permute_symmetric(res.permutation)
+
+    before = laplacian_system(scrambled)
+    after = laplacian_system(reordered)
+
+    nnz_before = factor_nnz(before)
+    nnz_after = factor_nnz(after)
+
+    print(f"mesh: n={mesh.n}, nnz={mesh.nnz}")
+    print(f"bandwidth: {res.initial_bandwidth} -> {res.reordered_bandwidth}")
+    print(f"envelope:  {envelope_size(scrambled)} -> {envelope_size(reordered)}")
+    print(f"LU factor nnz (natural ordering): {nnz_before} -> {nnz_after} "
+          f"({nnz_before / nnz_after:.1f}x less fill-in)")
+
+    # sanity: the reordered system solves the same problem
+    b = rng.random(mesh.n)
+    x_before = spla.spsolve(before, b)
+    perm = res.permutation
+    x_after = spla.spsolve(after, b[perm])
+    assert np.allclose(x_after, x_before[perm], atol=1e-8)
+    print("solution identical under the permutation ✓")
+
+    # the same story through the library's own envelope Cholesky, where
+    # factor storage *is* the profile (repro.solver.envelope)
+    from repro.solver.envelope import (
+        SkylineMatrix, envelope_cholesky, solve_cholesky, cholesky_flops,
+    )
+    from repro.sparse.csr import CSRMatrix
+
+    sys_before = CSRMatrix.from_scipy(before.tocsr())
+    sys_after = CSRMatrix.from_scipy(after.tocsr())
+    sky_b = SkylineMatrix.from_csr(sys_before)
+    sky_a = SkylineMatrix.from_csr(sys_after)
+    print(f"\nenvelope Cholesky (repro.solver): storage {sky_b.storage} -> "
+          f"{sky_a.storage}, flops {cholesky_flops(sky_b):.2e} -> "
+          f"{cholesky_flops(sky_a):.2e} "
+          f"({cholesky_flops(sky_b) / cholesky_flops(sky_a):.1f}x fewer)")
+    x_env = solve_cholesky(envelope_cholesky(sky_a), b[perm])
+    assert np.allclose(x_env, x_before[perm], atol=1e-6)
+    print("envelope solver agrees with SciPy ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""SpMV cache locality: RCM as a throughput optimization for iterative solvers.
+
+The paper's second motivation: bandwidth "dictates memory access patterns in
+sparse matrix operations, which, in turn, dictate caching behavior".  This
+example quantifies the effect two ways:
+
+1. a *cache-model* metric — simulate a small direct-mapped cache over the
+   column-access stream of an SpMV and count misses before/after RCM;
+2. measured wall time of ``scipy`` SpMV on both orderings (the effect is
+   visible even through SciPy's C kernel for large enough matrices).
+
+Run: ``python examples/spmv_locality.py``
+"""
+
+import time
+
+import numpy as np
+
+from repro import reverse_cuthill_mckee
+from repro.matrices import grid3d
+from repro.sparse.csr import CSRMatrix
+
+
+def cache_misses(mat: CSRMatrix, *, lines: int = 512, line_words: int = 8) -> int:
+    """Direct-mapped cache misses over the SpMV x-gather stream.
+
+    Each stored entry (i, j) loads x[j]; a line holds ``line_words``
+    consecutive entries of x.  Vectorized simulation of tag churn.
+    """
+    line_of = mat.indices // line_words
+    slot = line_of % lines
+    tags = np.full(lines, -1, dtype=np.int64)
+    misses = 0
+    # process in chunks to keep the python loop coarse
+    for chunk in np.array_split(line_of, max(len(line_of) // 65536, 1)):
+        s = chunk % lines
+        for ln, sl in zip(chunk.tolist(), s.tolist()):
+            if tags[sl] != ln:
+                tags[sl] = ln
+                misses += 1
+    return misses
+
+
+def timed_spmv(mat: CSRMatrix, reps: int = 50) -> float:
+    a = mat.to_scipy()
+    x = np.random.default_rng(0).random(mat.n)
+    a @ x  # warm up
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        a @ x
+    return (time.perf_counter() - t0) / reps * 1e3
+
+
+def main() -> None:
+    mat = grid3d(22, 22, 22, stencil=27)
+    rng = np.random.default_rng(7)
+    scrambled = mat.permute_symmetric(rng.permutation(mat.n))
+
+    res = reverse_cuthill_mckee(scrambled, method="batch-cpu", n_workers=8)
+    reordered = scrambled.permute_symmetric(res.permutation)
+
+    print(f"matrix: n={mat.n}, nnz={mat.nnz}")
+    print(f"bandwidth: {res.initial_bandwidth} -> {res.reordered_bandwidth}")
+
+    m_before = cache_misses(scrambled)
+    m_after = cache_misses(reordered)
+    print(f"modelled x-vector cache misses: {m_before} -> {m_after} "
+          f"({m_before / max(m_after, 1):.2f}x fewer)")
+
+    t_before = timed_spmv(scrambled)
+    t_after = timed_spmv(reordered)
+    print(f"measured SpMV: {t_before:.3f} ms -> {t_after:.3f} ms "
+          f"({t_before / t_after:.2f}x)")
+    print("(wall-clock ratio is machine dependent; the miss model is the "
+          "portable signal)")
+
+
+if __name__ == "__main__":
+    main()

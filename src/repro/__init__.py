@@ -1,0 +1,52 @@
+"""repro — Speculative Parallel Reverse Cuthill-McKee Reordering.
+
+A faithful, self-contained reproduction of Mlakar et al., *"Speculative
+Parallel Reverse Cuthill-McKee Reordering on Multi- and Many-core
+Architectures"* (IPDPS 2021): batch-based RCM with speculative discovery,
+chained signals, overhang work aggregation and early termination, executing
+on a deterministic simulated multicore CPU / many-core GPU (plus a
+real-thread backend), together with the paper's baselines, test-set
+analogues and the complete experiment harness.
+
+Quickstart::
+
+    from repro import CSRMatrix, reverse_cuthill_mckee
+    from repro.matrices import grid2d
+
+    mat = grid2d(100, 100)
+    result = reverse_cuthill_mckee(mat, method="batch-cpu", n_workers=8)
+    reordered = mat.permute_symmetric(result.permutation)
+    print(result.initial_bandwidth, "->", result.reordered_bandwidth)
+"""
+
+from repro.sparse import CSRMatrix, coo_to_csr, bandwidth
+from repro.core.api import reverse_cuthill_mckee, ReorderResult, METHODS
+from repro.core import (
+    cuthill_mckee,
+    rcm_serial,
+    BatchConfig,
+    BatchResult,
+    run_batch_rcm,
+    run_batch_rcm_gpu,
+)
+from repro.machine.costmodel import CPUCostModel, GPUCostModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRMatrix",
+    "coo_to_csr",
+    "bandwidth",
+    "reverse_cuthill_mckee",
+    "ReorderResult",
+    "METHODS",
+    "cuthill_mckee",
+    "rcm_serial",
+    "BatchConfig",
+    "BatchResult",
+    "run_batch_rcm",
+    "run_batch_rcm_gpu",
+    "CPUCostModel",
+    "GPUCostModel",
+    "__version__",
+]

@@ -1,0 +1,111 @@
+"""Parametric set-associative cache simulator for access streams.
+
+Models one cache level: ``sets × ways`` lines of ``line_bytes`` with LRU
+replacement.  The input is a stream of *element indices* into an array of
+``element_bytes``-sized entries (e.g. the x-vector gathers of an SpMV);
+the output is hit/miss counts.
+
+The simulator is deliberately simple — no prefetching, one level — because
+its job is to *rank orderings*: RCM's benefit shows up as a large drop in
+capacity/conflict misses on the gather stream, robust to model details.
+Implementation is vectorized per direct-mapped way when ``ways == 1`` and
+falls back to a compact LRU loop otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["CacheModel", "CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    accesses: int
+    misses: int
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.misses}/{self.accesses} misses ({self.miss_rate:.1%})"
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """One cache level.
+
+    Defaults approximate a per-core L1d: 32 KiB, 8-way, 64-byte lines.
+    """
+
+    sets: int = 64
+    ways: int = 8
+    line_bytes: int = 64
+    element_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.sets < 1 or self.ways < 1:
+            raise ValueError("sets and ways must be positive")
+        if self.line_bytes % self.element_bytes:
+            raise ValueError("line must hold whole elements")
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.sets * self.ways * self.line_bytes
+
+    @property
+    def elements_per_line(self) -> int:
+        return self.line_bytes // self.element_bytes
+
+    # ------------------------------------------------------------------
+    def simulate(self, stream: np.ndarray) -> CacheStats:
+        """Run an element-index stream through the cache."""
+        stream = np.asarray(stream, dtype=np.int64)
+        if stream.size == 0:
+            return CacheStats(0, 0)
+        lines = stream // self.elements_per_line
+        if self.ways == 1:
+            return CacheStats(int(stream.size), self._direct_mapped(lines))
+        return CacheStats(int(stream.size), self._lru(lines))
+
+    def _direct_mapped(self, lines: np.ndarray) -> int:
+        slots = lines % self.sets
+        tags = np.full(self.sets, -1, dtype=np.int64)
+        misses = 0
+        for ln, sl in zip(lines.tolist(), slots.tolist()):
+            if tags[sl] != ln:
+                tags[sl] = ln
+                misses += 1
+        return misses
+
+    def _lru(self, lines: np.ndarray) -> int:
+        slots = lines % self.sets
+        # per-set LRU as ordered lists (ways is small)
+        cache = [[] for _ in range(self.sets)]
+        misses = 0
+        for ln, sl in zip(lines.tolist(), slots.tolist()):
+            way = cache[sl]
+            try:
+                way.remove(ln)
+            except ValueError:
+                misses += 1
+                if len(way) >= self.ways:
+                    way.pop(0)
+            way.append(ln)
+        return misses
+
+    # ------------------------------------------------------------------
+    def compulsory_misses(self, stream: np.ndarray) -> int:
+        """Lower bound: distinct lines touched (cold misses only)."""
+        stream = np.asarray(stream, dtype=np.int64)
+        if stream.size == 0:
+            return 0
+        return int(np.unique(stream // self.elements_per_line).size)

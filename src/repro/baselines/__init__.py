@@ -1,0 +1,39 @@
+"""Timing-model baselines the paper compares against.
+
+The paper's external baselines are closed binaries (HSL MC60, MATLAB's
+``symrcm``, NVIDIA cuSolver) or unavailable code (the original unordered RCM
+of Karantasis et al.; Reorderlib was obtained privately).  Each is modelled
+here as a documented cost transformation of our own measured/simulated
+kernels, anchored to ratios the paper itself reports:
+
+* **HSL** — the paper's CPU-RCM is "about 5.8× faster than HSL on average";
+  we model HSL as serial RCM with a 5.8× cycle multiplier.
+* **MATLAB** — Fig. 4 shows MATLAB consistently slower than CPU-RCM but in
+  the same decade, with node finding bundled; factor ≈ 2.3 over serial plus
+  the pseudo-peripheral cost.
+* **cuSolver** — "completely CPU-based and single threaded", orders of
+  magnitude slower (Fig. 4: gupta3 9216 ms vs 202 ms); factor ≈ 25 over
+  serial plus node finding.
+* **Reorderlib** — our own Alg. 3 implementation with the pessimistic
+  speculative-BFS round count its public version exhibits.
+* **transfer** — PCIe 3.0 x16 transfer model for the "move to host, reorder,
+  move back" alternative that Fig. 4 quantifies.
+"""
+
+from repro.baselines.hsl import hsl_cycles
+from repro.baselines.matlab import matlab_cycles
+from repro.baselines.cusolver import cusolver_cycles
+from repro.baselines.reorderlib import reorderlib_result, reorderlib_cycles
+from repro.baselines.transfer import TransferModel, transfer_ms
+from repro.baselines.scipy_ref import scipy_rcm
+
+__all__ = [
+    "hsl_cycles",
+    "matlab_cycles",
+    "cusolver_cycles",
+    "reorderlib_result",
+    "reorderlib_cycles",
+    "TransferModel",
+    "transfer_ms",
+    "scipy_rcm",
+]

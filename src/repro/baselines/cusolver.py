@@ -1,0 +1,36 @@
+"""cuSolver ``csrsymrcm`` baseline timing model.
+
+NVIDIA's cuSolver RCM "is completely CPU-based and single threaded" and, per
+the paper's Fig. 4, runs orders of magnitude slower than every other CPU
+implementation (gupta3: 9216 ms vs 202 ms for CPU-RCM+peripheral) — it also
+bundles node finding.  We model it as serial RCM ×25 plus node finding ×3
+(its BFS sweeps are similarly slow).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.core.serial import serial_cycles
+from repro.core.peripheral import PeripheralResult, peripheral_cycles_serial
+from repro.machine.costmodel import SerialCostModel, SERIAL_CPU
+
+__all__ = ["CUSOLVER_SLOWDOWN", "cusolver_cycles"]
+
+CUSOLVER_SLOWDOWN = 25.0
+
+
+def cusolver_cycles(
+    mat: CSRMatrix,
+    peripheral: PeripheralResult,
+    order: Optional[np.ndarray] = None,
+    *,
+    start: Optional[int] = None,
+    model: SerialCostModel = SERIAL_CPU,
+) -> float:
+    """Simulated cycles for cuSolver's host RCM including node finding."""
+    core = CUSOLVER_SLOWDOWN * serial_cycles(mat, order, start=start, model=model)
+    return core + 3.0 * peripheral_cycles_serial(peripheral, model)

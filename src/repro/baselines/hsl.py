@@ -1,0 +1,35 @@
+"""HSL MC60-style baseline timing model.
+
+HSL's Fortran RCM is the reference previous work uses for speed-ups (the
+paper's Fig. 2 normalizes everything to HSL).  The paper measures its own
+serial CPU-RCM to be ≈5.8× faster than HSL on average, crediting better STL
+sorting, newer compiler optimization and cache-friendly scratch usage — all
+per-element effects, so a constant multiplier over the serial cost is the
+faithful model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.core.serial import serial_cycles
+from repro.machine.costmodel import SerialCostModel, SERIAL_CPU
+
+__all__ = ["HSL_SLOWDOWN", "hsl_cycles"]
+
+#: the paper's measured average CPU-RCM advantage over HSL
+HSL_SLOWDOWN = 5.8
+
+
+def hsl_cycles(
+    mat: CSRMatrix,
+    order: Optional[np.ndarray] = None,
+    *,
+    start: Optional[int] = None,
+    model: SerialCostModel = SERIAL_CPU,
+) -> float:
+    """Simulated cycles an HSL-class Fortran implementation would take."""
+    return HSL_SLOWDOWN * serial_cycles(mat, order, start=start, model=model)

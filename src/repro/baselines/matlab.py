@@ -1,0 +1,35 @@
+"""MATLAB ``symrcm`` baseline timing model.
+
+MATLAB bundles pseudo-peripheral node finding with the reordering (the paper
+excludes it from Table I for that reason and compares in Fig. 4 instead).
+Fig. 4 places MATLAB consistently behind CPU-RCM within the same decade;
+we model it as serial RCM ×2.3 plus the serial node-finding rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.core.serial import serial_cycles
+from repro.core.peripheral import PeripheralResult, peripheral_cycles_serial
+from repro.machine.costmodel import SerialCostModel, SERIAL_CPU
+
+__all__ = ["MATLAB_SLOWDOWN", "matlab_cycles"]
+
+MATLAB_SLOWDOWN = 2.3
+
+
+def matlab_cycles(
+    mat: CSRMatrix,
+    peripheral: PeripheralResult,
+    order: Optional[np.ndarray] = None,
+    *,
+    start: Optional[int] = None,
+    model: SerialCostModel = SERIAL_CPU,
+) -> float:
+    """Simulated cycles for MATLAB's symrcm including node finding."""
+    core = MATLAB_SLOWDOWN * serial_cycles(mat, order, start=start, model=model)
+    return core + peripheral_cycles_serial(peripheral, model)

@@ -1,0 +1,32 @@
+"""Reorderlib baseline: the unordered RCM of Rodrigues et al.
+
+The paper evaluates Reorderlib's unordered variant ("it performed
+significantly better" than its leveled one).  We reuse our Alg. 3
+implementation with a pessimistic speculative-BFS round count — the public
+implementation relaxes more, matching the paper's observation that
+Reorderlib "always falls short of CPU-RCM".  Reorderlib failed on several
+large matrices in the paper (blank Table I cells); we keep it runnable and
+note the blanks in EXPERIMENTS.md instead.
+"""
+
+from __future__ import annotations
+
+from repro.sparse.csr import CSRMatrix
+from repro.core.unordered import UnorderedResult, rcm_unordered, unordered_cycles
+from repro.machine.costmodel import CPUCostModel
+
+__all__ = ["REORDERLIB_BFS_ROUNDS", "reorderlib_result", "reorderlib_cycles"]
+
+REORDERLIB_BFS_ROUNDS = 5
+
+
+def reorderlib_result(mat: CSRMatrix, start: int) -> UnorderedResult:
+    """Run unordered RCM with Reorderlib's pessimistic BFS round count."""
+    return rcm_unordered(mat, start, bfs_rounds=REORDERLIB_BFS_ROUNDS)
+
+
+def reorderlib_cycles(
+    result: UnorderedResult, n_workers: int, model: CPUCostModel = CPUCostModel()
+) -> float:
+    """Simulated cycles of the Reorderlib run at a worker count."""
+    return unordered_cycles(result, model, n_workers)

@@ -1,0 +1,46 @@
+"""GPU<->CPU transfer-overhead model (Fig. 4's light-violet bars).
+
+Reordering on the host requires moving the CSR arrays to the CPU and the
+permuted matrix back over PCIe.  Fig. 4's conclusion — transfer only
+amortizes for the smallest matrices, and only against our serial CPU-RCM —
+is a bandwidth-arithmetic argument, reproduced here with a PCIe 3.0 x16
+model (the paper's TITAN V platform).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["TransferModel", "transfer_ms"]
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Sustained host<->device copy performance."""
+
+    bandwidth_gb_s: float = 12.0   # PCIe 3.0 x16 sustained
+    latency_us: float = 12.0       # per-direction launch/setup
+    index_bytes: int = 4
+    value_bytes: int = 8
+
+    def csr_bytes(self, mat: CSRMatrix, *, with_values: bool = True) -> int:
+        """Payload size of the CSR arrays (indices + optional values)."""
+        b = (mat.n + 1) * self.index_bytes + mat.nnz * self.index_bytes
+        if with_values and mat.data is not None:
+            b += mat.nnz * self.value_bytes
+        return b
+
+    def one_way_ms(self, n_bytes: int) -> float:
+        """Single-direction copy time: latency plus bandwidth term."""
+        return self.latency_us / 1e3 + n_bytes / (self.bandwidth_gb_s * 1e6)
+
+    def round_trip_ms(self, mat: CSRMatrix, *, with_values: bool = True) -> float:
+        """Device→host of the matrix plus host→device of the permuted one."""
+        return 2.0 * self.one_way_ms(self.csr_bytes(mat, with_values=with_values))
+
+
+def transfer_ms(mat: CSRMatrix, model: TransferModel = TransferModel()) -> float:
+    """Round-trip transfer overhead in milliseconds for ``mat``."""
+    return model.round_trip_ms(mat)

@@ -1,0 +1,23 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each ``figN``/``table1`` module is runnable (``python -m repro.bench.table1``)
+and is also driven by the pytest-benchmark suites under ``benchmarks/``.
+Results are simulated cycles converted to milliseconds; EXPERIMENTS.md
+compares *shapes* against the paper, never absolute numbers.
+"""
+
+from repro.bench.runner import (
+    APPROACHES,
+    ApproachTiming,
+    MatrixBench,
+    bench_matrix,
+    THREAD_COUNTS,
+)
+
+__all__ = [
+    "APPROACHES",
+    "ApproachTiming",
+    "MatrixBench",
+    "bench_matrix",
+    "THREAD_COUNTS",
+]

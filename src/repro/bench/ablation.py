@@ -1,0 +1,90 @@
+"""Ablations over the batch algorithm's design choices.
+
+Beyond the paper's figures, DESIGN.md calls out the knobs worth isolating:
+
+* **batch size** — too small starves workers with management overhead, too
+  large starves the queue of parallelism;
+* **overhang** (work aggregation, Sec. IV-C) — on/off;
+* **early signaling** (Alg. 5 vs Alg. 4's fixed signal points) — on/off;
+* **multi-batch execution** (Sec. IV-D) — worker-held batch budget;
+* **speculation** — off means discovery blocks on the chain (no wasted
+  sorting, fully serialized discovery).
+
+Run: ``python -m repro.bench.ablation [--matrices ...] [--workers N]``
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.matrices import get_matrix
+from repro.core.batch import run_batch_rcm
+from repro.core.batches import BatchConfig
+from repro.machine.costmodel import CPUCostModel
+from repro.bench.runner import pick_start
+from repro.bench.report import render_table, write_csv
+
+__all__ = ["VARIANTS", "ablate", "main"]
+
+VARIANTS: Dict[str, BatchConfig] = {
+    "full (default)": BatchConfig(),
+    "basic (Alg.4)": BatchConfig(early_signaling=False, overhang=False, multibatch=1),
+    "no early signaling": BatchConfig(early_signaling=False),
+    "no overhang": BatchConfig(overhang=False),
+    "multibatch=1": BatchConfig(multibatch=1),
+    "multibatch=4": BatchConfig(multibatch=4),
+    "no speculation": BatchConfig(speculate=False),
+    "batch=16": BatchConfig(batch_size=16),
+    "batch=256": BatchConfig(batch_size=256),
+}
+
+DEFAULT_MATRICES = ["ecology1", "gupta3", "nlpkkt160", "great-britain_osm", "mycielskian18"]
+
+
+def ablate(
+    names: Sequence[str],
+    *,
+    n_workers: int = 8,
+    variants: Optional[Dict[str, BatchConfig]] = None,
+) -> List[list]:
+    """Rows of per-variant simulated timings across the named matrices."""
+    variants = variants or VARIANTS
+    model = CPUCostModel()
+    rows = []
+    for label, cfg in variants.items():
+        row = [label]
+        for name in names:
+            mat = get_matrix(name)
+            start, total = pick_start(mat)
+            res = run_batch_rcm(
+                mat, start, model=model, n_workers=n_workers, config=cfg, total=total
+            )
+            row.append(res.milliseconds)
+        rows.append(row)
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> List[list]:
+    """CLI entry point: print (and optionally CSV-dump) the ablation table."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--matrices", nargs="*", default=DEFAULT_MATRICES)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--csv", default=None)
+    args = parser.parse_args(argv)
+
+    rows = ablate(args.matrices, n_workers=args.workers)
+    headers = ["variant"] + list(args.matrices)
+    print(render_table(
+        headers, rows,
+        title=f"Ablation — CPU-BATCH variants at {args.workers} workers (simulated ms)",
+        float_fmt="{:.3f}",
+    ))
+    if args.csv:
+        write_csv(args.csv, headers, rows)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Fig. 1: the batch state machine, rendered from a real execution.
+
+The paper's Fig. 1 is a schematic: batches live in one of four states —
+*speculative discovery*, *discovery* (confirmed), *output*, *completed* —
+with many batches, possibly from multiple BFS levels, concurrently active.
+This driver regenerates that picture from an actual simulated run: per
+queue slot, the time spent in each lifecycle phase, plus the concurrency
+profile (how many batches were simultaneously in flight).
+
+Run: ``python -m repro.bench.fig1 [--matrix NAME] [--workers N]``
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.matrices import get_matrix
+from repro.bench.runner import pick_start
+from repro.core.state import make_state
+from repro.core.batch import worker_loop
+from repro.core.batches import BatchConfig
+from repro.machine.engine import Engine
+from repro.machine.costmodel import CPUCostModel
+
+__all__ = ["batch_state_timeline", "render_state_chart", "main"]
+
+PHASES = ["speculative discovery", "discovery", "output", "completed"]
+_GLYPH = {"speculative discovery": "s", "discovery": "D", "output": "O"}
+
+
+def batch_state_timeline(
+    name: str = "benzene",
+    *,
+    n_workers: int = 6,
+    config: Optional[BatchConfig] = None,
+) -> Tuple[Dict[int, List[Tuple[float, str]]], float]:
+    """Run one matrix and return, per queue slot, its phase transitions
+    ``[(time, phase), ...]`` and the makespan."""
+    mat = get_matrix(name)
+    start, total = pick_start(mat)
+    state = make_state(mat, start, n_workers=n_workers, total=total)
+    state.phase_log = []
+    model = CPUCostModel()
+    engine = Engine(n_workers, state.stats)
+    engine.run([
+        worker_loop(state, config or BatchConfig(), model, engine)
+        for _ in range(n_workers)
+    ])
+    timeline: Dict[int, List[Tuple[float, str]]] = defaultdict(list)
+    for t, slot, phase in state.phase_log:
+        timeline[slot].append((t, phase))
+    return dict(timeline), state.stats.makespan
+
+
+def render_state_chart(
+    timeline: Dict[int, List[Tuple[float, str]]],
+    makespan: float,
+    *,
+    width: int = 90,
+    max_slots: int = 40,
+) -> str:
+    """One lane per batch: which Fig.-1 state it occupied when."""
+    lines = [
+        "Fig. 1 — batch lifecycle states over time "
+        "(s=speculative discovery, D=discovery, O=output, blank=done/not started)"
+    ]
+    scale = makespan / width if makespan else 1.0
+    shown = sorted(timeline)[:max_slots]
+    for slot in shown:
+        events = sorted(timeline[slot])
+        row = [" "] * width
+        for (t0, phase), nxt in zip(events, events[1:] + [(makespan, "end")]):
+            if phase == "completed":
+                continue
+            c0 = min(int(t0 / scale), width - 1)
+            c1 = min(int(nxt[0] / scale), width - 1)
+            for c in range(c0, max(c1, c0 + 1)):
+                row[c] = _GLYPH.get(phase, "?")
+        lines.append(f"batch {slot:>4d} |{''.join(row)}|")
+    if len(timeline) > max_slots:
+        lines.append(f"... ({len(timeline) - max_slots} more batches)")
+    # concurrency profile
+    starts = sorted(t for ev in timeline.values() for t, p in ev
+                    if p == "speculative discovery")
+    ends = sorted(t for ev in timeline.values() for t, p in ev
+                  if p == "completed")
+    peak, live, si, ei = 0, 0, 0, 0
+    while si < len(starts):
+        if ei < len(ends) and ends[ei] <= starts[si]:
+            live -= 1
+            ei += 1
+        else:
+            live += 1
+            si += 1
+            peak = max(peak, live)
+    lines.append(f"\npeak concurrently active batches: {peak} "
+                 f"(the paper's point: batches from multiple levels overlap)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> str:
+    """CLI entry point: render the measured Fig. 1 state chart."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--matrix", default="benzene")
+    parser.add_argument("--workers", type=int, default=6)
+    parser.add_argument("--width", type=int, default=90)
+    parser.add_argument("--csv", default=None, help="(unused; uniform driver API)")
+    args = parser.parse_args(argv)
+    timeline, makespan = batch_state_timeline(
+        args.matrix, n_workers=args.workers
+    )
+    out = render_state_chart(timeline, makespan, width=args.width)
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Fig. 2: speed-up of every approach relative to HSL (log scale).
+
+The paper normalizes all approaches to HSL per matrix.  Expected shape:
+CPU-RCM sits ≈5.8× above HSL (by construction of the baseline model);
+CPU-BATCH/GPU-BATCH reach far higher on wide-front matrices and drop toward
+(or below) CPU-RCM on tiny or narrow ones; GPU-RCM dips below 1× on deep
+graphs; Reorderlib hovers below CPU-RCM.
+
+Run: ``python -m repro.bench.fig2 [--quick]``
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.bench.runner import APPROACHES, MatrixBench
+from repro.bench.table1 import collect, QUICK_SET
+from repro.bench.report import render_table, write_csv, log_bar
+
+__all__ = ["speedups", "main"]
+
+PLOT_APPROACHES = [a for a in APPROACHES if a != "HSL"]
+
+
+def speedups(benches: List[MatrixBench]) -> List[list]:
+    """Rows of speed-up factors vs HSL, one row per matrix."""
+    out = []
+    for b in benches:
+        out.append([b.name] + [b.speedup_vs(a) for a in PLOT_APPROACHES])
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> List[list]:
+    """CLI entry point: print the speed-up-vs-HSL table and bars."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--csv", default=None)
+    args = parser.parse_args(argv)
+
+    benches = collect(QUICK_SET if args.quick else None)
+    table = speedups(benches)
+    headers = ["Name"] + PLOT_APPROACHES
+    print(render_table(
+        headers, table,
+        title="Fig. 2 — speed-up vs HSL (×, log-scale plot in the paper)",
+        float_fmt="{:.2f}",
+    ))
+    print("\nlog-scale bars (| marks 1×, o the value; range 1/16× .. 64×):")
+    for b in benches:
+        print(f"\n  {b.name}")
+        for a in PLOT_APPROACHES:
+            print(f"    {a:16s} [{log_bar(b.speedup_vs(a), 1.0)}] {b.speedup_vs(a):7.2f}x")
+    if args.csv:
+        write_csv(args.csv, headers, table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

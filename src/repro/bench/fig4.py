@@ -1,0 +1,120 @@
+"""Fig. 4: overall runtime — core RCM + pseudo-peripheral finding + transfer.
+
+For six matrices the paper stacks, per approach: the core RCM time, the
+naive pseudo-peripheral node-finding time, and (for CPU-side approaches
+applied to data living on the GPU) the PCIe transfer overhead.  Expected
+shape: cuSolver is orders of magnitude slower; MATLAB trails CPU-RCM;
+peripheral finding dwarfs the core RCM for the optimized versions; transfer
+only ever amortizes for small matrices against CPU-RCM.
+
+Run: ``python -m repro.bench.fig4``
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.matrices import get_matrix
+from repro.core.serial import cuthill_mckee
+from repro.core.peripheral import find_pseudo_peripheral, peripheral_cycles_serial
+from repro.core.peripheral_parallel import find_pseudo_peripheral_parallel
+from repro.machine.costmodel import SERIAL_CPU, GPUCostModel
+from repro.baselines.matlab import matlab_cycles
+from repro.baselines.cusolver import cusolver_cycles
+from repro.baselines.transfer import transfer_ms
+from repro.bench.runner import bench_matrix, pick_start
+from repro.bench.report import render_table, write_csv
+
+__all__ = ["FIG4_MATRICES", "StackedTiming", "collect_overall", "main"]
+
+FIG4_MATRICES = [
+    "gupta3", "CurlCurl_3", "bundle_adj", "Emilia_923", "audikw_1", "nlpkkt120",
+]
+
+#: approaches in the figure's bar order
+FIG4_APPROACHES = [
+    "Reorderlib", "cuSolver", "MATLAB", "CPU-RCM",
+    "CPU-BATCH-BASIC", "CPU-BATCH", "GPU-RCM", "GPU-BATCH",
+]
+
+
+
+@dataclass
+class StackedTiming:
+    approach: str
+    core_ms: float
+    peripheral_ms: float
+    transfer_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.core_ms + self.peripheral_ms + self.transfer_ms
+
+
+def collect_overall(name: str) -> List[StackedTiming]:
+    """Stacked core/peripheral/transfer timings for one matrix."""
+    mat = get_matrix(name)
+    bench = bench_matrix(name)
+    start, _total = pick_start(mat)
+    peri = find_pseudo_peripheral(mat, start)
+    cm = cuthill_mckee(mat, start)
+    clock = SERIAL_CPU.clock_ghz * 1e6
+
+    peri_cpu_ms = peripheral_cycles_serial(peri, SERIAL_CPU) / clock
+    xfer = transfer_ms(mat)
+    gpu_core = bench.ms("GPU-BATCH")
+    # GPU node finding: the batch framework as a parallel BFS (Sec. VII)
+    gpu_model = GPUCostModel()
+    peri_gpu_ms = find_pseudo_peripheral_parallel(
+        mat, start, model=gpu_model, n_workers=gpu_model.max_workers
+    ).milliseconds
+
+    out: List[StackedTiming] = []
+    for approach in FIG4_APPROACHES:
+        if approach == "cuSolver":
+            # bundles node finding; runs on the host -> pays transfer
+            core = cusolver_cycles(mat, peri, cm) / clock
+            out.append(StackedTiming(approach, core, 0.0, xfer))
+        elif approach == "MATLAB":
+            core = matlab_cycles(mat, peri, cm) / clock
+            out.append(StackedTiming(approach, core, 0.0, xfer))
+        elif approach in ("Reorderlib", "CPU-RCM", "CPU-BATCH-BASIC", "CPU-BATCH"):
+            out.append(
+                StackedTiming(approach, bench.ms(approach), peri_cpu_ms, xfer)
+            )
+        elif approach == "GPU-RCM":
+            out.append(StackedTiming(approach, bench.ms(approach), peri_gpu_ms, 0.0))
+        elif approach == "GPU-BATCH":
+            out.append(StackedTiming(approach, gpu_core, peri_gpu_ms, 0.0))
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> Dict[str, List[StackedTiming]]:
+    """CLI entry point: print the overall-runtime decomposition table."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--csv", default=None)
+    parser.add_argument("--matrices", nargs="*", default=None)
+    args = parser.parse_args(argv)
+
+    results: Dict[str, List[StackedTiming]] = {}
+    rows = []
+    for name in args.matrices or FIG4_MATRICES:
+        stacked = collect_overall(name)
+        results[name] = stacked
+        for s in stacked:
+            rows.append([name, s.approach, s.core_ms, s.peripheral_ms, s.transfer_ms, s.total_ms])
+    headers = ["Matrix", "Approach", "core ms", "peripheral ms", "transfer ms", "total ms"]
+    print(render_table(
+        headers, rows,
+        title="Fig. 4 — overall runtime decomposition (simulated ms)",
+        float_fmt="{:.3f}",
+    ))
+    if args.csv:
+        write_csv(args.csv, headers, rows)
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Fig. 5: CPU-BATCH thread-scaling heatmaps.
+
+(a) absolute speed-up of CPU-BATCH over CPU-RCM per matrix and thread count
+    — parallelism pays off with input size/width, never for tiny inputs;
+(b) the same data min/max-normalized per matrix — the "diagonal" pattern:
+    the optimal thread count grows with the available parallelism, and
+    over-parallelizing narrow matrices degrades performance.
+
+Run: ``python -m repro.bench.fig5 [--quick] [--threads 1 2 4 ...]``
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.matrices.suite import TESTSET
+from repro.matrices import get_matrix
+from repro.core.serial import cuthill_mckee, serial_cycles
+from repro.core.batch import run_batch_rcm
+from repro.machine.costmodel import CPUCostModel, SERIAL_CPU
+from repro.bench.runner import pick_start
+from repro.bench.report import render_heatmap, write_csv
+
+__all__ = ["scaling_matrix", "main", "DEFAULT_THREADS"]
+
+DEFAULT_THREADS = (1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 24)
+
+
+def scaling_matrix(
+    names: Optional[Sequence[str]] = None,
+    thread_counts: Sequence[int] = DEFAULT_THREADS,
+) -> Tuple[List[str], np.ndarray]:
+    """Speed-up of CPU-BATCH over CPU-RCM: rows = matrices (NNZ-ascending),
+    columns = thread counts."""
+    names = list(names) if names else [e.name for e in TESTSET]
+    model = CPUCostModel()
+    grid = np.zeros((len(names), len(thread_counts)))
+    for i, name in enumerate(names):
+        mat = get_matrix(name)
+        start, total = pick_start(mat)
+        serial_ms = serial_cycles(mat, cuthill_mckee(mat, start)) / (
+            SERIAL_CPU.clock_ghz * 1e6
+        )
+        for j, tc in enumerate(thread_counts):
+            res = run_batch_rcm(mat, start, model=model, n_workers=tc, total=total)
+            grid[i, j] = serial_ms / res.milliseconds
+    return names, grid
+
+
+def normalized(grid: np.ndarray) -> np.ndarray:
+    """Per-row min/max normalization (Fig. 5b)."""
+    lo = grid.min(axis=1, keepdims=True)
+    hi = grid.max(axis=1, keepdims=True)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    return (grid - lo) / span
+
+
+def main(argv: Optional[Sequence[str]] = None) -> Tuple[List[str], np.ndarray]:
+    """CLI entry point: print both scaling heatmaps."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--threads", nargs="*", type=int, default=None)
+    parser.add_argument("--csv", default=None)
+    args = parser.parse_args(argv)
+    from repro.bench.table1 import QUICK_SET
+
+    threads = tuple(args.threads) if args.threads else DEFAULT_THREADS
+    names, grid = scaling_matrix(QUICK_SET if args.quick else None, threads)
+    cols = [str(t) for t in threads]
+
+    with_avg = np.vstack([grid, grid.mean(axis=0)])
+    labels = names + ["AVERAGE"]
+    print(render_heatmap(
+        labels, cols, with_avg,
+        title="Fig. 5a — CPU-BATCH speed-up over CPU-RCM (rows: NNZ-ascending)",
+        cell_fmt="{:.1f}",
+    ))
+    print()
+    print(render_heatmap(
+        names, cols, normalized(grid),
+        title="Fig. 5b — per-matrix normalized thread scaling (1.0 = best)",
+        cell_fmt="{:.2f}",
+    ))
+    if args.csv:
+        write_csv(args.csv, ["Name"] + cols, [[n] + list(r) for n, r in zip(names, grid)])
+    return names, grid
+
+
+if __name__ == "__main__":
+    main()

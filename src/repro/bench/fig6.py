@@ -1,0 +1,92 @@
+"""Fig. 6: relative cycles per CPU-BATCH stage vs thread count.
+
+Averaged over the test set, the share of total cycles spent in Discover,
+Sort, Rediscover, Signal, addNewBatches and Stall for each thread count,
+plus the average total cycles per thread.  Expected shape (paper): Discover
+dominates at low thread counts (≈88% at 2 threads — atomics); Rediscover is
+tiny throughout (≈1.3%); Signal is negligible; Stall grows to ≈half the
+cycles at 12 threads and ≈65% at 24.
+
+Run: ``python -m repro.bench.fig6 [--quick]``
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.matrices.suite import TESTSET
+from repro.matrices import get_matrix
+from repro.core.batch import run_batch_rcm
+from repro.machine.costmodel import CPUCostModel
+from repro.machine.stats import Stage, STAGE_ORDER
+from repro.bench.runner import pick_start
+from repro.bench.report import render_table, write_csv
+
+__all__ = ["stage_profile", "main", "DEFAULT_THREADS"]
+
+DEFAULT_THREADS = (1, 2, 4, 8, 12, 16, 24)
+
+
+def stage_profile(
+    names: Optional[Sequence[str]] = None,
+    thread_counts: Sequence[int] = DEFAULT_THREADS,
+) -> List[dict]:
+    """Per thread count: average stage shares over the test set and the
+    average total cycles per thread."""
+    names = list(names) if names else [e.name for e in TESTSET]
+    model = CPUCostModel()
+    rows = []
+    for tc in thread_counts:
+        shares = {st: [] for st in STAGE_ORDER}
+        totals = []
+        for name in names:
+            mat = get_matrix(name)
+            start, total = pick_start(mat)
+            res = run_batch_rcm(mat, start, model=model, n_workers=tc, total=total)
+            sh = res.stats.stage_shares()
+            for st in STAGE_ORDER:
+                shares[st].append(sh[st])
+            totals.append(res.stats.total_cycles() / tc)
+        rows.append({
+            "threads": tc,
+            **{st.value: float(np.mean(shares[st])) for st in STAGE_ORDER},
+            "cycles_per_thread": float(np.mean(totals)),
+        })
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> List[dict]:
+    """CLI entry point: print the per-stage share table."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--threads", nargs="*", type=int, default=None)
+    parser.add_argument("--csv", default=None)
+    args = parser.parse_args(argv)
+    from repro.bench.table1 import QUICK_SET
+
+    threads = tuple(args.threads) if args.threads else DEFAULT_THREADS
+    rows = stage_profile(QUICK_SET if args.quick else None, threads)
+    headers = ["threads"] + [st.value for st in STAGE_ORDER] + ["cycles/thread"]
+    table = [
+        [r["threads"]] + [f"{100*r[st.value]:.1f}%" for st in STAGE_ORDER]
+        + [f"{r['cycles_per_thread']:.2e}"]
+        for r in rows
+    ]
+    print(render_table(
+        headers, table,
+        title="Fig. 6 — relative cycles per stage (test-set average)",
+    ))
+    if args.csv:
+        write_csv(
+            args.csv, headers,
+            [[r["threads"]] + [r[st.value] for st in STAGE_ORDER]
+             + [r["cycles_per_thread"]] for r in rows],
+        )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

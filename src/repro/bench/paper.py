@@ -1,0 +1,75 @@
+"""One-shot driver: regenerate the paper's complete evaluation into a report.
+
+``python -m repro.bench.paper [--quick] [-o results/REPORT.md]`` runs Table I
+and Figs. 2-6 plus the ablation, renders everything into a single Markdown
+report with the shape-assertions checked inline, and saves the CSVs next to
+it.  This is the "reproduce the paper" button.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import time
+from contextlib import redirect_stdout
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = ["main"]
+
+SECTIONS = [
+    ("Fig. 1 — batch lifecycle states (from a real run)", "repro.bench.fig1"),
+    ("Table I — core RCM timings", "repro.bench.table1"),
+    ("Fig. 2 — speed-up vs HSL", "repro.bench.fig2"),
+    ("Fig. 3 — queue-slot fates (early termination)", "repro.bench.fig3"),
+    ("Fig. 4 — overall runtime decomposition", "repro.bench.fig4"),
+    ("Fig. 5 — thread-scaling heatmaps", "repro.bench.fig5"),
+    ("Fig. 6 — per-stage cycle shares", "repro.bench.fig6"),
+    ("Ablation — design choices", "repro.bench.ablation"),
+]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> Path:
+    """CLI entry point: regenerate the full evaluation into one report."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="6-matrix subset (minutes instead of ~quarter hour)")
+    parser.add_argument("-o", "--output", default="benchmarks/results/REPORT.md")
+    args = parser.parse_args(argv)
+
+    import importlib
+
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    chunks = [
+        "# Regenerated evaluation\n",
+        f"mode: {'quick subset' if args.quick else 'full test set'}; "
+        "simulated milliseconds on the analogue test set — compare shapes "
+        "with the paper via EXPERIMENTS.md.\n",
+    ]
+    t_all = time.time()
+    for title, module_name in SECTIONS:
+        mod = importlib.import_module(module_name)
+        driver_args = []
+        if args.quick and module_name not in (
+            "repro.bench.fig1", "repro.bench.fig4", "repro.bench.ablation"
+        ):
+            driver_args.append("--quick")
+        csv_path = out.parent / (module_name.rsplit(".", 1)[-1] + ".csv")
+        if module_name not in ("repro.bench.fig5", "repro.bench.fig1"):
+            driver_args += ["--csv", str(csv_path)]
+        buf = io.StringIO()
+        t0 = time.time()
+        with redirect_stdout(buf):
+            mod.main(driver_args)
+        dt = time.time() - t0
+        print(f"[paper] {title}: {dt:.1f}s")
+        chunks.append(f"\n## {title}\n\n```\n{buf.getvalue().rstrip()}\n```\n")
+    chunks.append(f"\n_total regeneration time: {time.time() - t_all:.1f}s_\n")
+    out.write_text("".join(chunks))
+    print(f"[paper] wrote {out}")
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""ASCII rendering and CSV export for the experiment harness."""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = ["render_table", "render_heatmap", "write_csv", "log_bar"]
+
+PathLike = Union[str, Path]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str = "",
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Fixed-width ASCII table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        out = []
+        for cell in row:
+            if isinstance(cell, float):
+                out.append("—" if math.isnan(cell) else float_fmt.format(cell))
+            elif cell is None:
+                out.append("—")
+            else:
+                out.append(str(cell))
+        rendered.append(out)
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_heatmap(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values,  # 2-D array-like of floats
+    *,
+    title: str = "",
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+    cell_fmt: str = "{:.1f}",
+) -> str:
+    """Numeric heatmap with a shade gutter (terminal-friendly Fig. 5)."""
+    import numpy as np
+
+    arr = np.asarray(values, dtype=np.float64)
+    lo = vmin if vmin is not None else float(np.nanmin(arr))
+    hi = vmax if vmax is not None else float(np.nanmax(arr))
+    span = hi - lo if hi > lo else 1.0
+    label_w = max((len(r) for r in row_labels), default=0)
+    cells = [[cell_fmt.format(v) for v in row] for row in arr]
+    col_w = max(
+        max((len(c) for row in cells for c in row), default=1),
+        max((len(c) for c in col_labels), default=1),
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" " * label_w + " " + " ".join(c.rjust(col_w) for c in col_labels))
+    for label, row_vals, row_cells in zip(row_labels, arr, cells):
+        shade = "".join(
+            _SHADES[min(int((v - lo) / span * (len(_SHADES) - 1)), len(_SHADES) - 1)]
+            if not math.isnan(v)
+            else " "
+            for v in row_vals
+        )
+        lines.append(
+            label.rjust(label_w)
+            + " "
+            + " ".join(c.rjust(col_w) for c in row_cells)
+            + "  |"
+            + shade
+            + "|"
+        )
+    return "\n".join(lines)
+
+
+def log_bar(value: float, reference: float, *, width: int = 40) -> str:
+    """Log-scale bar for Fig. 2-style speed-up plots (1.0 at centre)."""
+    if value <= 0 or reference <= 0:
+        return " " * width
+    ratio = value / reference
+    # map log2 in [-4, 6] onto the width
+    pos = (math.log2(ratio) + 4.0) / 10.0
+    pos = min(max(pos, 0.0), 1.0)
+    filled = int(pos * (width - 1))
+    bar = ["-"] * width
+    bar[int(4.0 / 10.0 * (width - 1))] = "|"  # the 1× mark
+    bar[filled] = "o"
+    return "".join(bar)
+
+
+def write_csv(path: PathLike, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Write a header + rows CSV, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)

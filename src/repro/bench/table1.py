@@ -1,0 +1,81 @@
+"""Table I: per-matrix statistics and best core-RCM timings per approach.
+
+Regenerates the paper's main table on the synthetic analogue test set:
+matrix statistics (n, nnz, max valence, average BFS front, initial and
+reordered bandwidth) and the best timing over a thread-count sweep for HSL,
+Reorderlib, CPU-RCM, CPU-BATCH-BASIC, CPU-BATCH, GPU-RCM and GPU-BATCH.
+
+Run: ``python -m repro.bench.table1 [--quick] [--csv PATH]``
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.matrices.suite import TESTSET
+from repro.bench.runner import APPROACHES, THREAD_COUNTS, MatrixBench, bench_matrix
+from repro.bench.report import render_table, write_csv
+
+__all__ = ["collect", "rows", "main", "QUICK_SET"]
+
+#: small subset for smoke runs and CI-speed benchmarks
+QUICK_SET = ["bcspwr10", "benzene", "gupta3", "ecology1", "mycielskian18", "nlpkkt160"]
+
+
+def collect(
+    names: Optional[Sequence[str]] = None,
+    thread_counts: Sequence[int] = THREAD_COUNTS,
+) -> List[MatrixBench]:
+    """Benchmark the named matrices (default: the whole test set)."""
+    names = list(names) if names else [e.name for e in TESTSET]
+    return [bench_matrix(n, thread_counts=thread_counts) for n in names]
+
+
+HEADERS = [
+    "Name", "n", "NNZ", "maxval", "avg front", "init BW", "reord BW",
+    "HSL", "Reorderlib", "tc", "CPU-RCM", "CPU-B.-BASIC", "tc",
+    "CPU-BATCH", "tc", "GPU-RCM", "GPU-BATCH",
+]
+
+
+def rows(benches: List[MatrixBench]) -> List[list]:
+    """Table I rows (stats + per-approach timings) from bench results."""
+    out = []
+    for b in benches:
+        out.append([
+            b.name, b.n, b.nnz, b.max_valence, round(b.front.avg_front, 1),
+            b.init_bw, b.reord_bw,
+            b.ms("HSL"), b.ms("Reorderlib"), b.timings["Reorderlib"].threads,
+            b.ms("CPU-RCM"),
+            b.ms("CPU-BATCH-BASIC"), b.timings["CPU-BATCH-BASIC"].threads,
+            b.ms("CPU-BATCH"), b.timings["CPU-BATCH"].threads,
+            b.ms("GPU-RCM"), b.ms("GPU-BATCH"),
+        ])
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> List[MatrixBench]:
+    """CLI entry point: print (and optionally CSV-dump) Table I."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="run the 6-matrix subset")
+    parser.add_argument("--csv", default=None, help="also write CSV here")
+    parser.add_argument("--matrices", nargs="*", default=None)
+    args = parser.parse_args(argv)
+
+    names = args.matrices or (QUICK_SET if args.quick else None)
+    benches = collect(names)
+    table = rows(benches)
+    print(render_table(
+        HEADERS, table,
+        title="Table I — core RCM timings (simulated ms; analogue test set)",
+        float_fmt="{:.3f}",
+    ))
+    if args.csv:
+        write_csv(args.csv, HEADERS, table)
+        print(f"\nwrote {args.csv}")
+    return benches
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,281 @@
+"""Command-line interface.
+
+::
+
+    python -m repro info matrix.mtx            # stats + spy plot
+    python -m repro reorder matrix.mtx -o out.mtx --method batch-cpu
+    python -m repro generate ecology1 -o eco.npz
+    python -m repro trace --matrix gupta3 --workers 8 -o trace.json
+    python -m repro bench table1 --quick       # any experiment driver
+
+Files: MatrixMarket (``.mtx``, ``.mtx.gz``) and the library's ``.npz``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _load(path: str):
+    from repro.sparse.io import read_matrix_market, load_npz
+    from repro.sparse.hb import read_harwell_boeing
+
+    p = Path(path)
+    if p.suffix == ".npz":
+        return load_npz(p)
+    if p.suffix in (".rb", ".hb", ".rua", ".rsa", ".psa", ".pua"):
+        return read_harwell_boeing(p)
+    return read_matrix_market(p)
+
+
+def _save(mat, path: str) -> None:
+    from repro.sparse.io import write_matrix_market, save_npz
+
+    p = Path(path)
+    if p.suffix == ".npz":
+        save_npz(mat, p)
+    else:
+        write_matrix_market(mat, p)
+
+
+def _get_input(args):
+    """Matrix from a file argument or a named test-set analogue."""
+    if getattr(args, "matrix_file", None):
+        return _load(args.matrix_file)
+    from repro.matrices import get_matrix
+
+    return get_matrix(args.matrix)
+
+
+def cmd_info(args) -> int:
+    """``info``: print matrix statistics and a spy plot."""
+    from repro.sparse.bandwidth import bandwidth, envelope_size
+    from repro.sparse.graph import connected_components, front_statistics
+    from repro.sparse.validate import is_structurally_symmetric
+    from repro.sparse.spy import spy
+
+    mat = _get_input(args)
+    sym = is_structurally_symmetric(mat)
+    print(f"n={mat.n}  nnz={mat.nnz}  symmetric={sym}")
+    print(f"bandwidth={bandwidth(mat)}  envelope={envelope_size(mat)}")
+    degs = mat.degrees()
+    if mat.n:
+        print(f"valence: min={degs.min()} max={degs.max()} avg={degs.mean():.1f}")
+    count, _ = connected_components(mat if sym else mat.symmetrize())
+    print(f"components={count}")
+    if sym and mat.n:
+        fs = front_statistics(mat, 0)
+        print(f"BFS front (from node 0): avg={fs.avg_front:.1f} "
+              f"max={fs.max_front} depth={fs.depth}")
+    if not args.no_spy:
+        print(spy(mat, size=min(48, max(mat.n, 4))))
+    return 0
+
+
+def cmd_reorder(args) -> int:
+    """``reorder``: compute RCM, apply it, optionally write outputs."""
+    from repro.core.api import reverse_cuthill_mckee
+    from repro.sparse.spy import side_by_side
+
+    mat = _get_input(args)
+    start = args.start if args.start is not None else "min-valence"
+    if args.peripheral:
+        start = "peripheral"
+    res = reverse_cuthill_mckee(
+        mat,
+        method=args.method,
+        start=start,
+        n_workers=args.workers,
+        symmetrize=args.symmetrize,
+    )
+    reordered = (mat.symmetrize() if args.symmetrize else mat).permute_symmetric(
+        res.permutation
+    )
+    print(f"method={res.method}  components={res.n_components}")
+    print(f"bandwidth {res.initial_bandwidth} -> {res.reordered_bandwidth}")
+    if args.spy:
+        print(side_by_side(mat, reordered, size=32))
+    if args.output:
+        _save(reordered, args.output)
+        print(f"wrote {args.output}")
+    if args.perm_output:
+        np.savetxt(args.perm_output, res.permutation, fmt="%d")
+        print(f"wrote permutation to {args.perm_output}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    """``generate``: write a named test-set analogue to a file."""
+    from repro.matrices import get_matrix, matrix_names
+
+    if args.list:
+        for n in matrix_names():
+            print(n)
+        return 0
+    mat = get_matrix(args.matrix)
+    _save(mat, args.output)
+    print(f"wrote {args.matrix}: n={mat.n} nnz={mat.nnz} -> {args.output}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """``trace``: run batch RCM with tracing; print Gantt, export JSON."""
+    from repro.machine.costmodel import CPUCostModel
+    from repro.machine.tracing import ascii_gantt, to_chrome_tracing
+    from repro.bench.runner import pick_start
+    from repro.core.state import make_state
+    from repro.machine.engine import Engine
+    from repro.core.batch import worker_loop
+    from repro.core.batches import BatchConfig
+
+    mat = _get_input(args)
+    start, total = pick_start(mat)
+    model = CPUCostModel()
+    state = make_state(mat, start, n_workers=args.workers, total=total)
+    engine = Engine(args.workers, state.stats, trace=True)
+    cfg = BatchConfig()
+    engine.run([worker_loop(state, cfg, model, engine) for _ in range(args.workers)])
+    state.sync_queue_stats()
+    print(ascii_gantt(engine.trace, width=args.width, n_workers=args.workers))
+    print(f"\nmakespan: {engine.stats.makespan:.0f} cycles "
+          f"({engine.stats.milliseconds(model.clock_ghz):.3f} simulated ms)")
+    if args.output:
+        to_chrome_tracing(engine.trace, args.output, clock_ghz=model.clock_ghz)
+        print(f"wrote {args.output} (load in chrome://tracing)")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Compare ordering heuristics on one matrix."""
+    import time
+
+    from repro.core.api import reverse_cuthill_mckee
+    from repro.orderings import (
+        sloan, gibbs_poole_stockmeyer, king, minimum_degree, spectral_ordering,
+    )
+    from repro.sparse.bandwidth import bandwidth_after, envelope_size, rms_wavefront
+    from repro.bench.report import render_table
+
+    mat = _get_input(args)
+    heuristics = {
+        "RCM": lambda m: reverse_cuthill_mckee(
+            m, start="peripheral", method="batch-cpu", n_workers=args.workers
+        ).permutation,
+        "Sloan": sloan,
+        "GPS": gibbs_poole_stockmeyer,
+        "King": king,
+        "spectral": spectral_ordering,
+    }
+    if args.mindeg:
+        heuristics["min-degree"] = minimum_degree
+    rows = []
+    for name, fn in heuristics.items():
+        t0 = time.perf_counter()
+        perm = fn(mat)
+        dt = time.perf_counter() - t0
+        after = mat.permute_symmetric(perm)
+        rows.append([
+            name, bandwidth_after(mat, perm), envelope_size(after),
+            round(rms_wavefront(after), 1), round(dt, 3),
+        ])
+    print(render_table(
+        ["heuristic", "bandwidth", "envelope", "rms wavefront", "seconds"],
+        rows, title=f"ordering comparison (n={mat.n}, nnz={mat.nnz})",
+    ))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """``bench``: forward to one of the experiment drivers."""
+    import importlib
+
+    mod = importlib.import_module(f"repro.bench.{args.experiment}")
+    mod.main(args.rest)
+    return 0
+
+
+def _add_input(parser, required: bool = True) -> None:
+    grp = parser.add_mutually_exclusive_group(required=required)
+    grp.add_argument("matrix_file", nargs="?", default=None,
+                     help="matrix file (.mtx, .mtx.gz, .npz)")
+    grp.add_argument("--matrix", default=None,
+                     help="named test-set analogue (see 'generate --list')")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Speculative parallel RCM reordering"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="matrix statistics and spy plot")
+    _add_input(p)
+    p.add_argument("--no-spy", action="store_true")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("reorder", help="compute and apply RCM")
+    _add_input(p)
+    p.add_argument("-o", "--output", default=None, help="write reordered matrix")
+    p.add_argument("--perm-output", default=None, help="write the permutation")
+    p.add_argument("--method", default="serial",
+                   choices=["serial", "leveled", "unordered", "algebraic",
+                            "batch-basic", "batch-cpu", "batch-gpu",
+                            "threads"])
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--start", type=int, default=None)
+    p.add_argument("--peripheral", action="store_true",
+                   help="pseudo-peripheral start node")
+    p.add_argument("--symmetrize", action="store_true")
+    p.add_argument("--spy", action="store_true", help="before/after spy plots")
+    p.set_defaults(func=cmd_reorder)
+
+    p = sub.add_parser("generate", help="write a test-set analogue to a file")
+    p.add_argument("matrix", nargs="?", default=None)
+    p.add_argument("-o", "--output", default=None)
+    p.add_argument("--list", action="store_true", help="list available names")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("trace", help="Gantt / Chrome trace of a simulated run")
+    _add_input(p)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--width", type=int, default=100)
+    p.add_argument("-o", "--output", default=None, help="Chrome-tracing JSON")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("compare", help="compare ordering heuristics")
+    _add_input(p)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--mindeg", action="store_true",
+                   help="include minimum degree (slow/fill-heavy on hubs)")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("bench", help="run an experiment driver")
+    p.add_argument("experiment",
+                   choices=["table1", "fig1", "fig2", "fig3", "fig4", "fig5",
+                            "fig6", "ablation", "paper"])
+    p.add_argument("rest", nargs=argparse.REMAINDER,
+                   help="arguments forwarded to the driver")
+    p.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "generate" and not args.list:
+        if not args.matrix or not args.output:
+            parser.error("generate requires a matrix name and -o OUTPUT")
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""The paper's contribution: serial, leveled, unordered and batch RCM.
+
+Public entry point: :func:`repro.core.api.reverse_cuthill_mckee`.
+"""
+
+from repro.core.serial import cuthill_mckee, rcm_serial, serial_cycles
+from repro.core.batches import BatchConfig
+from repro.core.batch import BatchResult, run_batch_rcm
+from repro.core.batch_gpu import run_batch_rcm_gpu, chunk_plan
+
+__all__ = [
+    "cuthill_mckee",
+    "rcm_serial",
+    "serial_cycles",
+    "BatchConfig",
+    "BatchResult",
+    "run_batch_rcm",
+    "run_batch_rcm_gpu",
+    "chunk_plan",
+]

@@ -1,0 +1,216 @@
+"""Public RCM API: component handling, method/start selection, results.
+
+:func:`reverse_cuthill_mckee` is what a downstream user calls: it validates
+the matrix, decomposes it into connected components, picks a start node per
+component (explicitly, by minimum valence, or pseudo-peripherally) and runs
+the chosen algorithm variant, assembling one global permutation.
+
+Component convention (matches SciPy's ``csgraph.reverse_cuthill_mckee``
+structure): components are ordered by their smallest node id; within the
+global permutation each component's RCM block is reversed *within itself*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.graph import bfs_levels
+from repro.sparse.bandwidth import bandwidth, bandwidth_after
+from repro.sparse.validate import validate_csr, is_structurally_symmetric
+from repro.core.serial import rcm_serial
+from repro.core.leveled import rcm_leveled
+from repro.core.unordered import rcm_unordered
+from repro.core.batch import run_batch_rcm, BatchResult
+from repro.core.batch_gpu import run_batch_rcm_gpu
+from repro.core.batches import BatchConfig
+from repro.core.peripheral import find_pseudo_peripheral
+from repro.machine.costmodel import CPUCostModel, GPUCostModel
+from repro.machine.stats import RunStats
+
+__all__ = ["ReorderResult", "reverse_cuthill_mckee", "METHODS"]
+
+METHODS = (
+    "serial",
+    "leveled",
+    "unordered",
+    "algebraic",
+    "batch-basic",
+    "batch-cpu",
+    "batch-gpu",
+    "threads",
+)
+
+
+@dataclass
+class ReorderResult:
+    """Outcome of a reordering call.
+
+    ``permutation[k]`` is the old index placed at new position ``k`` —
+    apply with :meth:`CSRMatrix.permute_symmetric`.
+    """
+
+    permutation: np.ndarray
+    method: str
+    start_nodes: List[int]
+    component_sizes: List[int]
+    initial_bandwidth: int
+    reordered_bandwidth: int
+    #: simulated run stats per component (batch methods only)
+    stats: List[RunStats] = field(default_factory=list)
+
+    @property
+    def n_components(self) -> int:
+        return len(self.component_sizes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReorderResult(method={self.method!r}, n={self.permutation.size}, "
+            f"bw {self.initial_bandwidth} -> {self.reordered_bandwidth})"
+        )
+
+
+def _components_by_min_node(mat: CSRMatrix) -> List[np.ndarray]:
+    """Connected components as node arrays, ordered by smallest member."""
+    n = mat.n
+    seen = np.zeros(n, dtype=bool)
+    comps: List[np.ndarray] = []
+    for seed in range(n):
+        if seen[seed]:
+            continue
+        levels = bfs_levels(mat, seed)
+        members = np.flatnonzero(levels >= 0)
+        seen[members] = True
+        comps.append(members.astype(np.int64))
+    return comps
+
+
+def _pick_start(mat: CSRMatrix, members: np.ndarray, start) -> int:
+    valence = np.diff(mat.indptr)
+    if start == "min-valence":
+        return int(members[np.argmin(valence[members])])
+    if start == "peripheral":
+        seed = int(members[np.argmin(valence[members])])
+        return find_pseudo_peripheral(mat, seed).node
+    raise ValueError(f"unknown start strategy {start!r}")
+
+
+def reverse_cuthill_mckee(
+    mat: CSRMatrix,
+    *,
+    method: str = "serial",
+    start: Union[int, str] = "min-valence",
+    n_workers: int = 4,
+    config: Optional[BatchConfig] = None,
+    symmetrize: bool = False,
+    seed: int = 0,
+) -> ReorderResult:
+    """Compute a Reverse Cuthill-McKee permutation of a symmetric pattern.
+
+    Parameters
+    ----------
+    mat:
+        square :class:`CSRMatrix`; must be structurally symmetric unless
+        ``symmetrize`` is set (then ``A | A^T`` is reordered).
+    method:
+        one of :data:`METHODS`.  All methods return the **identical**
+        permutation (that is the paper's headline invariant); they differ in
+        execution strategy and in the simulated timing statistics attached.
+    start:
+        an explicit node id (single-component matrices only), or a strategy:
+        ``"min-valence"`` (default — deterministic and cheap) or
+        ``"peripheral"`` (the paper's naive pseudo-peripheral search).
+    n_workers:
+        simulated worker count for the parallel methods (CPU threads;
+        ignored by ``batch-gpu``, which sizes itself to the device model).
+    config:
+        optional :class:`BatchConfig` override for the batch methods.
+    seed:
+        interleaving jitter seed for the simulated methods (0 = canonical
+        deterministic schedule).
+    """
+    if method not in METHODS:
+        raise ValueError(f"method must be one of {METHODS}, got {method!r}")
+    if symmetrize:
+        mat = mat.symmetrize()
+    validate_csr(mat, require_sorted=True)
+    if not is_structurally_symmetric(mat):
+        raise ValueError(
+            "matrix pattern is not symmetric; pass symmetrize=True or call "
+            "CSRMatrix.symmetrize() first"
+        )
+
+    comps = _components_by_min_node(mat)
+    if isinstance(start, (int, np.integer)):
+        if len(comps) != 1:
+            raise ValueError(
+                "explicit start node requires a connected matrix; "
+                f"found {len(comps)} components"
+            )
+
+    perm_parts: List[np.ndarray] = []
+    starts: List[int] = []
+    sizes: List[int] = []
+    stats: List[RunStats] = []
+
+    for members in comps:
+        if isinstance(start, (int, np.integer)):
+            s = int(start)
+        else:
+            s = _pick_start(mat, members, start)
+        starts.append(s)
+        sizes.append(int(members.size))
+        total = int(members.size)
+
+        if method == "serial":
+            part = rcm_serial(mat, s)
+        elif method == "leveled":
+            part = rcm_leveled(mat, s).permutation
+        elif method == "unordered":
+            part = rcm_unordered(mat, s).permutation
+        elif method == "algebraic":
+            from repro.core.algebraic import rcm_algebraic
+
+            part = rcm_algebraic(mat, s).permutation
+        elif method == "batch-basic":
+            cfg = config or BatchConfig(
+                early_signaling=False, overhang=False, multibatch=1
+            )
+            res = run_batch_rcm(
+                mat, s, model=CPUCostModel(), n_workers=n_workers,
+                config=cfg, total=total, seed=seed,
+            )
+            part = res.permutation
+            stats.append(res.stats)
+        elif method == "batch-cpu":
+            res = run_batch_rcm(
+                mat, s, model=CPUCostModel(), n_workers=n_workers,
+                config=config, total=total, seed=seed,
+            )
+            part = res.permutation
+            stats.append(res.stats)
+        elif method == "batch-gpu":
+            res = run_batch_rcm_gpu(mat, s, total=total, seed=seed)
+            part = res.permutation
+            stats.append(res.stats)
+        elif method == "threads":
+            from repro.core.threads import rcm_threads
+
+            part = rcm_threads(mat, s, n_threads=n_workers, total=total)
+        else:  # pragma: no cover
+            raise AssertionError(method)
+        perm_parts.append(part)
+
+    perm = np.concatenate(perm_parts) if perm_parts else np.zeros(0, dtype=np.int64)
+    return ReorderResult(
+        permutation=perm,
+        method=method,
+        start_nodes=starts,
+        component_sizes=sizes,
+        initial_bandwidth=bandwidth(mat),
+        reordered_bandwidth=bandwidth_after(mat, perm),
+        stats=stats,
+    )

@@ -1,0 +1,508 @@
+"""Batch-based parallel RCM (Alg. 4 "basic" and Alg. 5 "full").
+
+Both variants run as coroutines on the simulated machine
+(:mod:`repro.machine.engine`).  One :func:`batch_task` generator implements
+the complete per-batch protocol; :class:`~repro.core.batches.BatchConfig`
+selects between the basic version (signal only at the fixed points, no
+overhangs, blocking waits) and the full version (early/late signaling, work
+aggregation via overhangs, multi-batch execution).
+
+The coroutine follows Alg. 5 line-by-line; comments reference the paper's
+line numbers.  Every run produces the exact serial permutation — the
+test-suite fuzzes this with randomized interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional
+
+import numpy as np
+
+from repro.core.state import BatchRunState, make_state
+from repro.core.discovery import DiscoveredChildren, discover, rediscover, sort_children
+from repro.core.batches import (
+    BatchConfig,
+    BatchPlan,
+    clamped_valences,
+    estimate_batch_count,
+    plan_ranges,
+)
+from repro.machine.engine import Engine, DeadlockError
+from repro.machine.signals import SignalState, SignalPayload
+from repro.machine.stats import RunStats, Stage
+from repro.machine.workqueue import BatchSlot
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["BatchResult", "batch_task", "worker_loop", "run_batch_rcm"]
+
+DISCOVERED = SignalState.DISCOVERED
+COUNTED = SignalState.COUNTED
+COMPLETED = SignalState.COMPLETED
+
+
+@dataclass
+class BatchResult:
+    """Permutation plus everything the simulator measured."""
+
+    permutation: np.ndarray
+    stats: RunStats
+    config: BatchConfig
+    n_workers: int
+    clock_ghz: float
+
+    @property
+    def makespan_cycles(self) -> float:
+        return self.stats.makespan
+
+    @property
+    def milliseconds(self) -> float:
+        """Simulated wall time (makespan over parallel workers)."""
+        return self.stats.milliseconds(self.clock_ghz)
+
+
+# ----------------------------------------------------------------------
+# per-batch protocol
+# ----------------------------------------------------------------------
+def _signal_count(
+    state: BatchRunState,
+    cfg: BatchConfig,
+    slot: BatchSlot,
+    children: DiscoveredChildren,
+) -> Optional[BatchPlan]:
+    """The paper's ``signalCount`` (Alg. 5 lines 32-40).
+
+    Requires the incoming signal to be at least ``Counted`` (our exact output
+    position is known) and our own discovery to be exact.  Decides overhang
+    forwarding, reserves child-batch queue slots via the ``queue_next``
+    arithmetic and raises the outgoing signal to ``Counted`` (overhang
+    pending) or ``Completed`` (nothing pending).
+    """
+    i = slot.index
+    if state.signals.incoming_state(i) < COUNTED:
+        return None
+    payload = state.signals.incoming_payload(i)
+
+    count = children.n_alive
+    val_sum = int(clamped_valences(children.alive_valences(), cfg.temp_limit).sum())
+    m_total = count + payload.overhang_nodes
+    v_total = val_sum + payload.overhang_valence
+    out_start = payload.out_next
+    out_end = out_start + count
+    gen_start = payload.overhang_start if payload.has_overhang() else out_start
+
+    successor_exists = payload.queue_next > i + 1
+    forward = (
+        cfg.overhang
+        and successor_exists
+        and m_total > 0
+        and 2 * m_total < cfg.batch_size
+        and 2 * v_total < cfg.temp_limit
+    )
+    k = 0 if (forward or m_total == 0) else estimate_batch_count(m_total, v_total, cfg)
+
+    out_payload = SignalPayload(
+        out_next=out_end,
+        queue_next=payload.queue_next + k,
+    )
+    if forward:
+        out_payload.overhang_start = gen_start
+        out_payload.overhang_end = out_end
+        out_payload.overhang_valence = v_total
+        state.signals.send(i, COUNTED, out_payload)
+        state.stats.overhangs_forwarded += 1
+        state.stats.overhang_nodes += m_total
+    else:
+        # Completed subsumes Counted: no unwritten overhang reaches past us
+        # for batch-building purposes (Alg. 5 line 39 "no need to wait")
+        state.signals.send(i, COMPLETED, out_payload)
+    return BatchPlan(
+        count=count,
+        out_start=out_start,
+        gen_start=gen_start,
+        valence_total=v_total,
+        forward=forward,
+        k=k,
+        queue_start=payload.queue_next,
+    )
+
+
+def batch_task(
+    state: BatchRunState,
+    cfg: BatchConfig,
+    model,
+    engine: Engine,
+    slot: BatchSlot,
+    device: int = 0,
+) -> Generator:
+    """Process one batch: Alg. 5 (or Alg. 4 when early signaling is off).
+
+    ``device`` identifies the executing device in the multi-device
+    extension: signal reads from a predecessor on another device pay the
+    topology's interconnect latency, and discovery atomics a remote-memory
+    surcharge.
+    """
+    i = slot.index
+    is_gpu = cfg.gpu_planning
+    signals = state.signals
+    if state.slot_device is not None:
+        state.slot_device[i] = device
+
+    def signal_read_cost() -> float:
+        cost = model.signal_read()
+        topo = state.topology
+        if topo is not None and i > 0:
+            pred_dev = state.slot_device.get(i - 1, device)
+            if pred_dev != device:
+                cost += topo.cross_signal_cycles
+        return cost
+
+    parents = state.out[slot.out_start : slot.out_end]
+    state.log_phase(engine.now, i, "speculative discovery")
+    yield ("cost", Stage.DISCOVER, model.batch_setup(parents.size))
+
+    if not cfg.speculate:
+        # ablation: non-speculative discovery — serialize on the chain
+        yield ("wait", lambda: signals.incoming_state(i) >= DISCOVERED)
+
+    # --- discovery (Alg. 5 lines 2-4) ---------------------------------
+    s_early = signals.incoming_state(i)
+    yield ("cost", Stage.SIGNAL, signal_read_cost())
+    children = discover(state, i, parents)
+    if is_gpu:
+        cost = model.discover(
+            parents.size,
+            children.n_edges,
+            children.n_found,
+            engine.active,
+            max_children=children.max_children,
+        )
+        cost += _gpu_chunk_cost(state, cfg, model, parents, children)
+    else:
+        cost = model.discover(
+            parents.size, children.n_edges, children.n_found, engine.active
+        )
+    if state.topology is not None:
+        cost *= state.topology.atomic_surcharge()
+    yield ("cost", Stage.DISCOVER, cost)
+    s_mid = signals.incoming_state(i)
+    yield ("cost", Stage.SIGNAL, signal_read_cost())
+
+    plan: Optional[BatchPlan] = None
+    exact = False
+    if cfg.early_signaling:
+        if s_early >= DISCOVERED:
+            # lines 5-7: predecessors were done before we started — our
+            # discovery is exact, forward the chain immediately
+            signals.send(i, DISCOVERED)
+            yield ("cost", Stage.SIGNAL, model.signal_send())
+            exact = True
+            plan = _signal_count(state, cfg, slot, children)
+            yield (
+                "cost",
+                Stage.SIGNAL,
+                model.count_batches(children.n_found)
+                if plan is not None
+                else model.signal_read(),
+            )
+        elif s_mid >= DISCOVERED:
+            # lines 8-12: predecessors finished during our discovery; our
+            # marks are in place so the chain moves on, but we must
+            # rediscover (densely, before sorting)
+            s_early = s_mid
+            signals.send(i, DISCOVERED)
+            yield ("cost", Stage.SIGNAL, model.signal_send())
+            checked = rediscover(state, i, children, compact=True)
+            yield ("cost", Stage.REDISCOVER, model.rediscover(checked))
+            exact = True
+            plan = _signal_count(state, cfg, slot, children)
+            yield (
+                "cost",
+                Stage.SIGNAL,
+                model.count_batches(children.n_found)
+                if plan is not None
+                else model.signal_read(),
+            )
+
+    # --- speculative sorting (line 13) ---------------------------------
+    if cfg.sort_children:
+        k_sorted = sort_children(state, children)
+        yield ("cost", Stage.SORT, model.sort(k_sorted))
+    else:
+        # BFS mode (parallel pseudo-peripheral finding): children stay in
+        # per-parent adjacency order — the FIFO BFS visitation order
+        yield ("cost", Stage.SORT, 10.0)
+
+    # --- wait(Discovered), late rediscovery (lines 14-19) ---------------
+    yield ("wait", lambda: signals.incoming_state(i) >= DISCOVERED)
+    state.log_phase(engine.now, i, "discovery")
+    if state.topology is not None:
+        # cross-device signal pickup: busy-wait polling is covered by the
+        # stall time, but the final read crossing an interconnect is not
+        yield ("cost", Stage.SIGNAL, signal_read_cost())
+    if not exact:
+        if cfg.early_signaling:
+            # Alg. 5 order: forward the chain first, rediscover lazily
+            # (flag only, compact while writing output)
+            if signals.outgoing_state(i) < DISCOVERED:
+                signals.send(i, DISCOVERED)
+                yield ("cost", Stage.SIGNAL, model.signal_send())
+            checked = rediscover(state, i, children, compact=False)
+            yield ("cost", Stage.REDISCOVER, model.rediscover(checked))
+            plan = _signal_count(state, cfg, slot, children)
+            yield (
+                "cost",
+                Stage.SIGNAL,
+                model.count_batches(children.n_found)
+                if plan is not None
+                else model.signal_read(),
+            )
+        else:
+            # Alg. 4 order: rediscover, then signal — successors wait longer
+            checked = rediscover(state, i, children, compact=True)
+            yield ("cost", Stage.REDISCOVER, model.rediscover(checked))
+            signals.send(i, DISCOVERED)
+            yield ("cost", Stage.SIGNAL, model.signal_send())
+        exact = True
+
+    # --- wait(Counted) (lines 20-23) -------------------------------------
+    yield ("wait", lambda: signals.incoming_state(i) >= COUNTED)
+    if state.topology is not None:
+        # cross-device signal pickup: busy-wait polling is covered by the
+        # stall time, but the final read crossing an interconnect is not
+        yield ("cost", Stage.SIGNAL, signal_read_cost())
+    if plan is None:
+        plan = _signal_count(state, cfg, slot, children)
+        yield ("cost", Stage.SIGNAL, model.count_batches(children.n_found))
+        assert plan is not None, "incoming Counted but signalCount failed"
+
+    # --- output (lines 24-27) ---------------------------------------------
+    state.log_phase(engine.now, i, "output")
+    confirmed = children.alive_nodes()
+    state.write_output(plan.out_start, confirmed)
+    yield ("cost", Stage.ADD_BATCHES, model.output_write(confirmed.size))
+
+    # --- wait(Completed), overhang chaining (lines 28-30) -------------------
+    yield ("wait", lambda: signals.incoming_state(i) >= COMPLETED)
+    if state.topology is not None:
+        # cross-device signal pickup: busy-wait polling is covered by the
+        # stall time, but the final read crossing an interconnect is not
+        yield ("cost", Stage.SIGNAL, signal_read_cost())
+    if plan.forward:
+        signals.send(i, COMPLETED)
+        yield ("cost", Stage.SIGNAL, model.signal_send())
+
+    # --- addNewBatches (line 31) ----------------------------------------------
+    if not plan.forward and plan.k > 0:
+        gen_nodes = state.out[plan.gen_start : plan.out_end]
+        cvals = clamped_valences(state.valence[gen_nodes], cfg.temp_limit)
+        ranges = plan_ranges(cvals, plan.k, cfg)
+        for j, (a, b) in enumerate(ranges):
+            state.queue.fill(
+                plan.queue_start + j,
+                plan.gen_start + a,
+                plan.gen_start + b,
+                empty=(a == b),
+            )
+        yield ("cost", Stage.ADD_BATCHES, model.add_batches(plan.k, engine.active))
+    state.log_phase(engine.now, i, "completed")
+    if not slot.empty:
+        state.queue.mark_executed()
+
+
+def _gpu_chunk_cost(
+    state: BatchRunState,
+    cfg: BatchConfig,
+    model,
+    parents: np.ndarray,
+    children: DiscoveredChildren,
+) -> float:
+    """Extra cost of scratchpad-overflow chunking (Sec. V-B).
+
+    Only single-parent batches can overflow (the planner isolates oversized
+    nodes).  A counting pass plus valence histogram decides whether the
+    found children fit; otherwise processing is chunked by valence range,
+    with hierarchical histogram refinement when a bin overflows.
+    """
+    if parents.size != 1 or children.n_found <= cfg.temp_limit:
+        return 0.0
+    from repro.core.batch_gpu import chunk_plan  # local import: optional path
+
+    plan = chunk_plan(children.valences, cfg.temp_limit, model.histogram_bins)
+    state.stats.chunked_batches += 1
+    state.stats.histogram_refinements += plan.refinements
+    cost = model.histogram(children.n_found)
+    for size in plan.chunk_sizes:
+        cost += model.chunk_pass(size)
+    return cost
+
+
+# ----------------------------------------------------------------------
+# worker loop (multi-batch execution, Sec. IV-D)
+# ----------------------------------------------------------------------
+@dataclass
+class _Parked:
+    slot_index: int
+    gen: Generator
+    pred: Callable[[], bool]
+
+
+def _drive(gen: Generator, slot_index: int, preempt: Optional[Callable[[int], bool]] = None):
+    """Run a batch coroutine until it finishes, blocks, or is preempted.
+
+    Cost events are forwarded to the engine; a ``wait`` whose predicate is
+    already true is consumed silently.  After every completed stage the
+    ``preempt`` callback may hand control back to an *older* runnable batch
+    (the paper: "we switch back to the previous batch when reaching a wait
+    point") — older batches gate the signal chain, so they take priority.
+    Returns a :class:`_Parked` when the task blocks or is preempted
+    (``pred`` is always-true in the preempted case), ``None`` when finished.
+    """
+    while True:
+        try:
+            ev = next(gen)
+        except StopIteration:
+            return None
+        if ev[0] == "wait":
+            if not ev[1]():
+                return _Parked(slot_index, gen, ev[1])
+            continue
+        yield ev
+        if preempt is not None and preempt(slot_index):
+            return _Parked(slot_index, gen, lambda: True)
+
+
+def worker_loop(
+    state: BatchRunState,
+    cfg: BatchConfig,
+    model,
+    engine: Engine,
+    device: int = 0,
+) -> Generator:
+    """One simulated worker: take batches in order, park blocked ones.
+
+    With ``cfg.multibatch == 1`` a blocked batch simply keeps the worker
+    (blocking waits, the basic version); larger values let the worker draw
+    new batches while earlier ones wait for signals, resuming the earliest
+    runnable batch first.
+    """
+    tasks: List[_Parked] = []
+    queue = state.queue
+
+    def preempt(current_index: int) -> bool:
+        """Preempt in favour of an older (chain-critical) runnable batch."""
+        return any(t.slot_index < current_index and t.pred() for t in tasks)
+
+    while True:
+        # 1) resume the earliest runnable parked batch
+        runnable = None
+        for t in tasks:
+            if t.pred():
+                runnable = t
+                break
+        if runnable is not None:
+            tasks.remove(runnable)
+            parked = yield from _drive(runnable.gen, runnable.slot_index, preempt)
+            if parked is not None:
+                tasks.append(parked)
+                tasks.sort(key=lambda t: t.slot_index)
+            continue
+        # 2) draw a new batch when capacity allows
+        if len(tasks) < cfg.multibatch and not queue.done:
+            if queue.head_ready():
+                yield ("cost", Stage.STALL, model.fetch(engine.active))
+                slot = queue.take_next()
+                if slot is None:
+                    continue  # termination or lost the head meanwhile
+                gen = batch_task(state, cfg, model, engine, slot, device)
+                parked = yield from _drive(gen, slot.index, preempt)
+                if parked is not None:
+                    tasks.append(parked)
+                    tasks.sort(key=lambda t: t.slot_index)
+                continue
+            if not tasks:
+                # idle: wait for work or termination
+                yield ("wait", lambda: queue.head_ready() or queue.done)
+                if queue.done and not queue.head_ready():
+                    return
+                continue
+        # 3) everything parked (or queue exhausted): exit or block
+        if not tasks:
+            if queue.done:
+                return
+            yield ("wait", lambda: queue.head_ready() or queue.done)
+            continue
+        preds = [t.pred for t in tasks]
+        can_draw = len(tasks) < cfg.multibatch
+
+        def blocked_pred(preds=preds, can_draw=can_draw):
+            if any(p() for p in preds):
+                return True
+            if can_draw and not queue.done and queue.head_ready():
+                return True
+            if queue.done and can_draw:
+                # no new work will ever arrive for this worker beyond fills
+                # that would satisfy head_ready; parked preds drive progress
+                return any(p() for p in preds)
+            return False
+
+        yield ("wait", blocked_pred)
+
+
+# ----------------------------------------------------------------------
+# public runner
+# ----------------------------------------------------------------------
+def run_batch_rcm(
+    mat: CSRMatrix,
+    start: int,
+    *,
+    model,
+    n_workers: int,
+    config: Optional[BatchConfig] = None,
+    total: Optional[int] = None,
+    jitter: float = 0.0,
+    seed: int = 0,
+    trace: bool = False,
+    topology=None,
+) -> BatchResult:
+    """Run batch RCM on the simulated machine and return permutation+stats.
+
+    ``model`` is a :class:`~repro.machine.costmodel.CPUCostModel` or
+    :class:`~repro.machine.costmodel.GPUCostModel`; ``config`` defaults to
+    the full algorithm with the model's scratchpad size.  A
+    :class:`~repro.machine.multidevice.DeviceTopology` partitions the
+    workers across devices (``n_workers`` must then equal its total) and
+    charges interconnect costs on cross-device signals and atomics.
+    """
+    if topology is not None and topology.total_workers != n_workers:
+        raise ValueError(
+            f"topology provides {topology.total_workers} workers, "
+            f"got n_workers={n_workers}"
+        )
+    if config is None:
+        config = BatchConfig(
+            temp_limit=model.temp_limit,
+            gpu_planning=not getattr(model, "supports_temp_overflow", True),
+        )
+    state = make_state(
+        mat, start, n_workers=n_workers, total=total, topology=topology
+    )
+    engine = Engine(
+        n_workers, state.stats, jitter=jitter, seed=seed, trace=trace
+    )
+    workers = [
+        worker_loop(
+            state, config, model, engine,
+            topology.device_of(w) if topology is not None else 0,
+        )
+        for w in range(n_workers)
+    ]
+    engine.run(workers)
+    state.sync_queue_stats()
+    return BatchResult(
+        permutation=state.permutation(),
+        stats=state.stats,
+        config=config,
+        n_workers=n_workers,
+        clock_ghz=model.clock_ghz,
+    )

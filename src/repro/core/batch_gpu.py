@@ -1,0 +1,165 @@
+"""GPU (many-core) batch RCM: thread-block workers and scratchpad limits.
+
+The GPU variant runs the identical batch protocol (:mod:`repro.core.batch`)
+with three architecture-specific twists (Sec. V):
+
+1. a *worker* is a cooperative thread-block whose per-stage costs divide
+   across ``block_threads`` (see :class:`~repro.machine.costmodel.GPUCostModel`);
+2. batch planning over-estimates child-batch counts and pads with *empty
+   batches* because scratchpad cannot grow (``BatchConfig.gpu_planning``);
+3. a single-parent batch whose children overflow scratchpad is processed in
+   *valence-histogram chunks*: a 128-bin histogram (mean-centred linear
+   remap against skew) splits the children into scratch-sized, valence-
+   ascending chunks; a bin that alone overflows is hierarchically refined,
+   and a refined bin holding one single valence is streamed directly from
+   the matrix to the permutation without staging in scratchpad.
+
+Chunking by ascending valence ranges preserves the sort order (children of a
+single parent are ordered by valence; equal valences never straddle a bin),
+so the permutation is unchanged — only cost and statistics differ, which is
+what :func:`chunk_plan` computes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.batch import BatchResult, run_batch_rcm
+from repro.core.batches import BatchConfig
+from repro.machine.costmodel import GPUCostModel
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["ChunkPlan", "chunk_plan", "run_batch_rcm_gpu"]
+
+
+@dataclass
+class ChunkPlan:
+    """How one oversized single-parent batch is split (Sec. V-B)."""
+
+    chunk_sizes: List[int] = field(default_factory=list)
+    refinements: int = 0
+    direct_copies: int = 0
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunk_sizes)
+
+
+def _remapped_histogram(
+    valences: np.ndarray, bins: int
+) -> tuple:
+    """Histogram with the paper's mean-centred linear remap.
+
+    Valence distributions are skewed; remapping so the mean lands mid-range
+    spreads the mass across the 128 bins.  Returns (counts, bin-of-value
+    assignment) where bins are ordered by ascending valence.
+    """
+    vmin = int(valences.min())
+    vmax = int(valences.max())
+    if vmin == vmax:
+        counts = np.zeros(1, dtype=np.int64)
+        counts[0] = valences.size
+        return counts, np.zeros(valences.size, dtype=np.int64)
+    mean = float(valences.mean())
+    # piecewise-linear remap: [vmin, mean] -> first half, [mean, vmax] -> rest
+    half = bins // 2
+    v = valences.astype(np.float64)
+    low = (v - vmin) / max(mean - vmin, 1e-9) * half
+    high = half + (v - mean) / max(vmax - mean, 1e-9) * (bins - half - 1)
+    binned = np.where(v <= mean, low, high).astype(np.int64)
+    binned = np.clip(binned, 0, bins - 1)
+    counts = np.bincount(binned, minlength=bins).astype(np.int64)
+    return counts, binned
+
+
+def chunk_plan(
+    valences: np.ndarray, temp_limit: int, bins: int = 128, *, _depth: int = 0
+) -> ChunkPlan:
+    """Plan scratch-sized chunks over children sorted by valence.
+
+    Greedily accumulates ascending histogram bins until the next bin would
+    overflow ``temp_limit``.  A single bin larger than scratch triggers a
+    hierarchical refinement (a fresh histogram over just that bin); at the
+    recursion floor a single-valence bin is marked for direct copy.
+    """
+    plan = ChunkPlan()
+    if valences.size == 0:
+        return plan
+    counts, binned = _remapped_histogram(valences, bins)
+    current = 0
+    order = np.argsort(binned, kind="stable")
+    sorted_vals = valences[order]
+    offset = 0
+    for b in range(counts.size):
+        c = int(counts[b])
+        if c == 0:
+            continue
+        if c > temp_limit:
+            # flush what we have, then refine the oversized bin
+            if current:
+                plan.chunk_sizes.append(current)
+                current = 0
+            bin_vals = sorted_vals[offset : offset + c]
+            if np.all(bin_vals == bin_vals[0]) or _depth >= 8:
+                # recursion floor: one valence — copy directly, no scratch
+                plan.direct_copies += 1
+                plan.chunk_sizes.append(c)
+            else:
+                plan.refinements += 1
+                sub = chunk_plan(bin_vals, temp_limit, bins, _depth=_depth + 1)
+                plan.chunk_sizes.extend(sub.chunk_sizes)
+                plan.refinements += sub.refinements
+                plan.direct_copies += sub.direct_copies
+        elif current + c > temp_limit:
+            plan.chunk_sizes.append(current)
+            current = c
+        else:
+            current += c
+        offset += c
+    if current:
+        plan.chunk_sizes.append(current)
+    return plan
+
+
+def run_batch_rcm_gpu(
+    mat: CSRMatrix,
+    start: int,
+    *,
+    model: Optional[GPUCostModel] = None,
+    n_workers: Optional[int] = None,
+    batch_size: int = 64,
+    multibatch: int = 2,
+    total: Optional[int] = None,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> BatchResult:
+    """GPU-BATCH: the full batch algorithm on the many-core model.
+
+    ``n_workers`` defaults to the number of resident thread-blocks the
+    device sustains (SMs × blocks/SM), the paper's saturation point.
+    """
+    model = model or GPUCostModel()
+    if n_workers is None:
+        n_workers = model.max_workers
+    config = BatchConfig(
+        batch_size=batch_size,
+        temp_limit=model.temp_limit,
+        early_signaling=True,
+        overhang=True,
+        multibatch=multibatch,
+        gpu_planning=True,
+    )
+    return run_batch_rcm(
+        mat,
+        start,
+        model=model,
+        n_workers=n_workers,
+        config=config,
+        total=total,
+        jitter=jitter,
+        seed=seed,
+    )

@@ -1,0 +1,217 @@
+"""Batch generation, combination and overhang planning (Sec. IV-C).
+
+Two planning regimes:
+
+* **CPU (balanced / exact count)** — the number of child batches is computed
+  from the node count and the (scratch-clamped) valence sum, assuming
+  optimal packing; the later range-building pass *balances* surplus across
+  exactly that many contiguous ranges, accepting occasional scratchpad
+  overflow (the CPU can extend its temporary array).
+
+* **GPU (over-estimated / greedy)** — scratchpad cannot grow, so ranges are
+  built greedily (close a batch when the next node would overflow the node
+  or valence budget) and the batch count signalled ahead of time is a safe
+  over-estimate; unused slots are filled with *empty batches* that workers
+  dequeue and discard (Fig. 3's Dequeued-vs-Executed gap).  The paper uses
+  a 2× estimate with per-matrix tuning; we use the provable bound
+  ``2·(⌈m/B⌉ + ⌈V/T⌉) + 1`` so the reservation can never be exceeded.
+
+*Overhang* (work aggregation): when a batch's confirmed output would fill
+less than half a batch, the nodes are forwarded to the successor's first
+generated batch instead of forming a runt batch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BatchConfig",
+    "BatchPlan",
+    "clamped_valences",
+    "estimate_batch_count",
+    "plan_ranges",
+]
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Tunable knobs of the batch algorithm.
+
+    ``early_signaling`` and ``overhang`` distinguish CPU-BATCH (Alg. 5) from
+    CPU-BATCH-BASIC (Alg. 4); ``multibatch`` is the number of batches one
+    worker may hold concurrently (Sec. IV-D; 1 = blocking waits).
+    ``gpu_planning`` selects the greedy/over-estimated planner.
+    """
+
+    batch_size: int = 64
+    temp_limit: int = 4096
+    early_signaling: bool = True
+    overhang: bool = True
+    multibatch: int = 2
+    gpu_planning: bool = False
+    #: ablation knob: with speculation off, a batch blocks until all
+    #: predecessors have discovered before its own discovery — no wasted
+    #: sorting, but discovery fully serializes across the chain
+    speculate: bool = True
+    #: with sorting disabled the framework degenerates to a parallel BFS —
+    #: the paper's approach to pseudo-peripheral node finding (Sec. VII:
+    #: "directly applying our RCM approach as BFS replacement")
+    sort_children: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.temp_limit < 1:
+            raise ValueError("temp_limit must be >= 1")
+        if self.multibatch < 1:
+            raise ValueError("multibatch must be >= 1")
+
+
+@dataclass
+class BatchPlan:
+    """Outcome of ``signalCount`` for one batch (the paper's ``f``).
+
+    ``k`` child-batch slots were reserved starting at ``queue_start``; when
+    ``forward`` is set the batch generates nothing and its output range
+    travels to the successor as an overhang instead.
+    """
+
+    count: int                 # confirmed output nodes of this batch
+    out_start: int             # where this batch's output goes
+    gen_start: int             # start of the range its child batches cover
+    valence_total: int         # clamped valence sum over [gen_start, out_end)
+    forward: bool
+    k: int
+    queue_start: int
+
+    @property
+    def out_end(self) -> int:
+        return self.out_start + self.count
+
+
+def clamped_valences(valences: np.ndarray, temp_limit: int) -> np.ndarray:
+    """Clamp per-node valences to the scratchpad size.
+
+    A node whose adjacency alone overflows scratch gets its own batch
+    (and, on the GPU, histogram chunking), so its planning contribution is
+    exactly one full scratchpad (Sec. V-B).
+    """
+    return np.minimum(valences, temp_limit)
+
+
+def estimate_batch_count(
+    n_nodes: int,
+    clamped_valence_sum: int,
+    cfg: BatchConfig,
+) -> int:
+    """Number of child-batch queue slots to reserve.
+
+    Must be computable from (count, valence sum) alone — the node *order* is
+    unknown when ``Counted`` is signalled early — and must upper-bound what
+    ``plan_ranges`` later produces so the queue-offset arithmetic holds.
+    """
+    if n_nodes <= 0:
+        return 0
+    by_nodes = math.ceil(n_nodes / cfg.batch_size)
+    by_valence = math.ceil(clamped_valence_sum / cfg.temp_limit)
+    if cfg.gpu_planning:
+        # greedy packing can waste up to half of each budget per closed batch
+        return 2 * (by_nodes + by_valence) + 1
+    return max(by_nodes, by_valence)
+
+
+def _plan_balanced(
+    cvals: np.ndarray, k: int, batch_size: int
+) -> List[Tuple[int, int]]:
+    """Split ``m`` ordered nodes into exactly ``k`` contiguous ranges.
+
+    Balances both node counts and valence mass (the paper: "while the sum of
+    valences of remaining nodes divided by the to-be-generated batches is
+    above the valence sum of the current batch, we add further nodes"), with
+    a hard cap of ``batch_size`` nodes per range.  Valence overflow is
+    accepted — the CPU extends its scratch.
+    """
+    m = int(cvals.size)
+    ranges: List[Tuple[int, int]] = []
+    pos = 0
+    remaining_val = int(cvals.sum())
+    for j in range(k):
+        left = k - j
+        remaining = m - pos
+        if remaining <= 0:
+            ranges.append((pos, pos))  # rare: valence-driven k, pad empty
+            continue
+        target_nodes = math.ceil(remaining / left)
+        target_val = remaining_val / left
+        end = pos
+        val = 0
+        while end < m and (end - pos) < batch_size:
+            # feasibility: the remaining ranges can absorb at most
+            # (left-1)*batch_size nodes, so keep taking until what would be
+            # left behind fits
+            need_more = (m - end) > (left - 1) * batch_size
+            satisfied = (end - pos) >= target_nodes and val >= target_val
+            if satisfied and not need_more:
+                break
+            val += int(cvals[end])
+            end += 1
+        ranges.append((pos, end))
+        remaining_val -= val
+        pos = end
+    if pos != m:  # pragma: no cover - guarded by estimate >= ceil(m/B)
+        raise RuntimeError(f"balanced planning left {m - pos} nodes unassigned")
+    return ranges
+
+
+def _plan_greedy(
+    cvals: np.ndarray, batch_size: int, temp_limit: int
+) -> List[Tuple[int, int]]:
+    """Greedy GPU packing: close a range when the next node would overflow
+    the node budget or the scratchpad; an oversized node sits alone."""
+    m = int(cvals.size)
+    ranges: List[Tuple[int, int]] = []
+    pos = 0
+    while pos < m:
+        end = pos
+        val = 0
+        while end < m and (end - pos) < batch_size:
+            v = int(cvals[end])
+            if end > pos and val + v > temp_limit:
+                break
+            val += v
+            end += 1
+        ranges.append((pos, end))
+        pos = end
+    return ranges
+
+
+def plan_ranges(
+    cvals: np.ndarray,
+    k: int,
+    cfg: BatchConfig,
+) -> List[Tuple[int, int]]:
+    """Build exactly ``k`` contiguous (possibly empty) ranges over the
+    ordered nodes whose clamped valences are ``cvals``.
+
+    The ranges are relative offsets; the caller shifts them by the output
+    position.  Empty ranges become empty queue slots.
+    """
+    if k == 0:
+        if cvals.size:
+            raise ValueError("cannot plan nodes into zero batches")
+        return []
+    if cfg.gpu_planning:
+        ranges = _plan_greedy(cvals, cfg.batch_size, cfg.temp_limit)
+        if len(ranges) > k:  # pragma: no cover - estimate is a proven bound
+            raise RuntimeError(
+                f"greedy planning produced {len(ranges)} > reserved {k} batches"
+            )
+        tail = ranges[-1][1] if ranges else 0
+        ranges.extend((tail, tail) for _ in range(k - len(ranges)))
+        return ranges
+    return _plan_balanced(cvals, k, cfg.batch_size)

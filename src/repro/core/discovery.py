@@ -1,0 +1,163 @@
+"""Speculative discovery and rediscovery primitives (Sec. IV-A).
+
+``discover`` implements the paper's atomicMin-based child discovery: a batch
+claims every adjacent node whose current mark is *larger* than its own batch
+index, overwriting marks of later batches and ignoring earlier ones.  The
+claim may be wrong in one direction only — an *earlier* batch may claim the
+node afterwards — which ``rediscover`` repairs by dropping every stored node
+whose mark has meanwhile dropped below the batch index.
+
+Within a batch, parents are processed in order, so a node adjacent to two
+parents of the same batch is credited to the first, matching the serial
+algorithm's FIFO semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.state import BatchRunState
+
+__all__ = ["DiscoveredChildren", "discover", "rediscover", "sort_children"]
+
+
+@dataclass
+class DiscoveredChildren:
+    """Speculatively claimed children of one batch.
+
+    Arrays are parallel; ``parent_pos`` is the parent's index *within the
+    batch* (0-based), which doubles as the primary radix-sort key so the
+    per-parent grouping of the serial algorithm survives parallel sorting.
+    ``alive`` supports the full algorithm's lazy rediscovery: nodes are only
+    flagged dead after sorting and compacted while writing output.
+    """
+
+    nodes: np.ndarray
+    valences: np.ndarray
+    parent_pos: np.ndarray
+    alive: np.ndarray
+    #: total adjacency entries probed (cost accounting)
+    n_edges: int
+    #: largest single-parent child count (GPU thread-assignment cost input)
+    max_children: int
+    sorted: bool = False
+
+    @property
+    def n_found(self) -> int:
+        return int(self.nodes.size)
+
+    @property
+    def n_alive(self) -> int:
+        return int(self.alive.sum())
+
+    def alive_nodes(self) -> np.ndarray:
+        """Nodes still claimed by this batch (in current storage order)."""
+        return self.nodes[self.alive]
+
+    def alive_valences(self) -> np.ndarray:
+        """Valences of the still-claimed nodes, parallel to alive_nodes."""
+        return self.valences[self.alive]
+
+    def compact(self) -> None:
+        """Drop dead entries, keeping order."""
+        if not bool(self.alive.all()):
+            self.nodes = self.nodes[self.alive]
+            self.valences = self.valences[self.alive]
+            self.parent_pos = self.parent_pos[self.alive]
+            self.alive = np.ones(self.nodes.size, dtype=bool)
+
+
+def discover(state: BatchRunState, slot_index: int, parents: np.ndarray) -> DiscoveredChildren:
+    """Speculative child discovery for one batch (atomicMin marking).
+
+    Parents are iterated in batch order; per parent the adjacency list is
+    probed in one vectorized shot.  The engine serializes whole stages, so
+    this models a batch whose discovery executes atomically at its start
+    time — ownership is unaffected because atomicMin ownership depends only
+    on batch indices, never on timing.
+    """
+    indptr, indices = state.mat.indptr, state.mat.indices
+    marks = state.marks
+    found: List[np.ndarray] = []
+    found_parent: List[np.ndarray] = []
+    n_edges = 0
+    max_children = 0
+    for local_i in range(parents.size):
+        p = parents[local_i]
+        children = indices[indptr[p] : indptr[p + 1]]
+        n_edges += int(children.size)
+        if children.size == 0:
+            continue
+        claim = marks[children] > slot_index
+        fresh = children[claim]
+        if fresh.size:
+            marks[fresh] = slot_index
+            found.append(fresh)
+            found_parent.append(np.full(fresh.size, local_i, dtype=np.int64))
+            max_children = max(max_children, int(fresh.size))
+    if found:
+        nodes = np.concatenate(found)
+        parent_pos = np.concatenate(found_parent)
+    else:
+        nodes = np.zeros(0, dtype=np.int64)
+        parent_pos = np.zeros(0, dtype=np.int64)
+    state.stats.nodes_discovered_speculatively += int(nodes.size)
+    return DiscoveredChildren(
+        nodes=nodes,
+        valences=state.valence[nodes],
+        parent_pos=parent_pos,
+        alive=np.ones(nodes.size, dtype=bool),
+        n_edges=n_edges,
+        max_children=max_children,
+    )
+
+
+def rediscover(
+    state: BatchRunState,
+    slot_index: int,
+    children: DiscoveredChildren,
+    *,
+    compact: bool,
+) -> int:
+    """Drop nodes meanwhile claimed by an earlier batch (mark < slot index).
+
+    With ``compact`` the arrays are rebuilt densely (early rediscovery,
+    before sorting); otherwise dead entries are only flagged and compaction
+    is deferred to output writing (late rediscovery) — the paper's
+    memory-saving distinction in Sec. IV-B.
+
+    Returns the number of entries checked (cost accounting).
+    """
+    checked = int(children.nodes.size)
+    if checked:
+        children.alive &= state.marks[children.nodes] >= slot_index
+        dropped = checked - int(children.alive.sum())
+        state.stats.nodes_dropped_by_rediscovery += dropped
+        if compact:
+            children.compact()
+    state.stats.rediscovery_passes += 1
+    return checked
+
+
+def sort_children(state: BatchRunState, children: DiscoveredChildren) -> int:
+    """Sort by (parent position, valence), stable — the serial tie-break.
+
+    Nodes enter in per-parent adjacency order; ``np.lexsort`` is stable, so
+    equal-valence children keep that order, reproducing Alg. 1 exactly.
+    Returns the number of sorted elements (cost accounting — speculative
+    entries later dropped still cost sorting time, which is the price of
+    speculation the paper discusses around Fig. 6).
+    """
+    k = int(children.nodes.size)
+    if k > 1:
+        order = np.lexsort((children.valences, children.parent_pos))
+        children.nodes = children.nodes[order]
+        children.valences = children.valences[order]
+        children.parent_pos = children.parent_pos[order]
+        children.alive = children.alive[order]
+    children.sorted = True
+    state.stats.sorted_elements += k
+    return k

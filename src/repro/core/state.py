@@ -1,0 +1,151 @@
+"""Shared run state for the batch-based RCM variants.
+
+One :class:`BatchRunState` instance is shared by all simulated workers: it
+holds the matrix view, the global mark array (the paper's ``m``, updated with
+``atomicMin`` semantics), the output permutation, the ordered work queue and
+the signal chain.  The engine serializes stage execution, so plain NumPy
+operations on these arrays model the hardware atomics faithfully (see
+``repro.machine.engine`` for the sequential-consistency argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.graph import bfs_levels
+from repro.machine.signals import SignalChain, SignalPayload
+from repro.machine.workqueue import WorkQueue
+from repro.machine.stats import RunStats
+from repro.machine.multidevice import DeviceTopology
+
+__all__ = ["BatchRunState", "make_state", "UNDISCOVERED"]
+
+#: mark value of a node no batch has discovered yet (acts like +inf for
+#: atomicMin on batch indices)
+UNDISCOVERED = np.iinfo(np.int64).max
+
+
+@dataclass
+class BatchRunState:
+    """Global shared state of one batch-RCM run."""
+
+    mat: CSRMatrix
+    start: int
+    #: stored row lengths — the paper's valence ``r[n+1] - r[n]``
+    valence: np.ndarray
+    #: the paper's ``m``: smallest batch index having discovered each node
+    marks: np.ndarray
+    #: Cuthill-McKee output order (reversed at the end for RCM)
+    out: np.ndarray
+    #: nodes written to ``out`` so far
+    written: int
+    #: nodes in the start node's component == final output length
+    total: int
+    queue: WorkQueue
+    signals: SignalChain
+    stats: RunStats
+    #: multi-device extension: worker partition + interconnect costs
+    topology: Optional[DeviceTopology] = None
+    #: device that processed each queue slot (signal-crossing detection)
+    slot_device: Optional[dict] = None
+    #: optional (time, slot, phase) log of batch lifecycle transitions —
+    #: the states of the paper's Fig. 1 (set to [] to enable)
+    phase_log: Optional[list] = None
+
+    def log_phase(self, now: float, slot: int, phase: str) -> None:
+        """Record a Fig.-1 lifecycle transition when logging is enabled."""
+        if self.phase_log is not None:
+            self.phase_log.append((now, slot, phase))
+
+    def write_output(self, position: int, nodes: np.ndarray) -> None:
+        """Append confirmed nodes at their assigned output positions.
+
+        Guards against an understated ``total``: writing past the component
+        size raises instead of truncating (an exact-hit understatement is
+        indistinguishable from completion — ``total`` must be the true
+        component size, which :func:`make_state` computes when omitted).
+        """
+        if position + int(nodes.size) > self.total:
+            raise RuntimeError(
+                f"output overflow: writing {nodes.size} nodes at {position} "
+                f"exceeds total={self.total}; the `total` argument must be "
+                "the exact component size"
+            )
+        self.out[position : position + nodes.size] = nodes
+        self.written += int(nodes.size)
+        if self.written == self.total and not self.queue.done:
+            # early termination (Sec. IV-D): permutation complete, discard
+            # everything still queued
+            self.queue.terminate()
+
+    def sync_queue_stats(self) -> None:
+        """Copy the queue's Fig.-3 counters into the run statistics."""
+        self.stats.batches_generated = self.queue.n_generated
+        self.stats.batches_dequeued = self.queue.n_dequeued
+        self.stats.batches_executed = self.queue.n_executed
+        self.stats.batches_empty = self.queue.n_empty_discarded
+        self.stats.batches_discarded_by_early_termination = (
+            self.queue.n_generated - self.queue.n_dequeued
+        )
+
+    def permutation(self) -> np.ndarray:
+        """The finished RCM permutation (reversed CM order)."""
+        if self.written != self.total:
+            raise RuntimeError(
+                f"run incomplete: wrote {self.written} of {self.total} nodes"
+            )
+        return self.out[: self.total][::-1].copy()
+
+
+def make_state(
+    mat: CSRMatrix,
+    start: int,
+    *,
+    n_workers: int,
+    total: Optional[int] = None,
+    topology: Optional[DeviceTopology] = None,
+) -> BatchRunState:
+    """Initialize shared state: the start node is pre-written as output 0 and
+    queue slot 0 carries it as the initial single-parent batch.
+
+    ``total`` (component size) gates termination; when omitted it is counted
+    with an untimed BFS — callers that already know it (the public API runs
+    per component) pass it in.
+    """
+    n = mat.n
+    if not 0 <= start < n:
+        raise ValueError(f"start node {start} out of range [0, {n})")
+    if total is None:
+        total = int((bfs_levels(mat, start) >= 0).sum())
+
+    marks = np.full(n, UNDISCOVERED, dtype=np.int64)
+    marks[start] = -1  # owned by the virtual batch before slot 0
+    out = np.empty(total, dtype=np.int64)
+    out[0] = start
+
+    queue = WorkQueue()
+    queue.fill(0, 0, 1)
+    signals = SignalChain(bootstrap=SignalPayload(out_next=1, queue_next=1))
+
+    state = BatchRunState(
+        mat=mat,
+        start=start,
+        valence=np.diff(mat.indptr),
+        marks=marks,
+        out=out,
+        written=1,
+        total=total,
+        queue=queue,
+        signals=signals,
+        stats=RunStats(n_workers=n_workers),
+        topology=topology,
+        slot_device={},
+    )
+    if total == 1:
+        # isolated start node: the permutation is already complete
+        state.queue.terminate()
+    return state

@@ -1,0 +1,41 @@
+"""Simulated parallel architecture.
+
+This package is the substitute for the paper's hardware (12-core Ryzen CPU,
+TITAN V GPU): a deterministic discrete-event simulator.  *Workers* (CPU
+threads or GPU thread-blocks) execute algorithm stages as coroutines that
+yield ``cost`` (cycles, attributed to a stage) and ``wait`` (a predicate on
+shared state) events; the engine advances whichever worker has the smallest
+simulated clock, so shared-state updates interleave in cycle order.
+
+Why a simulator: this reproduction runs on a single CPython core, where real
+threads cannot exhibit the paper's scaling (GIL + one core).  The paper's
+claims are *algorithmic* — speedups track the BFS front width, speculation
+keeps cores busy, stalls dominate at high thread counts on narrow graphs —
+and a cycle-cost simulator surfaces exactly those effects while letting every
+RCM variant execute its real data-structure logic (marks, signals, queues,
+batches) so the output permutation is computed, not modelled.
+"""
+
+from repro.machine.costmodel import CPUCostModel, GPUCostModel, SERIAL_CPU
+from repro.machine.engine import Engine, Worker, SimulationError, DeadlockError
+from repro.machine.signals import SignalChain, SignalState, SignalPayload
+from repro.machine.workqueue import WorkQueue, BatchSlot
+from repro.machine.stats import RunStats, StageTimes, Stage
+
+__all__ = [
+    "CPUCostModel",
+    "GPUCostModel",
+    "SERIAL_CPU",
+    "Engine",
+    "Worker",
+    "SimulationError",
+    "DeadlockError",
+    "SignalChain",
+    "SignalState",
+    "SignalPayload",
+    "WorkQueue",
+    "BatchSlot",
+    "RunStats",
+    "StageTimes",
+    "Stage",
+]

@@ -1,0 +1,84 @@
+"""Trace invariant checker: audits simulated executions after the fact.
+
+Given an engine trace and the run's statistics, verifies the structural
+invariants any valid execution must satisfy — a safety net the test-suite
+applies to randomized runs, so a scheduler or accounting bug cannot hide
+behind a still-correct permutation:
+
+* per worker, events never overlap in time;
+* every event lies within ``[0, makespan]``;
+* the per-stage cycle totals reconstructed from the trace equal the
+  statistics the engine accumulated (conservation of time);
+* workers are only ever stalled or working — no unexplained gaps *while a
+  batch is runnable* is not checkable from the trace alone, but total busy +
+  stall per worker can never exceed the makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.machine.stats import RunStats, Stage
+
+__all__ = ["TraceViolation", "check_trace"]
+
+TraceEvent = Tuple[float, int, str, float]
+
+
+class TraceViolation(AssertionError):
+    """An execution-trace invariant was broken."""
+
+
+def check_trace(
+    trace: Sequence[TraceEvent],
+    stats: RunStats,
+    *,
+    tolerance: float = 1e-6,
+) -> None:
+    """Raise :class:`TraceViolation` on any broken invariant."""
+    makespan = stats.makespan
+    per_worker_events: Dict[int, List[Tuple[float, float, str]]] = {}
+    stage_totals: Dict[Tuple[int, str], float] = {}
+
+    for start, wid, stage, cycles in trace:
+        if cycles < 0:
+            raise TraceViolation(f"negative duration: {cycles} (w{wid} {stage})")
+        end = start + cycles
+        if start < -tolerance or end > makespan + tolerance:
+            raise TraceViolation(
+                f"event outside [0, makespan]: w{wid} {stage} "
+                f"[{start:.0f}, {end:.0f}] vs makespan {makespan:.0f}"
+            )
+        per_worker_events.setdefault(wid, []).append((start, end, stage))
+        key = (wid, stage)
+        stage_totals[key] = stage_totals.get(key, 0.0) + cycles
+
+    # 1) no per-worker overlap
+    for wid, events in per_worker_events.items():
+        events.sort()
+        for (s0, e0, st0), (s1, e1, st1) in zip(events, events[1:]):
+            if s1 < e0 - tolerance:
+                raise TraceViolation(
+                    f"worker {wid} overlap: {st0} [{s0:.0f},{e0:.0f}] with "
+                    f"{st1} [{s1:.0f},{e1:.0f}]"
+                )
+
+    # 2) conservation: trace totals match accumulated statistics
+    for wid, times in enumerate(stats.per_worker):
+        for stage, cycles in times.cycles.items():
+            traced = stage_totals.get((wid, stage.value), 0.0)
+            if abs(traced - cycles) > tolerance * max(cycles, 1.0):
+                raise TraceViolation(
+                    f"worker {wid} {stage.value}: trace says {traced:.1f}, "
+                    f"stats say {cycles:.1f}"
+                )
+
+    # 3) per-worker occupancy bounded by the makespan
+    for wid, events in per_worker_events.items():
+        busy = sum(e - s for s, e, _ in events)
+        if busy > makespan + tolerance * max(makespan, 1.0):
+            raise TraceViolation(
+                f"worker {wid} occupies {busy:.0f} cycles > makespan "
+                f"{makespan:.0f}"
+            )

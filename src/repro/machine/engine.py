@@ -1,0 +1,206 @@
+"""Deterministic discrete-event engine driving simulated workers.
+
+Workers are Python generators: algorithm code performs its *real* work on
+shared state (mark arrays, the output permutation, signals, the queue) and
+yields events telling the engine how many cycles that work cost, or that the
+worker must wait for a predicate on shared state::
+
+    yield ("cost", Stage.DISCOVER, cycles)   # work just performed took this long
+    yield ("wait", predicate)                # block until predicate() is True
+
+The engine always advances the worker with the smallest simulated clock, so
+shared-state mutations interleave in global cycle order — a sequentially
+consistent execution.  Waiting workers are re-checked after every step that
+completes and are woken at the completion time of the step that satisfied
+their predicate, with the waiting interval attributed to ``Stage.STALL``
+(the paper's Fig. 6 "Stall" category).
+
+Determinism: identical inputs yield identical executions.  An optional
+seeded multiplicative *jitter* perturbs every cost, producing different —
+but still reproducible — interleavings; the test-suite uses this to fuzz the
+claim that batch RCM returns the serial permutation under any schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.machine.stats import RunStats, Stage
+
+__all__ = ["Engine", "Worker", "SimulationError", "DeadlockError", "Event"]
+
+Event = Tuple  # ("cost", Stage, float) | ("wait", Callable[[], bool])
+Worker = Generator[Event, None, None]
+
+
+class SimulationError(RuntimeError):
+    """The simulation exceeded its step budget (runaway worker)."""
+
+
+class DeadlockError(RuntimeError):
+    """No worker is runnable but some are still waiting."""
+
+
+@dataclass
+class _Waiter:
+    worker_id: int
+    predicate: Callable[[], bool]
+    since: float
+
+
+class Engine:
+    """Event-driven executor for a fixed set of worker coroutines.
+
+    Parameters
+    ----------
+    n_workers:
+        number of simulated workers (CPU threads / GPU thread-blocks).
+    stats:
+        a :class:`RunStats` sized for ``n_workers``; the engine adds cost and
+        stall cycles to it and stores the makespan.
+    jitter:
+        relative amplitude of the seeded per-event cost perturbation
+        (0 disables; 0.2 means ±10%).
+    seed:
+        RNG seed for the jitter stream.
+    max_steps:
+        hard step budget; exceeding it raises :class:`SimulationError`.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        stats: Optional[RunStats] = None,
+        *,
+        jitter: float = 0.0,
+        seed: int = 0,
+        max_steps: int = 200_000_000,
+        trace: bool = False,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.n_workers = n_workers
+        self.stats = stats if stats is not None else RunStats(n_workers=n_workers)
+        self.jitter = float(jitter)
+        self._rng = np.random.default_rng(seed)
+        self.max_steps = max_steps
+        self.trace_enabled = trace
+        self.trace: List[Tuple[float, int, str, float]] = []
+        # live counters, readable by cost models for contention scaling
+        self._running = 0          # workers neither finished nor waiting
+        self._finished = 0
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> int:
+        """Workers currently runnable (contention proxy for cost models)."""
+        return max(self._running, 1)
+
+    # ------------------------------------------------------------------
+    def run(self, workers: Sequence[Worker]) -> float:
+        """Drive ``workers`` to completion; returns the makespan in cycles."""
+        if len(workers) != self.n_workers:
+            raise ValueError("one coroutine per worker required")
+        counter = itertools.count()
+        heap: List[Tuple[float, int, int]] = []
+        clocks = [0.0] * self.n_workers
+        finished = [False] * self.n_workers
+        waiters: List[_Waiter] = []
+        gens = list(workers)
+        self._running = self.n_workers
+
+        for wid in range(self.n_workers):
+            heapq.heappush(heap, (0.0, next(counter), wid))
+
+        steps = 0
+        makespan = 0.0
+        while heap:
+            t, _, wid = heapq.heappop(heap)
+            self.now = t
+            clocks[wid] = t
+            steps += 1
+            if steps > self.max_steps:
+                raise SimulationError(
+                    f"exceeded {self.max_steps} simulation steps "
+                    f"(t={t:.0f}, {len(waiters)} waiting)"
+                )
+            try:
+                ev = next(gens[wid])
+            except StopIteration:
+                finished[wid] = True
+                self._running -= 1
+                self._finished += 1
+                makespan = max(makespan, t)
+                self._wake(waiters, heap, counter, t, clocks)
+                continue
+
+            kind = ev[0]
+            if kind == "cost":
+                _, stage, cycles = ev
+                cycles = float(cycles)
+                if self.jitter:
+                    cycles *= 1.0 + self.jitter * (self._rng.random() - 0.5)
+                self.stats.add_cycles(wid, stage, cycles)
+                if self.trace_enabled:
+                    self.trace.append((t, wid, stage.value, cycles))
+                done_at = t + cycles
+                heapq.heappush(heap, (done_at, next(counter), wid))
+                # state already mutated; completion may satisfy waiters
+                self._wake(waiters, heap, counter, done_at, clocks)
+            elif kind == "wait":
+                _, predicate = ev
+                if predicate():
+                    heapq.heappush(heap, (t, next(counter), wid))
+                else:
+                    self._running -= 1
+                    waiters.append(_Waiter(wid, predicate, t))
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event {ev!r} from worker {wid}")
+
+            if not heap and waiters:
+                # one final predicate sweep: a StopIteration above may have
+                # satisfied a predicate after the last wake
+                self._wake(waiters, heap, counter, self.now, clocks)
+                if not heap:
+                    info = ", ".join(
+                        f"w{w.worker_id}@{w.since:.0f}" for w in waiters
+                    )
+                    raise DeadlockError(f"all workers blocked: {info}")
+
+        if waiters:
+            info = ", ".join(f"w{w.worker_id}@{w.since:.0f}" for w in waiters)
+            raise DeadlockError(f"simulation ended with blocked workers: {info}")
+        self.stats.makespan = max(makespan, max(clocks) if clocks else 0.0)
+        return self.stats.makespan
+
+    # ------------------------------------------------------------------
+    def _wake(
+        self,
+        waiters: List[_Waiter],
+        heap: List[Tuple[float, int, int]],
+        counter,
+        at: float,
+        clocks: List[float],
+    ) -> None:
+        """Re-check waiting predicates; wake satisfied waiters at ``at``."""
+        if not waiters:
+            return
+        still: List[_Waiter] = []
+        for w in waiters:
+            if w.predicate():
+                stall = max(at - w.since, 0.0)
+                self.stats.add_cycles(w.worker_id, Stage.STALL, stall)
+                if self.trace_enabled:
+                    self.trace.append((w.since, w.worker_id, "Stall", stall))
+                clocks[w.worker_id] = at
+                self._running += 1
+                heapq.heappush(heap, (at, next(counter), w.worker_id))
+            else:
+                still.append(w)
+        waiters[:] = still

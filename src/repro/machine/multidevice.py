@@ -1,0 +1,74 @@
+"""Multi-device topology (the paper's Sec. VII outlook).
+
+"While our approach is currently limited to a single multicore or many-core
+device, its intrinsic properties lend themselves to multi-device and
+multi-node extensions, transmitting signals across devices/nodes."
+
+This module models that extension on the simulator: workers are partitioned
+across devices; when consecutive batches execute on *different* devices the
+signal chain crosses an interconnect and pays extra latency, and marks live
+in a unified address space whose atomics carry a remote-access surcharge.
+The multi-device benchmark sweeps device counts and link latencies to show
+where the signal chain starts to dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceTopology", "NVLINK_LIKE", "PCIE_LIKE", "NETWORK_LIKE"]
+
+
+@dataclass(frozen=True)
+class DeviceTopology:
+    """Static worker→device partition plus interconnect costs.
+
+    Workers ``[0, workers_per_device)`` belong to device 0 and so on; a
+    signal travelling between batches processed on different devices costs
+    ``cross_signal_cycles`` extra, and speculative discovery pays
+    ``remote_atomic_factor`` on its atomics (unified-memory traffic).
+    """
+
+    n_devices: int = 1
+    workers_per_device: int = 4
+    cross_signal_cycles: float = 8_000.0   # ~2 µs at 4 GHz (NVLink-ish)
+    remote_atomic_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1 or self.workers_per_device < 1:
+            raise ValueError("need at least one device and one worker each")
+
+    @property
+    def total_workers(self) -> int:
+        return self.n_devices * self.workers_per_device
+
+    def device_of(self, worker_id: int) -> int:
+        """Device hosting the given worker (contiguous partition)."""
+        return worker_id // self.workers_per_device
+
+    def atomic_surcharge(self) -> float:
+        """Average atomic-cost multiplier: a fraction ``(D-1)/D`` of mark
+        traffic lands on a remote device in a uniform address distribution."""
+        if self.n_devices == 1:
+            return 1.0
+        remote = (self.n_devices - 1) / self.n_devices
+        return 1.0 + remote * (self.remote_atomic_factor - 1.0)
+
+
+#: two GPUs on an NVLink bridge
+NVLINK_LIKE = DeviceTopology(
+    n_devices=2, workers_per_device=12,
+    cross_signal_cycles=8_000.0, remote_atomic_factor=1.5,
+)
+
+#: two devices over PCIe peer-to-peer
+PCIE_LIKE = DeviceTopology(
+    n_devices=2, workers_per_device=12,
+    cross_signal_cycles=30_000.0, remote_atomic_factor=2.5,
+)
+
+#: nodes over a network fabric (RDMA-ish)
+NETWORK_LIKE = DeviceTopology(
+    n_devices=4, workers_per_device=6,
+    cross_signal_cycles=120_000.0, remote_atomic_factor=4.0,
+)

@@ -1,0 +1,58 @@
+"""Scratchpad (shared-memory) capacity accounting.
+
+On the GPU, each thread-block processes its batch entirely in scratchpad
+memory whose size is fixed at launch (Sec. V-B); the CPU analogue is the
+per-thread temporary array, which *can* grow (Sec. IV-C accepts occasional
+overflows there).  This tracker verifies that simulated batch processing
+respects those rules — it exists so tests can assert the GPU variant never
+exceeds its allocation while the CPU variant records (rare) extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["Scratchpad", "ScratchpadOverflow"]
+
+
+class ScratchpadOverflow(RuntimeError):
+    """A GPU block tried to hold more temporaries than its allocation."""
+
+
+@dataclass
+class Scratchpad:
+    """Capacity tracker for one worker's temporary child storage.
+
+    Parameters
+    ----------
+    capacity:
+        elements the allocation holds (cost-model ``temp_limit``).
+    extendable:
+        CPU mode — overflow is permitted but recorded; GPU mode raises.
+    """
+
+    capacity: int
+    extendable: bool
+    used: int = 0
+    peak: int = 0
+    extensions: int = 0
+
+    def acquire(self, k: int) -> None:
+        """Reserve ``k`` elements; overflow raises (GPU) or is recorded."""
+        self.used += k
+        if self.used > self.capacity:
+            if not self.extendable:
+                raise ScratchpadOverflow(
+                    f"scratchpad overflow: {self.used} > {self.capacity}"
+                )
+            self.extensions += 1
+        self.peak = max(self.peak, self.used)
+
+    def release(self, k: int) -> None:
+        """Return ``k`` elements to the allocation."""
+        self.used = max(self.used - k, 0)
+
+    def reset(self) -> None:
+        """Empty the scratchpad (batch finished)."""
+        self.used = 0

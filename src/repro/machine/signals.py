@@ -1,0 +1,134 @@
+"""Per-batch signal chain (Sec. IV-B of the paper).
+
+Each queue slot ``i`` owns one *outgoing* signal read by slot ``i + 1``.
+States are strictly monotone::
+
+    NONE < DISCOVERED < COUNTED < COMPLETED
+
+- ``DISCOVERED``  — batches ``0..i`` have all finished (speculative) child
+  discovery, i.e. every mark that can beat a successor's is in place.
+- ``COUNTED``     — batches ``0..i`` know their exact output counts; the
+  payload carries slot ``i+1``'s output offset, its children's queue offset,
+  and any *overhang* (forwarded under-full output, Sec. IV-C).
+- ``COMPLETED``   — additionally, no pending-unwritten overhang reaches past
+  slot ``i``: slot ``i+1`` may safely build batches that include forwarded
+  nodes.
+
+Signaling ``COMPLETED`` implies ``COUNTED`` implies ``DISCOVERED`` — the
+paper's early-signaling conditions rely on that subsumption.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["SignalState", "SignalPayload", "SignalChain"]
+
+
+class SignalState(enum.IntEnum):
+    NONE = 0
+    DISCOVERED = 1
+    COUNTED = 2
+    COMPLETED = 3
+
+
+@dataclass
+class SignalPayload:
+    """Data travelling with a ``COUNTED`` (or stronger) signal.
+
+    Attributes
+    ----------
+    out_next:
+        first free index in the output/permutation array after the sender's
+        own output — the receiver's output start.
+    queue_next:
+        first free queue-slot index after the sender's generated batches —
+        where the receiver's generated batches will go.
+    overhang_start / overhang_end:
+        output-array range of nodes forwarded into the receiver's first
+        generated batch (``start == end`` → no overhang).  The range is
+        always a suffix of the output written so far, so it is contiguous
+        with the receiver's own output.
+    overhang_valence:
+        sum of (scratch-clamped) valences of the forwarded nodes, needed by
+        the receiver's batch planning.
+    """
+
+    out_next: int
+    queue_next: int
+    overhang_start: int = 0
+    overhang_end: int = 0
+    overhang_valence: int = 0
+
+    @property
+    def overhang_nodes(self) -> int:
+        return self.overhang_end - self.overhang_start
+
+    def has_overhang(self) -> bool:
+        """True when forwarded nodes accompany this payload."""
+        return self.overhang_end > self.overhang_start
+
+
+class SignalChain:
+    """The chain of per-slot outgoing signals.
+
+    Slot 0's *incoming* side is virtual: the initial batch behaves as if a
+    predecessor had already written the start node and completed, so
+    ``incoming_state(0) == COMPLETED`` with the bootstrap payload supplied at
+    construction.
+    """
+
+    def __init__(self, bootstrap: SignalPayload):
+        self._states: List[SignalState] = []
+        self._payloads: List[Optional[SignalPayload]] = []
+        self._bootstrap = bootstrap
+
+    def _ensure(self, i: int) -> None:
+        while len(self._states) <= i:
+            self._states.append(SignalState.NONE)
+            self._payloads.append(None)
+
+    # -- sending ----------------------------------------------------------
+    def send(
+        self, i: int, state: SignalState, payload: Optional[SignalPayload] = None
+    ) -> None:
+        """Raise slot ``i``'s outgoing signal to ``state`` (monotone).
+
+        A payload must accompany the first signal at ``COUNTED`` or above;
+        later upgrades keep the stored payload.
+        """
+        self._ensure(i)
+        if state < self._states[i]:
+            raise ValueError(
+                f"signal downgrade on slot {i}: {self._states[i].name} -> {state.name}"
+            )
+        if state >= SignalState.COUNTED and self._payloads[i] is None:
+            if payload is None:
+                raise ValueError(f"slot {i}: COUNTED+ signal requires a payload")
+            self._payloads[i] = payload
+        self._states[i] = state
+
+    # -- receiving --------------------------------------------------------
+    def incoming_state(self, i: int) -> SignalState:
+        """State signalled by slot ``i``'s predecessor."""
+        if i == 0:
+            return SignalState.COMPLETED
+        self._ensure(i - 1)
+        return self._states[i - 1]
+
+    def incoming_payload(self, i: int) -> SignalPayload:
+        """Payload from the predecessor; requires ``incoming_state >= COUNTED``."""
+        if i == 0:
+            return self._bootstrap
+        self._ensure(i - 1)
+        payload = self._payloads[i - 1]
+        if payload is None:
+            raise RuntimeError(f"slot {i}: predecessor has not signalled COUNTED yet")
+        return payload
+
+    def outgoing_state(self, i: int) -> SignalState:
+        """State slot ``i`` has raised so far (``NONE`` before any send)."""
+        self._ensure(i)
+        return self._states[i]

@@ -1,0 +1,172 @@
+"""Per-stage cycle accounting and queue counters.
+
+The paper's Fig. 6 decomposes CPU-BATCH runtime into six stages —
+Discover, Sort, Rediscover, Signal, addNewBatches and Stall — and Fig. 3
+tracks how many queue slots were Generated, Dequeued and Executed (early
+termination and empty batches account for the gaps).  :class:`RunStats`
+collects exactly those quantities during a simulated run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Stage", "StageTimes", "RunStats"]
+
+
+class Stage(enum.Enum):
+    """Algorithm stages used for cycle attribution (Fig. 6 categories)."""
+
+    DISCOVER = "Discover"
+    SORT = "Sort"
+    REDISCOVER = "Rediscover"
+    SIGNAL = "Signal"
+    ADD_BATCHES = "addNewBatches"
+    STALL = "Stall"
+    OTHER = "Other"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Stage ordering used in reports, mirroring Fig. 6's legend.
+STAGE_ORDER = [
+    Stage.DISCOVER,
+    Stage.SORT,
+    Stage.REDISCOVER,
+    Stage.SIGNAL,
+    Stage.ADD_BATCHES,
+    Stage.STALL,
+]
+
+
+@dataclass
+class StageTimes:
+    """Cycle totals per stage for one worker (or aggregated)."""
+
+    cycles: Dict[Stage, float] = field(default_factory=dict)
+
+    def add(self, stage: Stage, cycles: float) -> None:
+        """Accumulate cycles into one stage bucket."""
+        self.cycles[stage] = self.cycles.get(stage, 0.0) + cycles
+
+    def total(self) -> float:
+        """Cycles across all stages."""
+        return float(sum(self.cycles.values()))
+
+    def share(self, stage: Stage) -> float:
+        """Fraction of this worker's cycles spent in ``stage``."""
+        tot = self.total()
+        return self.cycles.get(stage, 0.0) / tot if tot else 0.0
+
+    def merged(self, other: "StageTimes") -> "StageTimes":
+        """Element-wise sum with another accounting record."""
+        out = StageTimes(dict(self.cycles))
+        for st, cy in other.cycles.items():
+            out.add(st, cy)
+        return out
+
+
+@dataclass
+class RunStats:
+    """Everything a simulated RCM run reports besides the permutation."""
+
+    n_workers: int = 1
+    #: simulated makespan: cycle at which the last worker went idle
+    makespan: float = 0.0
+    #: per-worker stage cycles, index == worker id
+    per_worker: List[StageTimes] = field(default_factory=list)
+    # ---- queue counters (Fig. 3) -------------------------------------
+    batches_generated: int = 0
+    batches_dequeued: int = 0
+    batches_executed: int = 0
+    batches_empty: int = 0
+    #: slots left in the queue when early termination fired
+    batches_discarded_by_early_termination: int = 0
+    # ---- speculation counters (ablation / Fig. 5b discussion) --------
+    nodes_discovered_speculatively: int = 0
+    nodes_dropped_by_rediscovery: int = 0
+    rediscovery_passes: int = 0
+    sorted_elements: int = 0
+    #: overhang forwarding events (work-aggregation, Sec. IV-C)
+    overhangs_forwarded: int = 0
+    overhang_nodes: int = 0
+    #: GPU: batches processed through histogram chunking (Sec. V-B)
+    chunked_batches: int = 0
+    histogram_refinements: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.per_worker:
+            self.per_worker = [StageTimes() for _ in range(self.n_workers)]
+
+    # ------------------------------------------------------------------
+    def add_cycles(self, worker: int, stage: Stage, cycles: float) -> None:
+        """Attribute cycles to one worker's stage bucket."""
+        self.per_worker[worker].add(stage, cycles)
+
+    def aggregate(self) -> StageTimes:
+        """Stage cycles summed over all workers."""
+        out = StageTimes()
+        for w in self.per_worker:
+            out = out.merged(w)
+        return out
+
+    def total_cycles(self) -> float:
+        """Sum of all cycles across workers (compute + stall)."""
+        return self.aggregate().total()
+
+    def stage_shares(self) -> Dict[Stage, float]:
+        """Relative cycles per stage over all workers (one Fig. 6 row)."""
+        agg = self.aggregate()
+        tot = agg.total()
+        if not tot:
+            return {st: 0.0 for st in STAGE_ORDER}
+        return {st: agg.cycles.get(st, 0.0) / tot for st in STAGE_ORDER}
+
+    def milliseconds(self, clock_ghz: float) -> float:
+        """Convert the simulated makespan to milliseconds at a clock rate."""
+        return self.makespan / (clock_ghz * 1e6)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (per-stage totals + counters)."""
+        agg = self.aggregate()
+        return {
+            "n_workers": self.n_workers,
+            "makespan": self.makespan,
+            "stage_cycles": {st.value: cy for st, cy in agg.cycles.items()},
+            "stage_shares": {st.value: sh for st, sh in self.stage_shares().items()},
+            "batches": {
+                "generated": self.batches_generated,
+                "dequeued": self.batches_dequeued,
+                "executed": self.batches_executed,
+                "empty": self.batches_empty,
+                "discarded_by_early_termination":
+                    self.batches_discarded_by_early_termination,
+            },
+            "speculation": {
+                "discovered": self.nodes_discovered_speculatively,
+                "dropped": self.nodes_dropped_by_rediscovery,
+                "rediscovery_passes": self.rediscovery_passes,
+                "sorted_elements": self.sorted_elements,
+            },
+            "overhangs": {
+                "forwarded": self.overhangs_forwarded,
+                "nodes": self.overhang_nodes,
+            },
+            "gpu": {
+                "chunked_batches": self.chunked_batches,
+                "histogram_refinements": self.histogram_refinements,
+            },
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable digest (workers, makespan, shares)."""
+        shares = self.stage_shares()
+        parts = ", ".join(f"{st.value}={sh:.1%}" for st, sh in shares.items())
+        return (
+            f"workers={self.n_workers} makespan={self.makespan:.0f}cy "
+            f"gen={self.batches_generated} deq={self.batches_dequeued} "
+            f"exec={self.batches_executed} [{parts}]"
+        )

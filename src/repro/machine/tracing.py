@@ -1,0 +1,108 @@
+"""Execution-trace visualization for simulated runs.
+
+The engine (with ``trace=True``) records every ``(time, worker, stage,
+cycles)`` event.  This module renders that trace as an ASCII Gantt chart
+(what each worker did when — speculation, waits and the signal chain become
+visible) and exports Chrome-tracing JSON (load in ``chrome://tracing`` or
+Perfetto) for interactive inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+__all__ = ["ascii_gantt", "to_chrome_tracing", "stage_timeline"]
+
+TraceEvent = Tuple[float, int, str, float]  # (start, worker, stage, cycles)
+
+#: one glyph per stage for the Gantt lanes
+_GLYPHS: Dict[str, str] = {
+    "Discover": "D",
+    "Sort": "S",
+    "Rediscover": "r",
+    "Signal": "g",
+    "addNewBatches": "A",
+    "Stall": ".",
+    "Other": "o",
+}
+
+
+def ascii_gantt(
+    trace: Sequence[TraceEvent],
+    *,
+    width: int = 100,
+    n_workers: int = 0,
+) -> str:
+    """Render the trace as one text lane per worker.
+
+    Each column spans ``makespan / width`` cycles; the glyph shows the stage
+    occupying most of that slice (idle = space).  Legend appended.
+    """
+    if not trace:
+        return "(empty trace)"
+    makespan = max(t + c for t, _, _, c in trace)
+    if makespan <= 0:
+        return "(zero-length trace)"
+    workers = n_workers or (max(w for _, w, _, _ in trace) + 1)
+    scale = makespan / width
+    # per worker per column: cycles per stage
+    lanes: List[List[Dict[str, float]]] = [
+        [dict() for _ in range(width)] for _ in range(workers)
+    ]
+    for start, wid, stage, cycles in trace:
+        end = start + cycles
+        c0 = min(int(start / scale), width - 1)
+        c1 = min(int(end / scale), width - 1)
+        for col in range(c0, c1 + 1):
+            col_start = col * scale
+            col_end = col_start + scale
+            overlap = min(end, col_end) - max(start, col_start)
+            if overlap > 0:
+                lanes[wid][col][stage] = lanes[wid][col].get(stage, 0.0) + overlap
+
+    lines = [f"simulated Gantt — {makespan:.0f} cycles, {workers} workers"]
+    for wid in range(workers):
+        row = []
+        for col in lanes[wid]:
+            if not col:
+                row.append(" ")
+            else:
+                stage = max(col.items(), key=lambda kv: kv[1])[0]
+                row.append(_GLYPHS.get(stage, "?"))
+        lines.append(f"w{wid:<3d}|{''.join(row)}|")
+    legend = "  ".join(f"{g}={s}" for s, g in _GLYPHS.items())
+    lines.append(f"     {legend}")
+    return "\n".join(lines)
+
+
+def to_chrome_tracing(
+    trace: Sequence[TraceEvent],
+    path: Union[str, Path],
+    *,
+    clock_ghz: float = 4.0,
+) -> None:
+    """Write the trace as Chrome-tracing JSON (microsecond timestamps)."""
+    events = []
+    for start, wid, stage, cycles in trace:
+        events.append({
+            "name": stage,
+            "ph": "X",
+            "ts": start / (clock_ghz * 1e3),     # cycles -> µs
+            "dur": cycles / (clock_ghz * 1e3),
+            "pid": 0,
+            "tid": wid,
+            "args": {"cycles": cycles},
+        })
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    Path(path).write_text(json.dumps(payload))
+
+
+def stage_timeline(
+    trace: Sequence[TraceEvent], stage: str
+) -> List[Tuple[float, float]]:
+    """(start, end) intervals of one stage across all workers, time-sorted."""
+    spans = [(t, t + c) for t, _, s, c in trace if s == stage]
+    spans.sort()
+    return spans

@@ -1,0 +1,110 @@
+"""Ordered work queue with slot reservation and early termination.
+
+The paper's queue keeps batches "according to their desired execution order"
+and hands them out strictly in that order.  Slots are *reserved* ahead of
+being filled (early batch generation, Sec. IV-C) and may be filled out of
+chronological order — a later batch can finish before an earlier one — so
+the queue's head can be an unfilled slot; workers then wait for the fill.
+
+Consumption is take-at-head: a worker takes the head slot only once it is
+filled, so batches start in queue order across all workers.  Taking is a
+commitment — a taken batch always runs its full signal protocol — and since
+takes happen in order, every batch's predecessor has also been taken and
+will eventually signal: the chain can never break, even when the
+early-termination flag (Sec. IV-D) stops workers from taking further slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["BatchSlot", "WorkQueue"]
+
+
+@dataclass
+class BatchSlot:
+    """One queue slot: a contiguous range of the output array used as the
+    batch input.  ``empty`` marks padding slots from the GPU's batch-count
+    over-estimation; they run the (trivial) signal protocol and are counted
+    as discarded rather than executed."""
+
+    index: int
+    out_start: int = 0
+    out_end: int = 0
+    filled: bool = False
+    empty: bool = False
+
+    @property
+    def n_parents(self) -> int:
+        return self.out_end - self.out_start
+
+
+class WorkQueue:
+    """Slot-ordered queue with reservation, ordered takes and early exit."""
+
+    def __init__(self) -> None:
+        self._slots: List[BatchSlot] = []
+        self._cursor: int = 0
+        self.done: bool = False
+        # Fig. 3 counters
+        self.n_generated: int = 0
+        self.n_dequeued: int = 0
+        self.n_executed: int = 0
+        self.n_empty_discarded: int = 0
+
+    # ------------------------------------------------------------------
+    def _ensure(self, idx: int) -> None:
+        while len(self._slots) <= idx:
+            self._slots.append(BatchSlot(index=len(self._slots)))
+
+    def fill(
+        self, idx: int, out_start: int, out_end: int, *, empty: bool = False
+    ) -> BatchSlot:
+        """Populate slot ``idx`` (reserving intermediate slots as needed)."""
+        self._ensure(idx)
+        slot = self._slots[idx]
+        if slot.filled:
+            raise RuntimeError(f"queue slot {idx} filled twice")
+        slot.out_start = out_start
+        slot.out_end = out_end
+        slot.empty = empty or out_end <= out_start
+        slot.filled = True
+        self.n_generated += 1
+        return slot
+
+    # ------------------------------------------------------------------
+    def head_ready(self) -> bool:
+        """True when the head slot exists and is filled."""
+        return self._cursor < len(self._slots) and self._slots[self._cursor].filled
+
+    def take_next(self) -> Optional[BatchSlot]:
+        """Take the head slot if it is filled; ``None`` when the head is not
+        ready yet.  Callers must check :attr:`done` first — once the
+        early-termination flag is set no further slots are handed out."""
+        if self.done or not self.head_ready():
+            return None
+        slot = self._slots[self._cursor]
+        self._cursor += 1
+        self.n_dequeued += 1
+        if slot.empty:
+            self.n_empty_discarded += 1
+        return slot
+
+    def mark_executed(self) -> None:
+        """Count one non-empty batch that ran to completion (Fig. 3)."""
+        self.n_executed += 1
+
+    def terminate(self) -> None:
+        """Set the early-termination flag (permutation complete)."""
+        self.done = True
+
+    # ------------------------------------------------------------------
+    @property
+    def slots_remaining(self) -> int:
+        """Filled-but-never-taken slots (discarded by early termination)."""
+        return sum(1 for s in self._slots[self._cursor :] if s.filled)
+
+    def __len__(self) -> int:
+        """Number of reserved slots (filled or not)."""
+        return len(self._slots)

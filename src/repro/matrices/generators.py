@@ -1,0 +1,347 @@
+"""Structural matrix generators.
+
+All generators return pattern-only, structurally symmetric
+:class:`~repro.sparse.CSRMatrix` objects with sorted row indices and no
+duplicate entries.  Randomized generators take an explicit ``seed`` and are
+fully deterministic for a given seed (NumPy ``default_rng``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix, coo_to_csr
+
+__all__ = [
+    "grid2d",
+    "grid3d",
+    "banded",
+    "random_geometric",
+    "delaunay_mesh",
+    "rmat",
+    "powerlaw_cluster",
+    "hub_matrix",
+    "block_dense",
+    "road_network",
+    "bundle_adjustment",
+    "caterpillar",
+]
+
+
+def _from_edges(n: int, rows: np.ndarray, cols: np.ndarray) -> CSRMatrix:
+    """Symmetrize an edge list (drop self loops, both directions, dedupe)."""
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    r = np.concatenate([rows, cols])
+    c = np.concatenate([cols, rows])
+    return coo_to_csr(n, r, c)
+
+
+# ----------------------------------------------------------------------
+# regular structures
+# ----------------------------------------------------------------------
+def grid2d(nx: int, ny: int, *, stencil: int = 5) -> CSRMatrix:
+    """2-D grid graph (5- or 9-point stencil, off-diagonal pattern only).
+
+    Analogue of *ecology1* (5-point) and moderately banded FEM problems.
+    The BFS front from a corner is an anti-diagonal of width ``O(min(nx,ny))``.
+    """
+    if stencil not in (5, 9):
+        raise ValueError("stencil must be 5 or 9")
+    idx = np.arange(nx * ny, dtype=np.int64).reshape(ny, nx)
+    pairs = [
+        (idx[:, :-1], idx[:, 1:]),  # horizontal
+        (idx[:-1, :], idx[1:, :]),  # vertical
+    ]
+    if stencil == 9:
+        pairs.append((idx[:-1, :-1], idx[1:, 1:]))  # diag \
+        pairs.append((idx[:-1, 1:], idx[1:, :-1]))  # diag /
+    rows = np.concatenate([a.ravel() for a, _ in pairs])
+    cols = np.concatenate([b.ravel() for _, b in pairs])
+    return _from_edges(nx * ny, rows, cols)
+
+
+def grid3d(nx: int, ny: int, nz: int, *, stencil: int = 7) -> CSRMatrix:
+    """3-D grid graph (7- or 27-point stencil).
+
+    Analogue of the FEM matrices (*Emilia_923*, *audikw_1*, *Flan_1565*):
+    wide BFS fronts ``O(n^{2/3})`` that favour the parallel versions.
+    """
+    if stencil not in (7, 27):
+        raise ValueError("stencil must be 7 or 27")
+    idx = np.arange(nx * ny * nz, dtype=np.int64).reshape(nz, ny, nx)
+    rows_list = []
+    cols_list = []
+
+    def add(a: np.ndarray, b: np.ndarray) -> None:
+        rows_list.append(a.ravel())
+        cols_list.append(b.ravel())
+
+    add(idx[:, :, :-1], idx[:, :, 1:])
+    add(idx[:, :-1, :], idx[:, 1:, :])
+    add(idx[:-1, :, :], idx[1:, :, :])
+    if stencil == 27:
+        for dz in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    if (dz, dy, dx) <= (0, 0, 0):
+                        continue
+                    if abs(dz) + abs(dy) + abs(dx) <= 1:
+                        continue  # already added axis neighbours
+                    src = idx[
+                        max(0, -dz) : nz - max(0, dz),
+                        max(0, -dy) : ny - max(0, dy),
+                        max(0, -dx) : nx - max(0, dx),
+                    ]
+                    dst = idx[
+                        max(0, dz) : nz + min(0, dz),
+                        max(0, dy) : ny + min(0, dy),
+                        max(0, dx) : nx + min(0, dx),
+                    ]
+                    add(src, dst)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return _from_edges(nx * ny * nz, rows, cols)
+
+
+def banded(n: int, half_bandwidth: int, *, density: float = 1.0, seed: int = 0) -> CSRMatrix:
+    """Symmetric banded pattern with optional random thinning.
+
+    With ``density == 1`` every entry within the band is present.  A banded
+    matrix is RCM's best case: the natural order is already near optimal.
+    """
+    if half_bandwidth < 1:
+        raise ValueError("half_bandwidth must be >= 1")
+    rng = np.random.default_rng(seed)
+    rows_list = []
+    cols_list = []
+    for off in range(1, half_bandwidth + 1):
+        r = np.arange(n - off, dtype=np.int64)
+        c = r + off
+        if density < 1.0:
+            keep = rng.random(r.size) < density
+            r, c = r[keep], c[keep]
+        rows_list.append(r)
+        cols_list.append(c)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return _from_edges(n, rows, cols)
+
+
+# ----------------------------------------------------------------------
+# geometric / mesh structures
+# ----------------------------------------------------------------------
+def random_geometric(
+    n: int,
+    *,
+    k: int = 6,
+    aspect: float = 1.0,
+    seed: int = 0,
+) -> CSRMatrix:
+    """k-nearest-neighbour graph on uniform points in an ``aspect × 1`` box.
+
+    ``aspect >> 1`` produces long skinny domains with a narrow BFS front
+    (road-network-like); ``aspect == 1`` mesh-like graphs.
+    """
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    pts[:, 0] *= aspect
+    from scipy.spatial import cKDTree
+
+    tree = cKDTree(pts)
+    _, nbrs = tree.query(pts, k=k + 1)
+    rows = np.repeat(np.arange(n, dtype=np.int64), k)
+    cols = nbrs[:, 1:].astype(np.int64).ravel()
+    return _from_edges(n, rows, cols)
+
+
+def delaunay_mesh(n: int, *, seed: int = 0) -> CSRMatrix:
+    """Delaunay triangulation of random points — analogue of *delaunay_n23*
+    and 2-D FEM meshes (*bodyy4*)."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    from scipy.spatial import Delaunay
+
+    tri = Delaunay(pts)
+    simplices = tri.simplices.astype(np.int64)
+    rows = np.concatenate([simplices[:, 0], simplices[:, 1], simplices[:, 2]])
+    cols = np.concatenate([simplices[:, 1], simplices[:, 2], simplices[:, 0]])
+    return _from_edges(n, rows, cols)
+
+
+# ----------------------------------------------------------------------
+# power-law / social structures
+# ----------------------------------------------------------------------
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+) -> CSRMatrix:
+    """Recursive-MATrix (Graph500-style) power-law graph on ``2**scale``
+    nodes — analogue of *coPapersDBLP* / *human_gene2*: highly skewed
+    valences and a shallow, very wide BFS."""
+    n = 1 << scale
+    m = n * edge_factor
+    rng = np.random.default_rng(seed)
+    rows = np.zeros(m, dtype=np.int64)
+    cols = np.zeros(m, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(m)
+        # quadrant probabilities: a | b / c | d
+        south = r >= a + b  # row bit set
+        east = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        rows |= south.astype(np.int64) << bit
+        cols |= east.astype(np.int64) << bit
+    return _from_edges(n, rows, cols)
+
+
+def powerlaw_cluster(n: int, m: int = 4, *, seed: int = 0) -> CSRMatrix:
+    """Barabási–Albert-style preferential attachment (vectorized enough for
+    laptop sizes) — an alternative skewed-valence generator."""
+    if m < 1 or m >= n:
+        raise ValueError("need 1 <= m < n")
+    rng = np.random.default_rng(seed)
+    # repeated-node list trick: attach new node to m sampled endpoints
+    targets = list(range(m))
+    repeated: list = []
+    rows_list = []
+    cols_list = []
+    for v in range(m, n):
+        rows_list.extend([v] * m)
+        cols_list.extend(targets)
+        repeated.extend(targets)
+        repeated.extend([v] * m)
+        idx = rng.integers(0, len(repeated), size=m)
+        targets = [repeated[i] for i in idx]
+    rows = np.asarray(rows_list, dtype=np.int64)
+    cols = np.asarray(cols_list, dtype=np.int64)
+    return _from_edges(n, rows, cols)
+
+
+def hub_matrix(
+    n: int,
+    *,
+    n_hubs: int = 4,
+    hub_degree_frac: float = 0.8,
+    base_half_bandwidth: int = 8,
+    seed: int = 0,
+) -> CSRMatrix:
+    """Banded matrix plus a few near-dense hub rows.
+
+    Analogue of *gupta3*: tiny dimension but enormous maximum valence
+    (hub rows touching most of the matrix), which stresses single-node
+    batches and (on the GPU) scratchpad-overflow chunking.
+    """
+    rng = np.random.default_rng(seed)
+    base = banded(n, base_half_bandwidth, seed=seed)
+    rows_list = [np.repeat(np.arange(n, dtype=np.int64), np.diff(base.indptr))]
+    cols_list = [base.indices]
+    hubs = rng.choice(n, size=n_hubs, replace=False).astype(np.int64)
+    deg = int(hub_degree_frac * n)
+    for h in hubs:
+        nb = rng.choice(n, size=deg, replace=False).astype(np.int64)
+        rows_list.append(np.full(deg, h, dtype=np.int64))
+        cols_list.append(nb)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return _from_edges(n, rows, cols)
+
+
+def block_dense(
+    n_blocks: int,
+    block_size: int,
+    *,
+    coupling: int = 2,
+    seed: int = 0,
+) -> CSRMatrix:
+    """Chain of dense diagonal blocks with sparse coupling between
+    neighbouring blocks — analogue of *nd12k*/*nd24k* (small dimension, very
+    high density, wide local fronts)."""
+    n = n_blocks * block_size
+    rng = np.random.default_rng(seed)
+    rows_list = []
+    cols_list = []
+    for b in range(n_blocks):
+        base = b * block_size
+        tri_r, tri_c = np.triu_indices(block_size, k=1)
+        rows_list.append(tri_r.astype(np.int64) + base)
+        cols_list.append(tri_c.astype(np.int64) + base)
+        if b + 1 < n_blocks:
+            nxt = base + block_size
+            for _ in range(coupling * block_size):
+                rows_list.append(
+                    np.array([base + rng.integers(block_size)], dtype=np.int64)
+                )
+                cols_list.append(
+                    np.array([nxt + rng.integers(block_size)], dtype=np.int64)
+                )
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return _from_edges(n, rows, cols)
+
+
+def road_network(n: int, *, seed: int = 0) -> CSRMatrix:
+    """Long, narrow, low-degree near-planar graph.
+
+    Analogue of *great-britain_osm* / *hugebubbles*: tiny average valence and
+    a huge BFS depth, i.e. almost no parallelism for RCM — the regime where
+    the paper's approach stops scaling.
+    """
+    # a skinny kNN strip with k=3 gives degree ~3-6 and diameter O(n / width)
+    return random_geometric(n, k=3, aspect=max(4.0, n / 400.0), seed=seed)
+
+
+def bundle_adjustment(
+    n_cameras: int,
+    n_points: int,
+    *,
+    observations_per_point: int = 4,
+    seed: int = 0,
+) -> CSRMatrix:
+    """Camera/point bipartite coupling plus dense camera-camera block —
+    analogue of *bundle_adj* (an arrowhead-like pattern with a huge initial
+    bandwidth that RCM cannot fully flatten)."""
+    rng = np.random.default_rng(seed)
+    n = n_cameras + n_points
+    # each point observed by a few "nearby" cameras
+    cam_centers = np.sort(rng.integers(0, n_cameras, size=n_points))
+    rows_list = []
+    cols_list = []
+    for k in range(observations_per_point):
+        cams = (cam_centers + rng.integers(-2, 3, size=n_points)) % n_cameras
+        rows_list.append(np.arange(n_points, dtype=np.int64) + n_cameras)
+        cols_list.append(cams.astype(np.int64))
+    # camera-camera connectivity (sliding window)
+    w = 6
+    for off in range(1, w + 1):
+        r = np.arange(n_cameras - off, dtype=np.int64)
+        rows_list.append(r)
+        cols_list.append(r + off)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return _from_edges(n, rows, cols)
+
+
+def caterpillar(spine: int, legs: int) -> CSRMatrix:
+    """Spine path with ``legs`` pendant nodes per spine node.
+
+    A pathological narrow-front graph used in unit tests: the BFS front is
+    tiny, so batch RCM degenerates to near-serial execution and stalls
+    dominate — a deterministic fixture for stall accounting.
+    """
+    n = spine * (1 + legs)
+    rows_list = [np.arange(spine - 1, dtype=np.int64)]
+    cols_list = [np.arange(1, spine, dtype=np.int64)]
+    leg_ids = np.arange(spine * legs, dtype=np.int64) + spine
+    spine_of_leg = np.repeat(np.arange(spine, dtype=np.int64), legs)
+    rows_list.append(spine_of_leg)
+    cols_list.append(leg_ids)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return _from_edges(n, rows, cols)

@@ -1,0 +1,58 @@
+"""Mycielski graph construction.
+
+*mycielskian18* is the paper's most striking outlier: early termination lets
+batch RCM skip >99% of generated batches, yielding a superlinear speedup
+(Table I: 213.77 ms serial vs 8.73 ms CPU-BATCH).  The effect is structural —
+Mycielskians are dense, small-diameter graphs where almost every node is
+discovered within the first couple of batches, so the queue fills with
+batches that will never own a child.  Reproducing that effect requires the
+*exact* construction, not an analogue, so this module implements it.
+
+``M_2`` is a single edge (K2); ``M_{k+1}`` is the Mycielskian of ``M_k``:
+given G with nodes ``v_1..v_n``, add shadow nodes ``u_1..u_n`` and a hub
+``w``; connect ``u_i`` to all neighbours of ``v_i`` and to ``w``.
+The Mycielskian of a graph with n nodes and m edges has ``2n + 1`` nodes and
+``3m + n`` edges; mycielskian-k has chromatic number k with no triangle
+growth beyond the base.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix, coo_to_csr
+
+__all__ = ["mycielskian", "mycielski_step"]
+
+
+def mycielski_step(edges: np.ndarray, n: int) -> tuple:
+    """One Mycielski step on an undirected edge list (each edge once)."""
+    u_off = n
+    w = 2 * n
+    # original edges, shadow edges (u_i, neighbour of v_i) both directions
+    shadow_a = np.stack([edges[:, 0] + u_off, edges[:, 1]], axis=1)
+    shadow_b = np.stack([edges[:, 1] + u_off, edges[:, 0]], axis=1)
+    hub = np.stack(
+        [np.arange(n, dtype=np.int64) + u_off, np.full(n, w, dtype=np.int64)], axis=1
+    )
+    new_edges = np.concatenate([edges, shadow_a, shadow_b, hub], axis=0)
+    return new_edges, 2 * n + 1
+
+
+def mycielskian(k: int) -> CSRMatrix:
+    """The Mycielski graph ``M_k`` as a symmetric pattern matrix.
+
+    ``k == 2`` is a single edge; ``k == 3`` the 5-cycle (Grötzsch ladder
+    base); the paper uses ``k == 18`` (196,608 nodes).  ``k`` up to ~15 is
+    practical in RAM at laptop scale (``M_k`` has ``3 * 2^{k-2} - 1`` nodes:
+    M15 ≈ 24k nodes, ~10M edges).
+    """
+    if k < 2:
+        raise ValueError("mycielskian is defined for k >= 2")
+    edges = np.array([[0, 1]], dtype=np.int64)
+    n = 2
+    for _ in range(k - 2):
+        edges, n = mycielski_step(edges, n)
+    rows = np.concatenate([edges[:, 0], edges[:, 1]])
+    cols = np.concatenate([edges[:, 1], edges[:, 0]])
+    return coo_to_csr(n, rows, cols)

@@ -1,0 +1,315 @@
+"""Test-set registry: laptop-scale analogues of the paper's Table I rows.
+
+Every entry records (a) the paper's reference statistics and timings for the
+SuiteSparse matrix (used by EXPERIMENTS.md to compare *shape*, never absolute
+numbers), and (b) a generator producing a structurally analogous matrix at a
+size that runs in seconds on one core.
+
+The analogue choices and why they preserve the regime:
+
+====================  ==========================================  ===========================
+paper matrix          structural regime                           analogue
+====================  ==========================================  ===========================
+bcspwr10              power grid: low degree, narrow front        skinny kNN graph
+bodyy4                2-D FEM mesh                                Delaunay triangulation
+benzene               quantum chemistry: dense rows, wide front   27-pt 3-D grid
+ncvxqp3               QP KKT system                               KKT on 2-D grid
+ecology1              5-pt 2-D grid (exact structure)             5-pt 2-D grid
+gupta3                few near-dense hub rows                     banded + hubs
+SiO2                  chemistry, skewed valence                   27-pt 3-D grid + hubs
+CurlCurl_3            3-D EM FEM, ~11 nnz/row                     7-pt 3-D grid
+nd12k / nd24k         chained dense blocks                        block_dense
+Si41Ge41H72           quantum chemistry                           27-pt 3-D grid
+great-britain_osm     road network: huge diameter                 long skinny kNN strip
+human_gene2           gene network: shallow + skewed              RMAT
+Ga41As41H72           quantum chemistry                           27-pt 3-D grid
+bundle_adj            arrowhead camera/point system               bundle_adjustment
+coPapersDBLP          social/citation power law                   preferential attachment
+Emilia_923            3-D geomechanical FEM                       27-pt 3-D grid
+delaunay_n23          Delaunay mesh (exact structure)             Delaunay triangulation
+hugebubbles-00020     2-D adaptive mesh, huge diameter            tall thin 2-D grid
+audikw_1              3-D FEM, ~82 nnz/row                        27-pt 3-D grid
+nlpkkt120..240        3-D PDE-constrained KKT (exact shape)       nlpkkt_like
+mycielskian18         Mycielski graph (exact construction)        mycielskian(12)
+====================  ==========================================  ===========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix, coo_to_csr
+from repro.matrices import generators as g
+from repro.matrices.kkt import kkt_system, nlpkkt_like
+from repro.matrices.mycielski import mycielskian
+
+__all__ = ["SuiteEntry", "TESTSET", "get_matrix", "matrix_names", "PaperRow"]
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """Reference numbers from the paper's Table I (timings in ms).
+
+    ``None`` marks entries the paper leaves blank (Reorderlib failures).
+    Some Table I cells are ambiguous in the extracted text; values here are
+    best-effort and used only for qualitative shape comparison.
+    """
+
+    n: float
+    nnz: float
+    init_bw: float
+    reord_bw: float
+    hsl: Optional[float]
+    reorderlib: Optional[float]
+    cpu_rcm: float
+    cpu_batch_basic: float
+    cpu_batch: float
+    gpu_rcm: float
+    gpu_batch: float
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One test-set row: a named generator plus the paper's reference row."""
+
+    name: str
+    make: Callable[[], CSRMatrix]
+    regime: str
+    paper: PaperRow
+    size_class: str  # "small" | "medium" | "large" per the paper's NNZ bands
+
+    def build(self) -> CSRMatrix:
+        """Generate the analogue matrix (uncached)."""
+        return self.make()
+
+
+def _chemistry(m: int, hubs: int, seed: int) -> CSRMatrix:
+    """27-point 3-D grid with a few hub rows — chemistry-matrix analogue."""
+    base = g.grid3d(m, m, m, stencil=27)
+    if hubs == 0:
+        return base
+    n = base.n
+    rng = np.random.default_rng(seed)
+    rows = [np.repeat(np.arange(n, dtype=np.int64), np.diff(base.indptr))]
+    cols = [base.indices]
+    hub_ids = rng.choice(n, size=hubs, replace=False)
+    deg = n // 3
+    for h in hub_ids:
+        nb = rng.choice(n, size=deg, replace=False).astype(np.int64)
+        rows.append(np.full(deg, h, dtype=np.int64))
+        cols.append(nb)
+    r = np.concatenate(rows)
+    c = np.concatenate(cols)
+    keep = r != c
+    rr = np.concatenate([r[keep], c[keep]])
+    cc = np.concatenate([c[keep], r[keep]])
+    return coo_to_csr(n, rr, cc)
+
+
+TESTSET: List[SuiteEntry] = [
+    SuiteEntry(
+        "bcspwr10",
+        lambda: g.random_geometric(5300, k=3, aspect=3.0, seed=10),
+        "narrow-front power grid",
+        PaperRow(5.3e3, 22e3, 5189, 285, 1.28, 1.98, 0.26, 0.33, 0.33, 3.81, 1.09),
+        "small",
+    ),
+    SuiteEntry(
+        "bodyy4",
+        lambda: g.delaunay_mesh(6000, seed=11),
+        "2-D FEM mesh",
+        PaperRow(17.5e3, 122e3, 16818, 248, 1.49, 2.24, 0.29, 0.78, 0.76, 10.74, 2.89),
+        "small",
+    ),
+    SuiteEntry(
+        "benzene",
+        lambda: g.grid3d(14, 14, 14, stencil=27),
+        "chemistry, wide front",
+        PaperRow(8.2e3, 243e3, 2898, 1905, 2.11, 2.17, 0.30, 0.56, 0.64, 4.55, 0.43),
+        "small",
+    ),
+    SuiteEntry(
+        "ncvxqp3",
+        lambda: kkt_system(g.grid2d(60, 60), 1600, seed=12),
+        "QP KKT",
+        PaperRow(75e3, 500e3, 69996, 14154, 11.34, 11.44, 2.38, 2.36, 2.33, 7.56, 0.91),
+        "small",
+    ),
+    SuiteEntry(
+        "ecology1",
+        lambda: g.grid2d(110, 110),
+        "5-pt 2-D grid",
+        PaperRow(1.0e6, 5.0e6, 1000, 1000, 154.95, 190.84, 26.81, 31.13, 40.61, 541.21, 57.21),
+        "small",
+    ),
+    SuiteEntry(
+        "gupta3",
+        lambda: g.hub_matrix(3000, n_hubs=6, hub_degree_frac=0.8, base_half_bandwidth=8, seed=13),
+        "dense hub rows",
+        PaperRow(16.8e3, 9.3e6, 16744, 15584, 59.00, 21.73, 5.64, 1.18, 1.67, 33.10, 1.16),
+        "medium",
+    ),
+    SuiteEntry(
+        "SiO2",
+        lambda: _chemistry(13, hubs=3, seed=14),
+        "chemistry + hubs",
+        PaperRow(155.3e3, 11.3e6, 55068, 20209, 104.41, 75.64, 16.30, 12.09, 11.10, 22.99, 9.71),
+        "medium",
+    ),
+    SuiteEntry(
+        "CurlCurl_3",
+        lambda: g.grid3d(22, 22, 22, stencil=7),
+        "3-D EM FEM",
+        PaperRow(1.2e6, 13.5e6, 26759, 20045, 179.05, 271.25, 44.74, 40.79, 31.41, 78.98, 17.94),
+        "medium",
+    ),
+    SuiteEntry(
+        "nd12k",
+        lambda: g.block_dense(14, 56, coupling=2, seed=15),
+        "chained dense blocks",
+        PaperRow(36e3, 14.2e6, 34517, 6341, 100.52, 26.73, 12.47, 9.14, 8.18, 22.90, 15.49),
+        "medium",
+    ),
+    SuiteEntry(
+        "Si41Ge41H72",
+        lambda: g.grid3d(13, 13, 13, stencil=27),
+        "chemistry",
+        PaperRow(185.6e3, 15.0e6, 31518, 26518, 144.77, 72.66, 22.82, 16.69, 15.30, 28.04, 16.92),
+        "medium",
+    ),
+    SuiteEntry(
+        "great-britain_osm",
+        lambda: g.road_network(14000, seed=16),
+        "road network, huge diameter",
+        PaperRow(7.7e6, 16.3e6, 7693184, 4677, 1274.45, None, 291.08, 326.02, 270.17, 3875.03, 223.12),
+        "medium",
+    ),
+    SuiteEntry(
+        "human_gene2",
+        lambda: g.rmat(12, edge_factor=24, seed=17),
+        "gene network, skewed",
+        PaperRow(14.3e3, 18.1e6, 14257, 12037, 150.54, 56.28, 11.65, 9.29, 8.69, 29.49, 20.63),
+        "medium",
+    ),
+    SuiteEntry(
+        "Ga41As41H72",
+        lambda: g.grid3d(14, 14, 14, stencil=27),
+        "chemistry",
+        PaperRow(268.1e3, 18.5e6, 40195, 33379, 189.44, 97.18, 30.06, 21.93, 19.36, 34.00, 20.63),
+        "medium",
+    ),
+    SuiteEntry(
+        "bundle_adj",
+        lambda: g.bundle_adjustment(500, 9000, seed=18),
+        "arrowhead",
+        PaperRow(513.4e3, 20.2e6, 510044, 20738, 87.54, 144.39, 29.76, 22.41, 27.17, 341.25, 16.49),
+        "medium",
+    ),
+    SuiteEntry(
+        "nd24k",
+        lambda: g.block_dense(20, 64, coupling=2, seed=19),
+        "chained dense blocks",
+        PaperRow(72e3, 28.7e6, 68114, 11291, 200.89, 46.14, 23.77, 16.41, 15.59, 36.16, 31.24),
+        "medium",
+    ),
+    SuiteEntry(
+        "coPapersDBLP",
+        lambda: g.powerlaw_cluster(9000, m=12, seed=20),
+        "citation power law",
+        PaperRow(540.5e3, 30.5e6, 539587, 254848, 392.93, None, 65.34, 27.32, 26.42, 47.15, 31.60),
+        "large",
+    ),
+    SuiteEntry(
+        "Emilia_923",
+        lambda: g.grid3d(17, 17, 17, stencil=27),
+        "3-D geomechanical FEM",
+        PaperRow(923.1e3, 41.0e6, 17279, 16883, 194.62, 213.01, 47.06, 45.44, 30.71, 89.60, 49.25),
+        "large",
+    ),
+    SuiteEntry(
+        "delaunay_n23",
+        lambda: g.delaunay_mesh(16000, seed=21),
+        "Delaunay mesh",
+        PaperRow(8.4e6, 50.3e6, 8382693, 16777, 1557.97, None, 271.13, 153.71, 132.41, 828.79, 79.03),
+        "large",
+    ),
+    SuiteEntry(
+        "hugebubbles-00020",
+        lambda: g.grid2d(650, 26),
+        "2-D mesh, huge diameter",
+        PaperRow(21.2e6, 63.6e6, 21188550, 4575, 9377.19, None, 1598.78, 1241.05, 905.41, 8490.28, 248.43),
+        "large",
+    ),
+    SuiteEntry(
+        "audikw_1",
+        lambda: g.grid3d(16, 16, 16, stencil=27),
+        "3-D FEM, dense rows",
+        PaperRow(943.7e3, 77.7e6, 925946, 34400, 377.90, 244.46, 118.25, 58.99, 49.58, 139.62, 85.55),
+        "large",
+    ),
+    SuiteEntry(
+        "nlpkkt120",
+        lambda: nlpkkt_like(12, seed=22),
+        "3-D KKT",
+        PaperRow(3.5e6, 96.8e6, 1814521, 86876, 1411.13, 837.78, 383.20, 203.19, 132.63, 200.00, 114.05),
+        "large",
+    ),
+    SuiteEntry(
+        "Flan_1565",
+        lambda: g.grid3d(18, 18, 18, stencil=27),
+        "3-D FEM shell",
+        PaperRow(1.6e6, 117.4e6, 20702, 20849, 510.34, 339.62, 168.81, 89.83, 68.62, 223.86, 134.16),
+        "large",
+    ),
+    SuiteEntry(
+        "nlpkkt160",
+        lambda: nlpkkt_like(15, seed=23),
+        "3-D KKT",
+        PaperRow(8.3e6, 229.5e6, 4249761, 154236, 3675.97, 1912.27, 1166.98, 436.58, 286.23, 442.00, 268.57),
+        "large",
+    ),
+    SuiteEntry(
+        "mycielskian18",
+        lambda: mycielskian(12),
+        "Mycielski (early-termination outlier)",
+        PaperRow(196.6e3, 300.9e6, 196590, 196589, 2770.78, None, 213.77, 8.73, 8.58, 468.59, 14.02),
+        "large",
+    ),
+    SuiteEntry(
+        "nlpkkt200",
+        lambda: nlpkkt_like(18, seed=24),
+        "3-D KKT",
+        PaperRow(16.2e6, 448.2e6, 8240201, 240796, 7335.28, 3402.59, 2547.49, 784.54, 540.97, 814.90, 520.01),
+        "large",
+    ),
+    SuiteEntry(
+        "nlpkkt240",
+        lambda: nlpkkt_like(21, seed=25),
+        "3-D KKT",
+        PaperRow(28.0e6, 774.5e6, 14169841, 346556, 13218.79, 5644.68, 4574.78, 1283.31, 938.80, 1534.99, 900.77),
+        "large",
+    ),
+]
+
+_BY_NAME: Dict[str, SuiteEntry] = {e.name: e for e in TESTSET}
+_CACHE: Dict[str, CSRMatrix] = {}
+
+
+def matrix_names() -> List[str]:
+    """Names of all test-set matrices in Table I (NNZ-ascending) order."""
+    return [e.name for e in TESTSET]
+
+
+def get_matrix(name: str, *, cache: bool = True) -> CSRMatrix:
+    """Build (and memoize) the analogue matrix for a Table I row."""
+    if name not in _BY_NAME:
+        raise KeyError(f"unknown test-set matrix {name!r}; see matrix_names()")
+    if cache and name in _CACHE:
+        return _CACHE[name]
+    mat = _BY_NAME[name].build()
+    if cache:
+        _CACHE[name] = mat
+    return mat

@@ -1,0 +1,86 @@
+"""Running on the real SuiteSparse matrices (when you have network access).
+
+The benchmarks in this repository run on synthetic analogues so everything
+works offline; this module is the bridge to the genuine article.  It knows
+each Table I matrix's SuiteSparse group, builds download URLs, and loads a
+downloaded file through the right reader — so
+
+::
+
+    url = suitesparse_url("gupta3")           # fetch this yourself
+    mat = load_suitesparse("~/Downloads/gupta3.mtx.gz")
+    reverse_cuthill_mckee(mat, method="batch-cpu", n_workers=12)
+
+reproduces the paper's experiments on its actual inputs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["SUITESPARSE_GROUPS", "suitesparse_url", "load_suitesparse"]
+
+#: SuiteSparse collection group of every Table I matrix
+SUITESPARSE_GROUPS: Dict[str, str] = {
+    "bcspwr10": "HB",
+    "bodyy4": "Pothen",
+    "benzene": "PARSEC",
+    "ncvxqp3": "GHS_indef",
+    "ecology1": "McRae",
+    "gupta3": "Gupta",
+    "SiO2": "PARSEC",
+    "CurlCurl_3": "Bodendiek",
+    "nd12k": "ND",
+    "Si41Ge41H72": "PARSEC",
+    "great-britain_osm": "DIMACS10",
+    "human_gene2": "Belcastro",
+    "Ga41As41H72": "PARSEC",
+    "bundle_adj": "Mazaheri",
+    "nd24k": "ND",
+    "coPapersDBLP": "DIMACS10",
+    "Emilia_923": "Janna",
+    "delaunay_n23": "DIMACS10",
+    "hugebubbles-00020": "DIMACS10",
+    "audikw_1": "GHS_psdef",
+    "nlpkkt120": "Schenk",
+    "Flan_1565": "Janna",
+    "nlpkkt160": "Schenk",
+    "mycielskian18": "Mycielski",
+    "nlpkkt200": "Schenk",
+    "nlpkkt240": "Schenk",
+}
+
+_BASE = "https://suitesparse-collection-website.herokuapp.com/MM"
+
+
+def suitesparse_url(name: str) -> str:
+    """Download URL of the MatrixMarket archive for a Table I matrix."""
+    if name not in SUITESPARSE_GROUPS:
+        raise KeyError(
+            f"{name!r} is not a Table I matrix; known: "
+            f"{sorted(SUITESPARSE_GROUPS)}"
+        )
+    group = SUITESPARSE_GROUPS[name]
+    return f"{_BASE}/{group}/{name}.tar.gz"
+
+
+def load_suitesparse(path: Union[str, Path]) -> CSRMatrix:
+    """Load a downloaded SuiteSparse matrix (``.mtx``, ``.mtx.gz``, ``.rb``)
+    and prepare it for RCM: pattern symmetrized, rows sorted."""
+    path = Path(path)
+    if path.suffix in (".rb", ".rua", ".rsa", ".psa", ".pua", ".hb"):
+        from repro.sparse.hb import read_harwell_boeing
+
+        mat = read_harwell_boeing(path)
+    else:
+        from repro.sparse.io import read_matrix_market
+
+        mat = read_matrix_market(path)
+    from repro.sparse.validate import is_structurally_symmetric
+
+    if not is_structurally_symmetric(mat):
+        mat = mat.symmetrize()
+    return mat

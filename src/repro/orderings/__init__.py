@@ -1,0 +1,39 @@
+"""Alternative bandwidth/profile-reducing orderings (related-work baselines).
+
+The paper's related work surveys the classical alternatives to RCM —
+minimum degree, Sloan, GPS, spectral — and notes that "studies have shown
+that hybrid approaches using RCM or Sloan achieve the best results" while
+"in practice RCM is still the go-to method, due to its good reordering and
+simplicity".  This subpackage implements those alternatives so the claim can
+be measured: ``benchmarks/bench_orderings.py`` compares bandwidth, profile
+and wavefront quality across heuristics on the test set.
+
+All functions take a structurally symmetric :class:`~repro.sparse.CSRMatrix`
+and return a permutation in the same convention as
+:func:`repro.core.api.reverse_cuthill_mckee` (``perm[k]`` = old index at new
+position ``k``), covering every component.
+"""
+
+from repro.orderings.sloan import sloan
+from repro.orderings.gps import gibbs_poole_stockmeyer
+from repro.orderings.king import king
+from repro.orderings.mindeg import minimum_degree
+from repro.orderings.spectral import spectral_ordering
+from repro.orderings.supervariables import (
+    find_supervariables,
+    compress_supervariables,
+    expand_permutation,
+    rcm_with_supervariables,
+)
+
+__all__ = [
+    "sloan",
+    "gibbs_poole_stockmeyer",
+    "king",
+    "minimum_degree",
+    "spectral_ordering",
+    "find_supervariables",
+    "compress_supervariables",
+    "expand_permutation",
+    "rcm_with_supervariables",
+]

@@ -1,0 +1,94 @@
+"""Uniform dispatcher over every ordering the library implements.
+
+``order(mat, algorithm)`` returns a whole-matrix permutation for any of the
+heuristics — RCM (through the main API), Sloan, GPS, King, minimum degree,
+spectral — plus a quality report helper, so comparison tooling (the CLI's
+``compare``, the quality benchmark) has one entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.bandwidth import bandwidth_after, envelope_size, rms_wavefront
+
+__all__ = ["ALGORITHMS", "order", "quality", "OrderingQuality"]
+
+
+def _rcm(mat: CSRMatrix) -> np.ndarray:
+    from repro.core.api import reverse_cuthill_mckee
+
+    return reverse_cuthill_mckee(mat, start="peripheral").permutation
+
+
+def _sloan(mat):
+    from repro.orderings.sloan import sloan
+
+    return sloan(mat)
+
+
+def _gps(mat):
+    from repro.orderings.gps import gibbs_poole_stockmeyer
+
+    return gibbs_poole_stockmeyer(mat)
+
+
+def _king(mat):
+    from repro.orderings.king import king
+
+    return king(mat)
+
+
+def _mindeg(mat):
+    from repro.orderings.mindeg import minimum_degree
+
+    return minimum_degree(mat)
+
+
+def _spectral(mat):
+    from repro.orderings.spectral import spectral_ordering
+
+    return spectral_ordering(mat)
+
+
+ALGORITHMS: Dict[str, Callable[[CSRMatrix], np.ndarray]] = {
+    "rcm": _rcm,
+    "sloan": _sloan,
+    "gps": _gps,
+    "king": _king,
+    "minimum-degree": _mindeg,
+    "spectral": _spectral,
+}
+
+
+def order(mat: CSRMatrix, algorithm: str = "rcm") -> np.ndarray:
+    """Whole-matrix permutation under the named heuristic."""
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown ordering {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    return ALGORITHMS[algorithm](mat)
+
+
+@dataclass(frozen=True)
+class OrderingQuality:
+    algorithm: str
+    bandwidth: int
+    envelope: int
+    rms_wavefront: float
+
+
+def quality(mat: CSRMatrix, algorithm: str = "rcm") -> OrderingQuality:
+    """Run one heuristic and measure the classical quality triple."""
+    perm = order(mat, algorithm)
+    after = mat.permute_symmetric(perm)
+    return OrderingQuality(
+        algorithm=algorithm,
+        bandwidth=bandwidth_after(mat, perm),
+        envelope=envelope_size(after),
+        rms_wavefront=rms_wavefront(after),
+    )

@@ -1,0 +1,74 @@
+"""Minimum-degree ordering (fill-reducing baseline).
+
+H. Markowitz's pivoting rule specialized to symmetric elimination — the
+paper's related work lists minimum degree among the classical reordering
+heuristics [18].  Unlike RCM/Sloan/GPS it targets *fill-in* rather than
+bandwidth: it repeatedly eliminates a minimum-degree node and connects its
+remaining neighbours into a clique (the quotient-graph update).
+
+This is the plain (non-multiple, non-approximate) variant with lazy heap
+updates; the ordering-quality benchmark contrasts its profile/bandwidth
+against the band-oriented heuristics — minimum degree typically *loses* on
+bandwidth while winning on fill, which is exactly why RCM remains the tool
+for the paper's use cases.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["minimum_degree"]
+
+
+def minimum_degree(mat: CSRMatrix, *, max_clique_growth: int = 10_000_000) -> np.ndarray:
+    """Minimum-degree elimination order (ties by node id).
+
+    ``max_clique_growth`` caps the total fill edges materialized in the
+    quotient graph; exceeding it raises — protecting against dense-hub
+    matrices where plain minimum degree degenerates.
+    """
+    n = mat.n
+    adj: List[Set[int]] = [set(map(int, mat.row(i))) for i in range(n)]
+    for i in range(n):
+        adj[i].discard(i)
+
+    heap: List[Tuple[int, int]] = [(len(adj[i]), i) for i in range(n)]
+    heapq.heapify(heap)
+    eliminated = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    count = 0
+    fill_budget = max_clique_growth
+
+    while heap:
+        deg, i = heapq.heappop(heap)
+        if eliminated[i] or deg != len(adj[i]):
+            continue  # stale entry
+        order[count] = i
+        count += 1
+        eliminated[i] = True
+        nbrs = [j for j in adj[i] if not eliminated[j]]
+        # clique the remaining neighbours (symbolic elimination)
+        for a_idx in range(len(nbrs)):
+            a = nbrs[a_idx]
+            adj[a].discard(i)
+            for b_idx in range(a_idx + 1, len(nbrs)):
+                b = nbrs[b_idx]
+                if b not in adj[a]:
+                    adj[a].add(b)
+                    adj[b].add(a)
+                    fill_budget -= 1
+                    if fill_budget < 0:
+                        raise RuntimeError(
+                            "minimum-degree fill explosion; raise "
+                            "max_clique_growth or use RCM for this matrix"
+                        )
+        adj[i].clear()
+        for a in nbrs:
+            heapq.heappush(heap, (len(adj[a]), a))
+
+    return order[:count]

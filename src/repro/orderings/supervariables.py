@@ -1,0 +1,144 @@
+"""Supervariable compression for RCM.
+
+The paper notes that HSL's RCM "optimizations focus on performance enhancing
+factors such as determining supervariables": sets of nodes with *identical
+adjacency structure* (common in FEM matrices where several degrees of
+freedom share a mesh node) can be collapsed into one representative,
+reordered, and expanded — the permutation quality is unchanged while the
+graph the core algorithm traverses shrinks.
+
+Two nodes are in one supervariable when their closed neighbourhoods agree:
+``adj(u) ∪ {u} == adj(v) ∪ {v}``.  Detection is a hash-partition refinement
+over sorted adjacency keys — O(nnz log) with NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix, coo_to_csr
+
+__all__ = [
+    "find_supervariables",
+    "compress_supervariables",
+    "expand_permutation",
+    "rcm_with_supervariables",
+]
+
+
+def find_supervariables(mat: CSRMatrix) -> np.ndarray:
+    """Label nodes by supervariable: equal labels = identical closed
+    neighbourhoods.  Labels are the smallest member id of each group."""
+    n = mat.n
+    # closed-neighbourhood key: sorted adjacency with self inserted
+    keys = []
+    for i in range(n):
+        nbrs = mat.row(i)
+        closed = np.union1d(nbrs, [i])
+        keys.append(closed.tobytes())
+    groups: dict = {}
+    labels = np.empty(n, dtype=np.int64)
+    for i, k in enumerate(keys):
+        if k in groups:
+            labels[i] = groups[k]
+        else:
+            groups[k] = i
+            labels[i] = i
+    return labels
+
+
+@dataclass
+class CompressedGraph:
+    """Quotient graph over supervariables."""
+
+    mat: CSRMatrix
+    #: representative's compressed index per original node
+    node_to_super: np.ndarray
+    #: original node ids per supervariable (in ascending id order)
+    members: List[np.ndarray]
+    #: multiplicity per supervariable
+    sizes: np.ndarray
+
+
+def compress_supervariables(mat: CSRMatrix) -> CompressedGraph:
+    """Build the quotient graph: one node per supervariable."""
+    labels = find_supervariables(mat)
+    reps = np.unique(labels)
+    index_of = {int(r): k for k, r in enumerate(reps)}
+    node_to_super = np.array([index_of[int(l)] for l in labels], dtype=np.int64)
+
+    members: List[np.ndarray] = [
+        np.flatnonzero(labels == r).astype(np.int64) for r in reps
+    ]
+    sizes = np.array([m.size for m in members], dtype=np.int64)
+
+    rows: List[int] = []
+    cols: List[int] = []
+    for k, r in enumerate(reps):
+        for j in mat.row(int(r)):
+            kj = node_to_super[int(j)]
+            if kj != k:
+                rows.append(k)
+                cols.append(int(kj))
+    cmat = coo_to_csr(reps.size, np.asarray(rows, dtype=np.int64),
+                      np.asarray(cols, dtype=np.int64))
+    return CompressedGraph(
+        mat=cmat, node_to_super=node_to_super, members=members, sizes=sizes
+    )
+
+
+def expand_permutation(compressed: CompressedGraph, perm: np.ndarray) -> np.ndarray:
+    """Expand a quotient-graph permutation back to original node ids.
+
+    Members of each supervariable appear consecutively, ascending id —
+    matching serial RCM's stable tie-break (identical neighbourhoods imply
+    identical valence, so adjacency order decides, which is id order)."""
+    parts = [compressed.members[int(k)] for k in perm]
+    return np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+
+
+def rcm_with_supervariables(mat: CSRMatrix, start: int) -> np.ndarray:
+    """Serial RCM through supervariable compression.
+
+    Returns an RCM-quality permutation of the component containing
+    ``start``.  Note: exact equality with plain serial RCM holds when the
+    compressed graph's valences order the same way as the original's
+    (supervariable members contribute multiplicity); like HSL, we reorder
+    the quotient by *weighted* valence — the sum of member counts of the
+    neighbours — to preserve the original tie-break structure.
+    """
+    from repro.sparse.graph import bfs_levels
+
+    comp = compress_supervariables(mat)
+    cstart = int(comp.node_to_super[start])
+    cmat = comp.mat
+    # weighted valence: what the original row length would be
+    weights = comp.sizes
+    wval = np.zeros(cmat.n, dtype=np.int64)
+    for k in range(cmat.n):
+        wval[k] = int(weights[cmat.row(k)].sum()) + (int(weights[k]) - 1)
+
+    # CM on the quotient with weighted valences
+    n = cmat.n
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    order[0] = cstart
+    visited[cstart] = True
+    head, tail = 0, 1
+    indptr, indices = cmat.indptr, cmat.indices
+    while head < tail:
+        p = order[head]
+        head += 1
+        ch = indices[indptr[p] : indptr[p + 1]]
+        fresh = ch[~visited[ch]]
+        if fresh.size:
+            visited[fresh] = True
+            fresh = fresh[np.argsort(wval[fresh], kind="stable")]
+            order[tail : tail + fresh.size] = fresh
+            tail += fresh.size
+    cm = order[:tail]
+    expanded = expand_permutation(comp, cm)
+    return expanded[::-1].copy()

@@ -1,0 +1,143 @@
+"""Harwell-Boeing (HB) matrix file reader.
+
+The other classical exchange format of the SuiteSparse collection (the HSL
+heritage the paper's baselines come from).  An HB file stores a CSC matrix
+in fixed-width Fortran fields described by format strings in the header::
+
+    line 1: TITLE (72) KEY (8)
+    line 2: TOTCRD PTRCRD INDCRD VALCRD RHSCRD           (5 × I14)
+    line 3: MXTYPE (3) NROW NCOL NNZERO NELTVL           (4 × I14)
+    line 4: PTRFMT INDFMT VALFMT RHSFMT                  (4 × A16/A20)
+    [line 5: RHS descriptor — skipped]
+
+``MXTYPE`` is three letters: value type (R/C/P = real/complex/pattern),
+structure (S/U/H/Z = symmetric/unsymmetric/hermitian/skew) and A for
+assembled.  Symmetric storage is expanded; complex values keep their real
+part (consistent with :mod:`repro.sparse.io`).
+
+Only the Fortran edit descriptors that occur in HB practice are parsed:
+``(nIw)``, ``(nFw.d)``, ``(nEw.d)``, ``(nDw.d)`` and multi-group forms like
+``(1P,3E25.16)``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix, coo_to_csr
+
+__all__ = ["read_harwell_boeing"]
+
+PathLike = Union[str, Path]
+
+_FMT_RE = re.compile(
+    r"""\(\s*
+        (?:\d+\s*P\s*,?\s*)?          # optional scale factor, e.g. 1P
+        (?P<count>\d+)\s*
+        (?P<kind>[IFED])\s*
+        (?P<width>\d+)
+        (?:\.\d+)?                    # optional decimals
+        \s*\)""",
+    re.IGNORECASE | re.VERBOSE,
+)
+
+
+def _parse_format(fmt: str) -> Tuple[int, int, str]:
+    """(items per line, field width, kind) from a Fortran edit descriptor."""
+    m = _FMT_RE.search(fmt)
+    if not m:
+        raise ValueError(f"unsupported Fortran format {fmt!r}")
+    return int(m.group("count")), int(m.group("width")), m.group("kind").upper()
+
+
+def _read_fixed(
+    lines: List[str], start: int, n_lines: int, n_items: int, fmt: str
+) -> Tuple[np.ndarray, int]:
+    """Read ``n_items`` fixed-width fields spanning ``n_lines`` lines."""
+    per_line, width, kind = _parse_format(fmt)
+    out: List[str] = []
+    for k in range(n_lines):
+        line = lines[start + k].rstrip("\n")
+        for j in range(per_line):
+            if len(out) >= n_items:
+                break
+            field = line[j * width : (j + 1) * width].strip()
+            if field:
+                out.append(field)
+    if len(out) != n_items:
+        raise ValueError(
+            f"expected {n_items} fields, found {len(out)} (format {fmt!r})"
+        )
+    if kind == "I":
+        return np.array([int(x) for x in out], dtype=np.int64), start + n_lines
+    # Fortran D exponents -> E
+    return (
+        np.array([float(x.replace("D", "E").replace("d", "e")) for x in out]),
+        start + n_lines,
+    )
+
+
+def read_harwell_boeing(path: PathLike) -> CSRMatrix:
+    """Read a square assembled Harwell-Boeing matrix as :class:`CSRMatrix`.
+
+    Pattern files yield a pattern-only matrix; symmetric/hermitian/skew
+    storage is expanded to the full pattern.
+    """
+    lines = Path(path).read_text().splitlines()
+    if len(lines) < 4:
+        raise ValueError("truncated Harwell-Boeing file")
+
+    card_counts = lines[1].split()
+    if len(card_counts) < 4:
+        raise ValueError("malformed HB card-count line")
+    ptrcrd, indcrd, valcrd = (int(x) for x in card_counts[1:4])
+
+    mxtype = lines[2][:3].strip().upper()
+    if len(mxtype) != 3:
+        raise ValueError(f"malformed MXTYPE {mxtype!r}")
+    value_kind, structure, assembled = mxtype
+    if assembled != "A":
+        raise ValueError("only assembled HB matrices are supported")
+    dims = lines[2][3:].split()
+    nrow, ncol, nnzero = (int(x) for x in dims[:3])
+    if nrow != ncol:
+        raise ValueError("only square matrices are supported")
+
+    fmt_line = lines[3]
+    ptrfmt = fmt_line[:16]
+    indfmt = fmt_line[16:32]
+    valfmt = fmt_line[32:52]
+
+    rhscrd = int(card_counts[4]) if len(card_counts) > 4 else 0
+    pos = 4 + (1 if rhscrd > 0 else 0)
+
+    colptr, pos = _read_fixed(lines, pos, ptrcrd, ncol + 1, ptrfmt)
+    rowind, pos = _read_fixed(lines, pos, indcrd, nnzero, indfmt)
+    values: Optional[np.ndarray] = None
+    if value_kind != "P" and valcrd > 0:
+        n_vals = nnzero * (2 if value_kind == "C" else 1)
+        raw, pos = _read_fixed(lines, pos, valcrd, n_vals, valfmt)
+        values = raw[::2] if value_kind == "C" else raw  # real part
+
+    # CSC (1-based) -> COO
+    colptr = colptr - 1
+    rowind = rowind - 1
+    cols = np.repeat(np.arange(ncol, dtype=np.int64), np.diff(colptr))
+    rows = rowind.astype(np.int64)
+
+    if structure in ("S", "H", "Z"):
+        off = rows != cols
+        extra_r, extra_c = cols[off], rows[off]
+        rows = np.concatenate([rows, extra_r])
+        cols = np.concatenate([cols, extra_c])
+        if values is not None:
+            mirrored = values[off]
+            if structure == "Z":
+                mirrored = -mirrored
+            values = np.concatenate([values, mirrored])
+
+    return coo_to_csr(nrow, rows, cols, values)

@@ -1,0 +1,119 @@
+"""Matrix IO: MatrixMarket coordinate files and fast ``.npz`` round trips.
+
+The paper's test set comes from the SuiteSparse collection, distributed as
+MatrixMarket ``.mtx``.  This reader supports the subset needed for symmetric
+pattern/real matrices (general, symmetric, pattern, real, integer) so users
+can feed real SuiteSparse downloads into the library; the benchmarks
+themselves use the synthetic analogues in :mod:`repro.matrices`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io as _io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix, coo_to_csr
+
+__all__ = ["read_matrix_market", "write_matrix_market", "save_npz", "load_npz"]
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: PathLike):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt")
+    return open(path, "rt")
+
+
+def read_matrix_market(path: PathLike) -> CSRMatrix:
+    """Read a square MatrixMarket coordinate matrix.
+
+    Symmetric/skew/hermitian storage is expanded to the full pattern.
+    Complex values are read as their real part; ``pattern`` files produce a
+    pattern-only :class:`CSRMatrix`.
+    """
+    with _open_text(path) as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError("not a MatrixMarket file")
+        parts = header.strip().split()
+        if len(parts) < 5:
+            raise ValueError(f"malformed MatrixMarket header: {header!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+            raise ValueError("only coordinate matrices are supported")
+        field = field.lower()
+        symmetry = symmetry.lower()
+        if field not in ("real", "integer", "pattern", "complex"):
+            raise ValueError(f"unsupported field type {field!r}")
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        nr, nc, nnz = (int(tok) for tok in line.split())
+        if nr != nc:
+            raise ValueError("only square matrices are supported")
+
+        body = fh.read()
+
+    table = np.loadtxt(_io.StringIO(body), ndmin=2)
+    if table.shape[0] != nnz:
+        raise ValueError(f"expected {nnz} entries, found {table.shape[0]}")
+    rows = table[:, 0].astype(np.int64) - 1
+    cols = table[:, 1].astype(np.int64) - 1
+    data = None
+    if field in ("real", "integer") and table.shape[1] >= 3:
+        data = table[:, 2].astype(np.float64)
+    elif field == "complex" and table.shape[1] >= 3:
+        data = table[:, 2].astype(np.float64)
+
+    if symmetry in ("symmetric", "hermitian", "skew-symmetric"):
+        off = rows != cols
+        extra_r, extra_c = cols[off], rows[off]
+        rows = np.concatenate([rows, extra_r])
+        cols = np.concatenate([cols, extra_c])
+        if data is not None:
+            mirrored = data[off]
+            if symmetry == "skew-symmetric":
+                mirrored = -mirrored
+            data = np.concatenate([data, mirrored])
+
+    return coo_to_csr(nr, rows, cols, data)
+
+
+def write_matrix_market(mat: CSRMatrix, path: PathLike) -> None:
+    """Write a :class:`CSRMatrix` as a general coordinate MatrixMarket file."""
+    path = Path(path)
+    field = "pattern" if mat.data is None else "real"
+    row_of = np.repeat(np.arange(mat.n, dtype=np.int64), np.diff(mat.indptr))
+    with open(path, "wt") as fh:
+        fh.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        fh.write(f"{mat.n} {mat.n} {mat.nnz}\n")
+        if mat.data is None:
+            for r, c in zip(row_of, mat.indices):
+                fh.write(f"{r + 1} {c + 1}\n")
+        else:
+            for r, c, v in zip(row_of, mat.indices, mat.data):
+                fh.write(f"{r + 1} {c + 1} {v:.17g}\n")
+
+
+def save_npz(mat: CSRMatrix, path: PathLike) -> None:
+    """Binary round trip; much faster than MatrixMarket for large matrices."""
+    arrays = {"indptr": mat.indptr, "indices": mat.indices, "n": np.int64(mat.n)}
+    if mat.data is not None:
+        arrays["data"] = mat.data
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_npz(path: PathLike) -> CSRMatrix:
+    """Load a matrix previously written by :func:`save_npz`."""
+    with np.load(Path(path)) as npz:
+        data = npz["data"] if "data" in npz.files else None
+        return CSRMatrix(
+            indptr=npz["indptr"], indices=npz["indices"], data=data, n=int(npz["n"])
+        )

@@ -1,0 +1,62 @@
+"""ASCII spy plots: eyeball a sparsity pattern in the terminal.
+
+``spy(mat)`` bins the pattern into a character grid (density shading), the
+quickest way to *see* what RCM did — scattered cloud in, tight band out.
+Used by the examples and the CLI's ``info`` command.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["spy", "side_by_side"]
+
+_SHADES = " .:*#@"
+
+
+def spy(mat: CSRMatrix, *, size: int = 40, title: str = "") -> str:
+    """Render the pattern as a ``size × size`` density grid."""
+    n = max(mat.n, 1)
+    grid = np.zeros((size, size), dtype=np.int64)
+    if mat.nnz:
+        rows = np.repeat(np.arange(mat.n, dtype=np.int64), np.diff(mat.indptr))
+        r = (rows * size) // n
+        c = (mat.indices * size) // n
+        np.add.at(grid, (r, c), 1)
+    peak = max(int(grid.max()), 1)
+    lines = []
+    if title:
+        lines.append(title)
+    border = "+" + "-" * size + "+"
+    lines.append(border)
+    for row in grid:
+        chars = [
+            _SHADES[min(int(v * (len(_SHADES) - 1) / peak + (v > 0)), len(_SHADES) - 1)]
+            for v in row
+        ]
+        lines.append("|" + "".join(chars) + "|")
+    lines.append(border)
+    return "\n".join(lines)
+
+
+def side_by_side(
+    left: CSRMatrix,
+    right: CSRMatrix,
+    *,
+    size: int = 32,
+    titles: Optional[tuple] = None,
+) -> str:
+    """Two spy plots next to each other (before/after comparisons)."""
+    lt, rt = titles or ("before", "after")
+    a = spy(left, size=size, title=lt).splitlines()
+    b = spy(right, size=size, title=rt).splitlines()
+    while len(a) < len(b):
+        a.append("")
+    while len(b) < len(a):
+        b.append("")
+    w = max(len(x) for x in a)
+    return "\n".join(f"{x.ljust(w)}   {y}" for x, y in zip(a, b))

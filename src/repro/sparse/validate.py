@@ -1,0 +1,78 @@
+"""Structural validation of CSR matrices and permutations.
+
+RCM requires a structurally symmetric pattern (undirected graph).  These
+checks are used by the public API to fail fast with clear messages, and by
+the test-suite as reusable assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "validate_csr",
+    "is_structurally_symmetric",
+    "assert_permutation",
+    "has_duplicates",
+]
+
+
+def has_duplicates(mat: CSRMatrix) -> bool:
+    """True when any row stores the same column more than once."""
+    if mat.nnz < 2:
+        return False
+    row_of = np.repeat(np.arange(mat.n, dtype=np.int64), np.diff(mat.indptr))
+    order = np.lexsort((mat.indices, row_of))
+    r = row_of[order]
+    c = mat.indices[order]
+    return bool(np.any((r[1:] == r[:-1]) & (c[1:] == c[:-1])))
+
+
+def is_structurally_symmetric(mat: CSRMatrix) -> bool:
+    """True when the pattern equals its transpose."""
+    t = mat.transpose().sort_indices()
+    m = mat.sort_indices()
+    return (
+        np.array_equal(m.indptr, t.indptr)
+        and np.array_equal(m.indices, t.indices)
+    )
+
+
+def validate_csr(
+    mat: CSRMatrix,
+    *,
+    require_symmetric: bool = False,
+    require_sorted: bool = True,
+) -> None:
+    """Raise ``ValueError`` when the matrix violates structural requirements.
+
+    Construction of :class:`CSRMatrix` already checks shape consistency;
+    this adds duplicate, sortedness and symmetry checks used at the RCM API
+    boundary.
+    """
+    if has_duplicates(mat):
+        raise ValueError("CSR contains duplicate entries; rebuild via coo_to_csr")
+    if require_sorted and not mat.has_sorted_indices():
+        raise ValueError(
+            "CSR indices must be sorted within each row; call sort_indices()"
+        )
+    if require_symmetric and not is_structurally_symmetric(mat):
+        raise ValueError(
+            "matrix pattern is not symmetric; call symmetrize() before RCM"
+        )
+
+
+def assert_permutation(perm: np.ndarray, n: Optional[int] = None) -> None:
+    """Raise ``AssertionError`` unless ``perm`` is a bijection on [0, n)."""
+    perm = np.asarray(perm)
+    if n is None:
+        n = perm.size
+    assert perm.size == n, f"permutation length {perm.size} != {n}"
+    seen = np.zeros(n, dtype=bool)
+    assert perm.min() >= 0 and perm.max() < n, "permutation value out of range"
+    seen[perm] = True
+    assert seen.all(), "permutation is not a bijection"

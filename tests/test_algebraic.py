@@ -1,0 +1,117 @@
+"""Tests for the linear-algebra (semiring SpMV) RCM formulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.algebraic import (
+    rcm_algebraic,
+    algebraic_cycles,
+    DistributedModel,
+)
+from repro.core.serial import rcm_serial
+from repro.matrices import generators as g
+from repro.matrices.mycielski import mycielskian
+from tests.conftest import random_symmetric
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: g.grid2d(14, 14),
+            lambda: g.delaunay_mesh(400, seed=1),
+            lambda: g.hub_matrix(300, n_hubs=2, seed=2),
+            lambda: mycielskian(7),
+            lambda: g.caterpillar(40, 2),
+        ],
+        ids=["grid", "mesh", "hub", "mycielski", "caterpillar"],
+    )
+    def test_matches_serial(self, maker):
+        mat = maker()
+        assert np.array_equal(
+            rcm_algebraic(mat, 0).permutation, rcm_serial(mat, 0)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        mat = random_symmetric(90, 0.06, seed)
+        assert np.array_equal(
+            rcm_algebraic(mat, 0).permutation, rcm_serial(mat, 0)
+        )
+
+    @pytest.mark.parametrize("start", [0, 17, 80])
+    def test_start_nodes(self, start, medium_grid):
+        assert np.array_equal(
+            rcm_algebraic(medium_grid, start).permutation,
+            rcm_serial(medium_grid, start),
+        )
+
+    def test_component_only(self, two_triangles):
+        assert np.array_equal(
+            rcm_algebraic(two_triangles, 4).permutation,
+            rcm_serial(two_triangles, 4),
+        )
+
+    def test_start_out_of_range(self, small_grid):
+        with pytest.raises(ValueError):
+            rcm_algebraic(small_grid, -3)
+
+
+class TestLevelOps:
+    def test_spmv_accounting(self, medium_grid):
+        res = rcm_algebraic(medium_grid, 0)
+        assert sum(o.frontier for o in res.levels) == medium_grid.n
+        assert sum(o.children for o in res.levels) == medium_grid.n - 1
+        assert sum(o.edges for o in res.levels) == medium_grid.nnz
+
+    def test_depth_matches_bfs(self, path5):
+        res = rcm_algebraic(path5, 0)
+        # four producing iterations plus the final empty-output sweep
+        assert res.depth == 5
+        assert res.levels[-1].children == 0
+
+
+class TestDistributedCost:
+    def test_positive(self, medium_grid):
+        res = rcm_algebraic(medium_grid, 0)
+        assert algebraic_cycles(res, 16) > 0
+
+    def test_latency_floor(self, medium_grid):
+        """Adding processes beyond the flop crossover cannot help: the
+        per-level collective latency becomes the floor — the reason [14]
+        needs thousands of cores on the paper's huge matrices."""
+        res = rcm_algebraic(medium_grid, 0)
+        model = DistributedModel()
+        floor = res.depth * model.collectives_per_level * model.latency_cycles
+        assert algebraic_cycles(res, 100_000) >= floor
+
+    def test_deep_graph_penalized(self):
+        """Per-level collectives price BFS depth: a deep graph costs more
+        than a shallow one of equal size at high process counts."""
+        deep = rcm_algebraic(g.caterpillar(300, 1), 0)
+        shallow = rcm_algebraic(g.rmat(9, edge_factor=4, seed=3), 0)
+        assert deep.depth > 5 * shallow.depth
+        assert algebraic_cycles(deep, 1024) > algebraic_cycles(shallow, 1024)
+
+    def test_invalid_process_count(self, small_grid):
+        res = rcm_algebraic(small_grid, 0)
+        with pytest.raises(ValueError):
+            algebraic_cycles(res, 0)
+
+    def test_paper_comparison_shape(self):
+        """Sec. VI-B: on nlpkkt240, [14] at 54 cores is ~3.6x slower than
+        CPU-BATCH at 24 threads (3.2 s vs 0.9 s)."""
+        from repro.matrices import get_matrix
+        from repro.bench.runner import pick_start
+        from repro.core.batch import run_batch_rcm
+        from repro.machine.costmodel import CPUCostModel
+
+        mat = get_matrix("nlpkkt240")
+        start, total = pick_start(mat)
+        res = rcm_algebraic(mat, start)
+        batch = run_batch_rcm(
+            mat, start, model=CPUCostModel(), n_workers=24, total=total
+        )
+        alg_ms = algebraic_cycles(res, 54) / (DistributedModel().clock_ghz * 1e6)
+        ratio = alg_ms / batch.milliseconds
+        assert 1.5 < ratio < 10.0, f"expected a few-fold gap, got {ratio:.1f}"

@@ -1,0 +1,122 @@
+"""Tests for the public API (component handling, methods, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import reverse_cuthill_mckee, METHODS
+from repro.sparse.csr import CSRMatrix, coo_to_csr
+from repro.sparse.validate import assert_permutation
+from repro.matrices import generators as g
+
+FAST_METHODS = [
+    "serial", "leveled", "unordered", "algebraic",
+    "batch-basic", "batch-cpu", "threads",
+]
+
+
+class TestMethodEquivalence:
+    @pytest.mark.parametrize("method", FAST_METHODS)
+    def test_connected(self, method, medium_grid):
+        ref = reverse_cuthill_mckee(medium_grid, method="serial", start=0)
+        got = reverse_cuthill_mckee(medium_grid, method=method, start=0)
+        assert np.array_equal(got.permutation, ref.permutation)
+
+    @pytest.mark.parametrize("method", FAST_METHODS + ["batch-gpu"])
+    def test_disconnected(self, method, two_triangles):
+        ref = reverse_cuthill_mckee(two_triangles, method="serial")
+        got = reverse_cuthill_mckee(two_triangles, method=method)
+        assert np.array_equal(got.permutation, ref.permutation)
+        assert got.n_components == 2
+
+    def test_gpu_method(self, small_mesh):
+        ref = reverse_cuthill_mckee(small_mesh, method="serial")
+        got = reverse_cuthill_mckee(small_mesh, method="batch-gpu")
+        assert np.array_equal(got.permutation, ref.permutation)
+        assert got.stats  # simulated stats attached
+
+
+class TestComponents:
+    def test_permutation_is_bijection(self, two_triangles):
+        res = reverse_cuthill_mckee(two_triangles)
+        assert_permutation(res.permutation, two_triangles.n)
+
+    def test_isolated_nodes_kept(self):
+        mat = CSRMatrix.from_edges(5, [(1, 2)])
+        res = reverse_cuthill_mckee(mat)
+        assert_permutation(res.permutation, 5)
+        assert res.n_components == 4
+
+    def test_component_sizes(self, two_triangles):
+        res = reverse_cuthill_mckee(two_triangles)
+        assert res.component_sizes == [3, 3]
+
+    def test_each_component_reversed_within_itself(self, two_triangles):
+        res = reverse_cuthill_mckee(two_triangles)
+        # first block must contain component of node 0
+        first = set(res.permutation[:3].tolist())
+        assert first == {0, 1, 2}
+
+
+class TestStartSelection:
+    def test_explicit_start(self, medium_grid):
+        res = reverse_cuthill_mckee(medium_grid, start=5)
+        assert res.start_nodes == [5]
+        assert res.permutation[-1] == 5  # RCM: start node ends up last
+
+    def test_explicit_start_needs_connected(self, two_triangles):
+        with pytest.raises(ValueError, match="connected"):
+            reverse_cuthill_mckee(two_triangles, start=0)
+
+    def test_min_valence_default(self, star):
+        res = reverse_cuthill_mckee(star)
+        assert res.start_nodes[0] != 0  # centre has max valence
+
+    def test_peripheral_strategy(self, medium_grid):
+        res = reverse_cuthill_mckee(medium_grid, start="peripheral")
+        assert_permutation(res.permutation, medium_grid.n)
+
+    def test_unknown_strategy(self, medium_grid):
+        with pytest.raises(ValueError, match="strategy"):
+            reverse_cuthill_mckee(medium_grid, start="magic")
+
+
+class TestValidation:
+    def test_unknown_method(self, small_grid):
+        with pytest.raises(ValueError, match="method"):
+            reverse_cuthill_mckee(small_grid, method="quantum")
+
+    def test_asymmetric_rejected(self):
+        mat = coo_to_csr(3, [0], [1])
+        with pytest.raises(ValueError, match="symmetric"):
+            reverse_cuthill_mckee(mat)
+
+    def test_symmetrize_flag(self):
+        mat = coo_to_csr(3, [0, 1], [1, 2])
+        res = reverse_cuthill_mckee(mat, symmetrize=True)
+        assert_permutation(res.permutation, 3)
+
+
+class TestResult:
+    def test_bandwidths_recorded(self, medium_grid):
+        rng = np.random.default_rng(2)
+        shuffled = medium_grid.permute_symmetric(rng.permutation(medium_grid.n))
+        res = reverse_cuthill_mckee(shuffled)
+        assert res.initial_bandwidth > res.reordered_bandwidth
+
+    def test_bandwidth_matches_applied_permutation(self, medium_grid):
+        from repro.sparse.bandwidth import bandwidth
+
+        res = reverse_cuthill_mckee(medium_grid)
+        applied = medium_grid.permute_symmetric(res.permutation)
+        assert bandwidth(applied) == res.reordered_bandwidth
+
+    def test_methods_constant_lists_all(self):
+        assert set(METHODS) == {
+            "serial", "leveled", "unordered", "algebraic",
+            "batch-basic", "batch-cpu", "batch-gpu", "threads",
+        }
+
+    def test_batch_methods_attach_stats(self, small_grid):
+        res = reverse_cuthill_mckee(small_grid, method="batch-cpu")
+        assert len(res.stats) == 1
+        assert res.stats[0].batches_executed > 0

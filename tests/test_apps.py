@@ -1,0 +1,109 @@
+"""Tests for the cache model and SpMV locality analysis."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cachemodel import CacheModel, CacheStats
+from repro.apps.spmv import (
+    spmv_gather_stream,
+    spmv_cache_stats,
+    locality_report,
+)
+from repro.matrices import generators as g
+from repro.core.api import reverse_cuthill_mckee
+
+
+class TestCacheModel:
+    def test_empty_stream(self):
+        assert CacheModel().simulate(np.array([], dtype=np.int64)).accesses == 0
+
+    def test_sequential_stream_misses_once_per_line(self):
+        m = CacheModel(sets=16, ways=1, line_bytes=64, element_bytes=8)
+        stream = np.arange(128)
+        stats = m.simulate(stream)
+        assert stats.misses == 128 // m.elements_per_line
+
+    def test_repeated_access_hits(self):
+        m = CacheModel(sets=4, ways=2)
+        stats = m.simulate(np.zeros(100, dtype=np.int64))
+        assert stats.misses == 1
+        assert stats.hits == 99
+
+    def test_conflict_misses_direct_mapped(self):
+        # two lines mapping to the same set alternate: every access misses
+        m = CacheModel(sets=4, ways=1, line_bytes=8, element_bytes=8)
+        a, b = 0, 4  # line numbers 0 and 4 share set 0
+        stream = np.array([a, b] * 20)
+        stats = m.simulate(stream)
+        assert stats.misses == 40
+
+    def test_associativity_absorbs_conflicts(self):
+        m = CacheModel(sets=4, ways=2, line_bytes=8, element_bytes=8)
+        stream = np.array([0, 4] * 20)
+        stats = m.simulate(stream)
+        assert stats.misses == 2  # only the cold misses
+
+    def test_lru_eviction_order(self):
+        m = CacheModel(sets=1, ways=2, line_bytes=8, element_bytes=8)
+        # access 0,1 (fill), then 2 (evict 0), then 0 again (miss)
+        stats = m.simulate(np.array([0, 1, 2, 0]))
+        assert stats.misses == 4
+
+    def test_lru_keeps_recent(self):
+        m = CacheModel(sets=1, ways=2, line_bytes=8, element_bytes=8)
+        # 0,1, touch 0, then 2 evicts 1 (LRU), 0 still hits
+        stats = m.simulate(np.array([0, 1, 0, 2, 0]))
+        assert stats.misses == 3
+
+    def test_compulsory_lower_bound(self):
+        m = CacheModel(sets=2, ways=1)
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 10_000, size=5000)
+        assert m.simulate(stream).misses >= m.compulsory_misses(stream)
+
+    def test_capacity_bytes(self):
+        m = CacheModel(sets=64, ways=8, line_bytes=64)
+        assert m.capacity_bytes == 32 * 1024
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheModel(sets=0)
+        with pytest.raises(ValueError):
+            CacheModel(line_bytes=10, element_bytes=8)
+
+    def test_miss_rate(self):
+        s = CacheStats(accesses=10, misses=4)
+        assert s.miss_rate == pytest.approx(0.4)
+        assert CacheStats(0, 0).miss_rate == 0.0
+
+
+class TestSpmvLocality:
+    def test_gather_stream_is_indices(self, small_grid):
+        assert np.array_equal(spmv_gather_stream(small_grid), small_grid.indices)
+
+    def test_banded_matrix_caches_well(self):
+        band = g.banded(2000, 4)
+        rng = np.random.default_rng(0)
+        scrambled = band.permute_symmetric(rng.permutation(band.n))
+        model = CacheModel(sets=64, ways=1)
+        assert spmv_cache_stats(band, model).misses < (
+            spmv_cache_stats(scrambled, model).misses / 3
+        )
+
+    def test_locality_report_improves_after_rcm(self):
+        mat = g.grid2d(40, 40)
+        rng = np.random.default_rng(1)
+        scrambled = mat.permute_symmetric(rng.permutation(mat.n))
+        res = reverse_cuthill_mckee(scrambled)
+        # cache smaller than the x vector, else everything fits and the
+        # orderings tie at compulsory misses
+        small_cache = CacheModel(sets=16, ways=2)
+        rep = locality_report(scrambled, res.permutation, small_cache)
+        assert rep.bandwidth_after < rep.bandwidth_before
+        assert rep.misses_after < rep.misses_before
+        assert rep.miss_reduction > 1.0
+
+    def test_report_accounting(self, small_grid):
+        rep = locality_report(small_grid, np.arange(small_grid.n))
+        assert rep.accesses == small_grid.nnz
+        assert rep.misses_before == rep.misses_after  # identity permutation

@@ -1,0 +1,133 @@
+"""Unit tests for bandwidth/envelope/wavefront metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix, coo_to_csr
+from repro.sparse.bandwidth import (
+    bandwidth,
+    bandwidth_after,
+    envelope_size,
+    profile,
+    row_bandwidths,
+    max_wavefront,
+    rms_wavefront,
+)
+
+
+class TestBandwidth:
+    def test_diagonal_matrix(self):
+        m = coo_to_csr(3, [0, 1, 2], [0, 1, 2])
+        assert bandwidth(m) == 0
+
+    def test_empty_matrix(self):
+        m = coo_to_csr(3, [], [])
+        assert bandwidth(m) == 0
+
+    def test_tridiagonal(self):
+        m = CSRMatrix.from_edges(5, [(i, i + 1) for i in range(4)])
+        assert bandwidth(m) == 1
+
+    def test_corner_entry(self):
+        m = CSRMatrix.from_edges(10, [(0, 9)])
+        assert bandwidth(m) == 9
+
+    def test_path_bandwidth_known(self, path5):
+        assert bandwidth(path5) == 1
+
+    def test_star_bandwidth(self, star):
+        assert bandwidth(star) == 5
+
+
+class TestBandwidthAfter:
+    def test_matches_materialized_permutation(self, small_mesh):
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(small_mesh.n)
+        direct = bandwidth_after(small_mesh, perm)
+        materialized = bandwidth(small_mesh.permute_symmetric(perm))
+        assert direct == materialized
+
+    def test_identity_is_noop(self, small_grid):
+        assert bandwidth_after(small_grid, np.arange(small_grid.n)) == bandwidth(
+            small_grid
+        )
+
+    def test_wrong_length_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            bandwidth_after(small_grid, np.arange(4))
+
+    def test_reversal_preserves_bandwidth(self, small_grid):
+        perm = np.arange(small_grid.n)[::-1]
+        assert bandwidth_after(small_grid, perm) == bandwidth(small_grid)
+
+
+class TestEnvelope:
+    def test_tridiagonal_envelope(self):
+        m = CSRMatrix.from_edges(4, [(i, i + 1) for i in range(3)])
+        # rows 1..3 each have one sub-diagonal entry at distance 1
+        assert envelope_size(m) == 3
+        assert profile(m) == 3 + 4
+
+    def test_row_bandwidths_star(self, star):
+        rb = row_bandwidths(star)
+        assert rb[0] == 0  # row 0 has only super-diagonal entries
+        assert list(rb[1:]) == [1, 2, 3, 4, 5]
+
+    def test_envelope_empty(self):
+        m = coo_to_csr(3, [], [])
+        assert envelope_size(m) == 0
+
+
+class TestWavefront:
+    def test_diagonal_wavefront_is_one(self):
+        m = coo_to_csr(4, [0, 1, 2, 3], [0, 1, 2, 3])
+        assert max_wavefront(m) == 1
+        assert rms_wavefront(m) == pytest.approx(1.0)
+
+    def test_tridiagonal_wavefront(self):
+        m = CSRMatrix.from_edges(5, [(i, i + 1) for i in range(4)])
+        assert max_wavefront(m) == 2
+
+    def test_dense_last_row(self):
+        # node n-1 has an entry in column 0, so it stays in the wavefront
+        # through every elimination step alongside the pivot row itself
+        n = 6
+        m = CSRMatrix.from_edges(n, [(i, n - 1) for i in range(n - 1)])
+        assert max_wavefront(m) == 2
+
+    def test_dense_first_column_wavefront(self):
+        # every row has an entry in column 0: all rows active at step 0
+        n = 6
+        m = CSRMatrix.from_edges(n, [(0, i) for i in range(1, n)])
+        assert max_wavefront(m) == n
+
+    def test_rms_between_one_and_max(self, small_mesh):
+        r = rms_wavefront(small_mesh)
+        assert 1.0 <= r <= max_wavefront(small_mesh)
+
+    def test_empty(self):
+        m = coo_to_csr(0, [], [])
+        assert max_wavefront(m) == 0
+        assert rms_wavefront(m) == 0.0
+
+
+class TestRCMReducesMetrics:
+    """RCM should improve these metrics on shuffled structured matrices."""
+
+    def test_bandwidth_reduction_on_shuffled_grid(self, medium_grid):
+        from repro.core.api import reverse_cuthill_mckee
+
+        rng = np.random.default_rng(5)
+        shuffle = rng.permutation(medium_grid.n)
+        shuffled = medium_grid.permute_symmetric(shuffle)
+        res = reverse_cuthill_mckee(shuffled, method="serial")
+        assert res.reordered_bandwidth < res.initial_bandwidth
+
+    def test_envelope_reduction_on_shuffled_grid(self, medium_grid):
+        from repro.core.api import reverse_cuthill_mckee
+
+        rng = np.random.default_rng(6)
+        shuffled = medium_grid.permute_symmetric(rng.permutation(medium_grid.n))
+        res = reverse_cuthill_mckee(shuffled, method="serial")
+        after = shuffled.permute_symmetric(res.permutation)
+        assert envelope_size(after) < envelope_size(shuffled)

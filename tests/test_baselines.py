@@ -1,0 +1,96 @@
+"""Tests for the baseline timing models and the SciPy cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.core.serial import serial_cycles, cuthill_mckee, rcm_serial
+from repro.core.peripheral import find_pseudo_peripheral
+from repro.baselines.hsl import hsl_cycles, HSL_SLOWDOWN
+from repro.baselines.matlab import matlab_cycles
+from repro.baselines.cusolver import cusolver_cycles
+from repro.baselines.transfer import TransferModel, transfer_ms
+from repro.baselines.scipy_ref import scipy_rcm
+from repro.sparse.bandwidth import bandwidth_after, bandwidth
+from repro.sparse.validate import assert_permutation
+from repro.matrices import generators as g
+
+
+class TestTimingModels:
+    def test_hsl_is_serial_times_factor(self, medium_grid):
+        s = serial_cycles(medium_grid, start=0)
+        assert hsl_cycles(medium_grid, start=0) == pytest.approx(HSL_SLOWDOWN * s)
+
+    def test_matlab_slower_than_serial_faster_than_cusolver(self, medium_grid):
+        peri = find_pseudo_peripheral(medium_grid, 0)
+        cm = cuthill_mckee(medium_grid, 0)
+        s = serial_cycles(medium_grid, cm)
+        m = matlab_cycles(medium_grid, peri, cm)
+        c = cusolver_cycles(medium_grid, peri, cm)
+        assert s < m < c
+
+    def test_cusolver_orders_of_magnitude(self, medium_grid):
+        peri = find_pseudo_peripheral(medium_grid, 0)
+        cm = cuthill_mckee(medium_grid, 0)
+        assert cusolver_cycles(medium_grid, peri, cm) > 10 * serial_cycles(
+            medium_grid, cm
+        )
+
+
+class TestTransfer:
+    def test_bytes_accounting_pattern(self, small_grid):
+        tm = TransferModel()
+        expected = (small_grid.n + 1) * 4 + small_grid.nnz * 4
+        assert tm.csr_bytes(small_grid) == expected
+
+    def test_bytes_accounting_valued(self):
+        from repro.sparse.csr import coo_to_csr
+
+        m = coo_to_csr(3, [0, 1], [1, 0], [1.0, 1.0])
+        tm = TransferModel()
+        assert tm.csr_bytes(m) == 4 * 4 + 2 * 4 + 2 * 8
+
+    def test_round_trip_is_double(self, small_grid):
+        tm = TransferModel()
+        one = tm.one_way_ms(tm.csr_bytes(small_grid))
+        assert tm.round_trip_ms(small_grid) == pytest.approx(2 * one)
+
+    def test_latency_floor(self):
+        tm = TransferModel()
+        assert tm.one_way_ms(0) == pytest.approx(tm.latency_us / 1e3)
+
+    def test_bigger_matrix_costs_more(self):
+        small = g.grid2d(10, 10)
+        large = g.grid2d(50, 50)
+        assert transfer_ms(large) > transfer_ms(small)
+
+
+class TestScipyCrossCheck:
+    def test_scipy_returns_permutation(self, medium_grid):
+        perm = scipy_rcm(medium_grid)
+        assert_permutation(perm, medium_grid.n)
+
+    @pytest.mark.parametrize(
+        "maker",
+        [lambda: g.grid2d(16, 16), lambda: g.delaunay_mesh(500, seed=9)],
+        ids=["grid", "mesh"],
+    )
+    def test_comparable_bandwidth_quality(self, maker):
+        """Our RCM and SciPy's differ in tie-breaks and start choice but
+        must produce bandwidths in the same ballpark."""
+        from repro.core.api import reverse_cuthill_mckee
+
+        mat = maker()
+        ours = reverse_cuthill_mckee(mat).reordered_bandwidth
+        theirs = bandwidth_after(mat, scipy_rcm(mat))
+        assert ours <= 1.7 * theirs + 5
+        assert theirs <= 1.7 * ours + 5
+
+    def test_both_reduce_shuffled_band(self):
+        band = g.banded(200, 4)
+        rng = np.random.default_rng(1)
+        shuffled = band.permute_symmetric(rng.permutation(band.n))
+        init = bandwidth(shuffled)
+        sp = bandwidth_after(shuffled, scipy_rcm(shuffled))
+        start = int(np.argmin(np.diff(shuffled.indptr)))
+        ours = bandwidth_after(shuffled, rcm_serial(shuffled, start))
+        assert sp < init and ours < init

@@ -1,0 +1,225 @@
+"""Integration tests: batch RCM equals serial RCM under every configuration.
+
+This is the paper's headline invariant — speculation, signaling, overhangs,
+multi-batch execution and early termination never change the permutation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.serial import rcm_serial
+from repro.core.batch import run_batch_rcm
+from repro.core.batches import BatchConfig
+from repro.machine.costmodel import CPUCostModel
+from repro.machine.stats import Stage
+from repro.matrices import generators as g
+from repro.matrices.mycielski import mycielskian
+from tests.conftest import random_symmetric
+
+MODEL = CPUCostModel()
+
+
+def run(mat, start=0, **kw):
+    kw.setdefault("model", MODEL)
+    kw.setdefault("n_workers", 4)
+    return run_batch_rcm(mat, start, **kw)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4, 8, 16])
+    def test_worker_counts_grid(self, medium_grid, workers):
+        ref = rcm_serial(medium_grid, 0)
+        res = run(medium_grid, n_workers=workers)
+        assert np.array_equal(res.permutation, ref)
+
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: g.grid2d(12, 12),
+            lambda: g.grid3d(6, 6, 6),
+            lambda: g.delaunay_mesh(400, seed=1),
+            lambda: g.rmat(8, edge_factor=6, seed=2),
+            lambda: g.hub_matrix(300, n_hubs=2, seed=3),
+            lambda: g.caterpillar(40, 2),
+            lambda: mycielskian(8),
+            lambda: g.block_dense(5, 12, seed=4),
+        ],
+        ids=["grid2d", "grid3d", "delaunay", "rmat", "hub", "caterpillar",
+             "mycielski", "blockdense"],
+    )
+    def test_structural_families(self, maker):
+        mat = maker()
+        ref = rcm_serial(mat, 0)
+        res = run(mat, n_workers=6)
+        assert np.array_equal(res.permutation, ref)
+
+    @pytest.mark.parametrize("start", [0, 7, 63])
+    def test_start_nodes(self, small_grid, start):
+        ref = rcm_serial(small_grid, start)
+        res = run(small_grid, start=start)
+        assert np.array_equal(res.permutation, ref)
+
+    def test_component_only(self, two_triangles):
+        ref = rcm_serial(two_triangles, 3)
+        res = run(two_triangles, start=3)
+        assert np.array_equal(res.permutation, ref)
+
+    def test_single_node_component(self):
+        mat = g.caterpillar(2, 1)  # then start at a leg
+        ref = rcm_serial(mat, 2)
+        res = run(mat, start=2)
+        assert np.array_equal(res.permutation, ref)
+
+    def test_isolated_start(self):
+        from repro.sparse.csr import CSRMatrix
+
+        mat = CSRMatrix.from_edges(3, [(1, 2)])
+        res = run(mat, start=0)
+        assert list(res.permutation) == [0]
+
+
+class TestConfigurations:
+    CONFIGS = {
+        "basic": BatchConfig(early_signaling=False, overhang=False, multibatch=1),
+        "no-overhang": BatchConfig(overhang=False),
+        "no-early": BatchConfig(early_signaling=False),
+        "multibatch4": BatchConfig(multibatch=4),
+        "tiny-batches": BatchConfig(batch_size=4),
+        "one-batch": BatchConfig(batch_size=1),
+        "huge-batches": BatchConfig(batch_size=512),
+        "tight-scratch": BatchConfig(batch_size=8, temp_limit=32),
+        "no-speculation": BatchConfig(speculate=False),
+    }
+
+    @pytest.mark.parametrize("name", list(CONFIGS))
+    def test_config_equivalence(self, name, small_mesh):
+        ref = rcm_serial(small_mesh, 0)
+        res = run(small_mesh, config=self.CONFIGS[name], n_workers=5)
+        assert np.array_equal(res.permutation, ref)
+
+    @pytest.mark.parametrize("name", list(CONFIGS))
+    def test_config_equivalence_hub(self, name, hub):
+        ref = rcm_serial(hub, 0)
+        res = run(hub, config=self.CONFIGS[name], n_workers=5)
+        assert np.array_equal(res.permutation, ref)
+
+
+class TestInterleavingFuzz:
+    """Randomized cost jitter changes the schedule, never the result."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_jitter_grid(self, seed, medium_grid):
+        ref = rcm_serial(medium_grid, 0)
+        res = run(medium_grid, n_workers=7, jitter=0.9, seed=seed)
+        assert np.array_equal(res.permutation, ref)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_jitter_random_graphs(self, seed):
+        mat = random_symmetric(120, 0.05, seed)
+        ref = rcm_serial(mat, 0)
+        res = run(mat, n_workers=5, jitter=0.9, seed=seed * 11 + 1)
+        assert np.array_equal(res.permutation, ref)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_jitter_tight_config(self, seed, small_mesh):
+        cfg = BatchConfig(batch_size=4, temp_limit=16, multibatch=3)
+        ref = rcm_serial(small_mesh, 0)
+        res = run(small_mesh, config=cfg, n_workers=9, jitter=0.95, seed=seed)
+        assert np.array_equal(res.permutation, ref)
+
+
+class TestStatsInvariants:
+    def test_queue_counters_ordered(self, medium_grid):
+        res = run(medium_grid, n_workers=4)
+        st = res.stats
+        assert st.batches_generated >= st.batches_dequeued >= st.batches_executed
+        assert st.batches_discarded_by_early_termination == (
+            st.batches_generated - st.batches_dequeued
+        )
+
+    def test_speculation_counters(self, medium_grid):
+        res = run(medium_grid, n_workers=8)
+        st = res.stats
+        assert st.nodes_discovered_speculatively >= medium_grid.n - 1
+        assert st.nodes_dropped_by_rediscovery == (
+            st.nodes_discovered_speculatively - (medium_grid.n - 1)
+        )
+
+    def test_stage_shares_cover_everything(self, medium_grid):
+        res = run(medium_grid, n_workers=4)
+        assert sum(res.stats.stage_shares().values()) == pytest.approx(1.0)
+
+    def test_makespan_bounded_by_total(self, medium_grid):
+        res = run(medium_grid, n_workers=4)
+        assert res.stats.makespan <= res.stats.total_cycles() + 1e-6
+
+    def test_single_worker_no_stall_ish(self, medium_grid):
+        """One worker processes in order: waits should be satisfied."""
+        res = run(medium_grid, n_workers=1)
+        shares = res.stats.stage_shares()
+        assert shares[Stage.STALL] < 0.35
+
+    def test_milliseconds_conversion(self, medium_grid):
+        res = run(medium_grid, n_workers=2)
+        assert res.milliseconds == pytest.approx(
+            res.stats.makespan / (MODEL.clock_ghz * 1e6)
+        )
+
+
+class TestEarlyTermination:
+    def test_mycielskian_discards_most_batches(self):
+        mat = mycielskian(10)
+        res = run(mat, n_workers=1)
+        st = res.stats
+        # the paper's outlier effect: most generated batches never run
+        assert st.batches_dequeued < 0.5 * st.batches_generated
+
+    def test_grid_discards_little(self):
+        mat = g.grid2d(15, 15)
+        res = run(mat, 0)
+        st = res.stats
+        assert st.batches_dequeued > 0.9 * st.batches_generated
+
+
+def narrowing_front_graph():
+    """A wide level whose *first* batch owns almost no children.
+
+    Centre 0 fans out to 40 equal-valence nodes; the first two (u=1, v=2)
+    each have one pendant child, the remaining 38 pair up among themselves
+    (children already visited).  With batch_size=16 the level splits into 3
+    batches; batch 1 confirms only 2 outputs — under half a batch — while
+    later sibling batches exist, which is exactly the overhang condition
+    (Sec. IV-C), and the empty middle batch then chains the overhang on.
+    """
+    from repro.sparse.csr import CSRMatrix
+
+    edges = [(0, i) for i in range(1, 41)]
+    edges += [(1, 41), (2, 42)]
+    edges += [(3 + 2 * i, 4 + 2 * i) for i in range(19)]
+    return CSRMatrix.from_edges(43, edges)
+
+
+class TestOverhang:
+    def test_overhang_fires_on_narrowing_front(self):
+        mat = narrowing_front_graph()
+        cfg = BatchConfig(batch_size=16)
+        res = run(mat, config=cfg, n_workers=3)
+        assert res.stats.overhangs_forwarded >= 2  # chained forwarding
+        assert res.stats.overhang_nodes > 0
+
+    def test_overhang_result_identical(self):
+        mat = narrowing_front_graph()
+        ref = rcm_serial(mat, 0)
+        for oh in (True, False):
+            res = run(mat, config=BatchConfig(batch_size=16, overhang=oh))
+            assert np.array_equal(res.permutation, ref)
+
+    def test_overhang_disabled_means_none(self, small_mesh):
+        res = run(small_mesh, config=BatchConfig(overhang=False))
+        assert res.stats.overhangs_forwarded == 0
+
+
+class TestValidation:
+    def test_bad_start_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            run(small_grid, start=10_000)

@@ -1,0 +1,126 @@
+"""Tests for the GPU (many-core) batch variant and histogram chunking."""
+
+import numpy as np
+import pytest
+
+from repro.core.serial import rcm_serial
+from repro.core.batch_gpu import run_batch_rcm_gpu, chunk_plan, ChunkPlan
+from repro.machine.costmodel import GPUCostModel
+from repro.matrices import generators as g
+from repro.matrices.mycielski import mycielskian
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: g.grid2d(12, 12),
+            lambda: g.delaunay_mesh(400, seed=1),
+            lambda: g.hub_matrix(400, n_hubs=2, hub_degree_frac=0.8, seed=2),
+            lambda: mycielskian(8),
+        ],
+        ids=["grid", "delaunay", "hub", "mycielski"],
+    )
+    def test_matches_serial(self, maker):
+        mat = maker()
+        ref = rcm_serial(mat, 0)
+        res = run_batch_rcm_gpu(mat, 0)
+        assert np.array_equal(res.permutation, ref)
+
+    @pytest.mark.parametrize("workers", [1, 8, 64, 160])
+    def test_block_counts(self, workers, small_mesh):
+        ref = rcm_serial(small_mesh, 0)
+        res = run_batch_rcm_gpu(small_mesh, 0, n_workers=workers)
+        assert np.array_equal(res.permutation, ref)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_jitter_fuzz(self, seed, small_mesh):
+        ref = rcm_serial(small_mesh, 0)
+        res = run_batch_rcm_gpu(small_mesh, 0, jitter=0.9, seed=seed)
+        assert np.array_equal(res.permutation, ref)
+
+
+class TestEmptyBatches:
+    def test_overestimation_produces_empties(self, small_mesh):
+        res = run_batch_rcm_gpu(small_mesh, 0)
+        st = res.stats
+        assert st.batches_empty > 0
+        assert st.batches_executed + st.batches_empty == st.batches_dequeued
+
+    def test_defaults_use_device_width(self, small_grid):
+        res = run_batch_rcm_gpu(small_grid, 0)
+        assert res.n_workers == GPUCostModel().max_workers
+
+
+class TestChunking:
+    def test_oversized_hub_triggers_chunking(self):
+        # hub valence exceeds the GPU scratchpad (1024)
+        mat = g.hub_matrix(2200, n_hubs=1, hub_degree_frac=0.9, seed=5)
+        assert int(mat.degrees().max()) > GPUCostModel().temp_limit
+        ref = rcm_serial(mat, 0)
+        res = run_batch_rcm_gpu(mat, 0)
+        assert np.array_equal(res.permutation, ref)
+        assert res.stats.chunked_batches >= 1
+
+    def test_small_matrix_never_chunks(self, small_grid):
+        res = run_batch_rcm_gpu(small_grid, 0)
+        assert res.stats.chunked_batches == 0
+
+
+class TestChunkPlan:
+    def test_sizes_cover_everything(self):
+        rng = np.random.default_rng(0)
+        vals = rng.integers(1, 50, size=5000).astype(np.int64)
+        plan = chunk_plan(vals, temp_limit=1024)
+        assert sum(plan.chunk_sizes) == 5000
+
+    def test_chunks_fit_scratchpad(self):
+        rng = np.random.default_rng(1)
+        vals = rng.integers(1, 200, size=4000).astype(np.int64)
+        plan = chunk_plan(vals, temp_limit=512)
+        # every staged chunk fits; only direct-copy bins may exceed
+        oversized = [c for c in plan.chunk_sizes if c > 512]
+        assert len(oversized) <= plan.direct_copies
+
+    def test_uniform_valence_direct_copy(self):
+        vals = np.full(3000, 7, dtype=np.int64)
+        plan = chunk_plan(vals, temp_limit=1024)
+        # one bin holds everything; single-valence -> direct copy
+        assert plan.direct_copies >= 1
+        assert sum(plan.chunk_sizes) == 3000
+
+    def test_skewed_distribution_refines(self):
+        # heavy mass on one valence plus a long tail: the dominant bin
+        # overflows and must refine (or direct-copy at the floor)
+        vals = np.concatenate([
+            np.full(5000, 3, dtype=np.int64),
+            np.arange(1, 400, dtype=np.int64),
+        ])
+        plan = chunk_plan(vals, temp_limit=256)
+        assert plan.refinements + plan.direct_copies >= 1
+        assert sum(plan.chunk_sizes) == vals.size
+
+    def test_empty_input(self):
+        plan = chunk_plan(np.zeros(0, dtype=np.int64), temp_limit=128)
+        assert plan.chunk_sizes == []
+        assert plan.n_chunks == 0
+
+    def test_fits_in_one_chunk(self):
+        vals = np.arange(1, 100, dtype=np.int64)
+        plan = chunk_plan(vals, temp_limit=1024)
+        assert plan.n_chunks == 1
+
+    def test_valence_order_preserved(self):
+        """Chunks are ascending valence ranges: concatenating chunk-local
+        sorts equals the global sort (the correctness argument)."""
+        rng = np.random.default_rng(3)
+        vals = rng.integers(1, 100, size=2000).astype(np.int64)
+        plan = chunk_plan(vals, temp_limit=300)
+        sorted_vals = np.sort(vals, kind="stable")
+        pos = 0
+        prev_max = -1
+        for size in plan.chunk_sizes:
+            chunk = sorted_vals[pos : pos + size]
+            assert chunk.min() >= prev_max or chunk.min() == prev_max
+            prev_max = int(chunk.max())
+            pos += size

@@ -1,0 +1,142 @@
+"""Unit tests for batch planning (estimation, balancing, greedy packing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.batches import (
+    BatchConfig,
+    clamped_valences,
+    estimate_batch_count,
+    plan_ranges,
+)
+
+
+CPU = BatchConfig(batch_size=8, temp_limit=50)
+GPU = BatchConfig(batch_size=8, temp_limit=50, gpu_planning=True)
+
+
+def coverage_ok(ranges, m):
+    """Ranges are contiguous, ordered, and cover [0, m)."""
+    pos = 0
+    for a, b in ranges:
+        assert a == pos
+        assert b >= a
+        pos = b
+    assert pos == m
+
+
+class TestEstimate:
+    def test_zero_nodes(self):
+        assert estimate_batch_count(0, 0, CPU) == 0
+
+    def test_node_driven(self):
+        assert estimate_batch_count(17, 17, CPU) == 3  # ceil(17/8)
+
+    def test_valence_driven(self):
+        assert estimate_batch_count(4, 180, CPU) == 4  # ceil(180/50)
+
+    def test_gpu_overestimates(self):
+        cpu = estimate_batch_count(17, 100, CPU)
+        gpu = estimate_batch_count(17, 100, GPU)
+        assert gpu >= 2 * cpu
+
+    def test_clamping(self):
+        v = np.array([3, 500, 7])
+        c = clamped_valences(v, 50)
+        assert list(c) == [3, 50, 7]
+
+
+class TestBalancedPlanner:
+    def test_exact_count_and_coverage(self):
+        vals = np.ones(17, dtype=np.int64)
+        k = estimate_batch_count(17, 17, CPU)
+        ranges = plan_ranges(vals, k, CPU)
+        assert len(ranges) == k
+        coverage_ok(ranges, 17)
+
+    def test_node_cap_respected(self):
+        vals = np.ones(64, dtype=np.int64)
+        k = estimate_batch_count(64, 64, CPU)
+        ranges = plan_ranges(vals, k, CPU)
+        assert all(b - a <= CPU.batch_size for a, b in ranges)
+
+    def test_valence_balancing(self):
+        # one heavy node followed by light ones: heavy batch should not also
+        # take all the light nodes
+        vals = np.array([45] + [1] * 7, dtype=np.int64)
+        k = estimate_batch_count(8, int(clamped_valences(vals, 50).sum()), CPU)
+        ranges = plan_ranges(vals, k, CPU)
+        coverage_ok(ranges, 8)
+        assert len(ranges) == k
+        first = ranges[0]
+        assert first[1] - first[0] < 8
+
+    def test_zero_batches_requires_no_nodes(self):
+        assert plan_ranges(np.zeros(0, dtype=np.int64), 0, CPU) == []
+        with pytest.raises(ValueError):
+            plan_ranges(np.ones(3, dtype=np.int64), 0, CPU)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_coverage(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 200))
+        vals = rng.integers(1, 30, size=m).astype(np.int64)
+        cv = clamped_valences(vals, CPU.temp_limit)
+        k = estimate_batch_count(m, int(cv.sum()), CPU)
+        ranges = plan_ranges(cv, k, CPU)
+        assert len(ranges) == k
+        coverage_ok(ranges, m)
+        assert all(b - a <= CPU.batch_size for a, b in ranges)
+
+
+class TestGreedyPlanner:
+    def test_respects_scratchpad(self):
+        vals = np.array([20, 20, 20, 20, 20], dtype=np.int64)
+        k = estimate_batch_count(5, 100, GPU)
+        ranges = plan_ranges(vals, k, GPU)
+        coverage_ok(ranges, 5)
+        for a, b in ranges:
+            if b - a > 1:
+                assert vals[a:b].sum() <= GPU.temp_limit
+
+    def test_oversized_node_isolated(self):
+        vals = np.array([3, 200, 3], dtype=np.int64)
+        cv = clamped_valences(vals, GPU.temp_limit)
+        k = estimate_batch_count(3, int(cv.sum()), GPU)
+        ranges = plan_ranges(cv, k, GPU)
+        coverage_ok(ranges, 3)
+        # the oversized node must sit in a batch where it is first
+        holder = [r for r in ranges if r[0] <= 1 < r[1]][0]
+        assert holder[0] == 1
+
+    def test_padding_with_empties(self):
+        vals = np.ones(3, dtype=np.int64)
+        k = estimate_batch_count(3, 3, GPU)
+        ranges = plan_ranges(vals, k, GPU)
+        assert len(ranges) == k
+        non_empty = [r for r in ranges if r[1] > r[0]]
+        empty = [r for r in ranges if r[1] == r[0]]
+        assert len(non_empty) >= 1
+        assert len(empty) == k - len(non_empty)
+        coverage_ok(non_empty, 3)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reservation_never_exceeded(self, seed):
+        """The GPU estimate is a hard upper bound for greedy packing."""
+        rng = np.random.default_rng(100 + seed)
+        m = int(rng.integers(1, 300))
+        vals = rng.integers(1, 120, size=m).astype(np.int64)
+        cv = clamped_valences(vals, GPU.temp_limit)
+        k = estimate_batch_count(m, int(cv.sum()), GPU)
+        ranges = plan_ranges(cv, k, GPU)
+        assert len(ranges) == k  # padded exactly to the reservation
+
+
+class TestBatchConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            BatchConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            BatchConfig(temp_limit=0)
+        with pytest.raises(ValueError):
+            BatchConfig(multibatch=0)

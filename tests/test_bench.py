@@ -1,0 +1,165 @@
+"""Tests for the experiment harness (runner, reports, figure drivers)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import bench_matrix, pick_start, APPROACHES, clear_cache
+from repro.bench.report import render_table, render_heatmap, write_csv, log_bar
+from repro.matrices import get_matrix
+
+SMALL = "bcspwr10"
+TCS = (1, 4)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return bench_matrix(SMALL, thread_counts=TCS)
+
+
+class TestRunner:
+    def test_all_approaches_timed(self, bench):
+        assert set(bench.timings) == set(APPROACHES)
+        for t in bench.timings.values():
+            assert t.milliseconds > 0
+
+    def test_matrix_stats_recorded(self, bench):
+        mat = get_matrix(SMALL)
+        assert bench.n == mat.n
+        assert bench.nnz == mat.nnz
+        assert bench.init_bw >= bench.reord_bw
+
+    def test_hsl_is_serial_scaled(self, bench):
+        assert bench.ms("HSL") == pytest.approx(5.8 * bench.ms("CPU-RCM"))
+
+    def test_speedup_vs(self, bench):
+        assert bench.speedup_vs("CPU-RCM") == pytest.approx(
+            bench.ms("HSL") / bench.ms("CPU-RCM")
+        )
+
+    def test_memoized(self):
+        a = bench_matrix(SMALL, thread_counts=TCS)
+        b = bench_matrix(SMALL, thread_counts=TCS)
+        assert a is b
+
+    def test_pick_start_is_min_valence_of_largest_component(self):
+        mat = get_matrix(SMALL)
+        start, total = pick_start(mat)
+        from repro.sparse.graph import bfs_levels
+
+        levels = bfs_levels(mat, start)
+        assert total == int((levels >= 0).sum())
+        valence = np.diff(mat.indptr)
+        members = np.flatnonzero(levels >= 0)
+        assert valence[start] == valence[members].min()
+
+    def test_unknown_approach_rejected(self):
+        with pytest.raises(ValueError):
+            bench_matrix(SMALL, thread_counts=TCS, approaches=["Quantum"])
+
+
+class TestReport:
+    def test_render_table_basic(self):
+        out = render_table(["a", "bb"], [[1, 2.5], ["x", None]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in out
+        assert "—" in out
+
+    def test_render_table_nan(self):
+        out = render_table(["v"], [[float("nan")]])
+        assert "—" in out
+
+    def test_render_heatmap(self):
+        out = render_heatmap(["r1", "r2"], ["1", "2"], [[0.0, 1.0], [0.5, 0.5]])
+        assert "r1" in out and "|" in out
+
+    def test_log_bar_centres_at_one(self):
+        bar = log_bar(1.0, 1.0, width=41)
+        assert bar.count("o") == 1
+        # 1x mark and value coincide
+        assert bar.index("o") == 16 or "|" not in bar
+
+    def test_write_csv(self, tmp_path):
+        p = tmp_path / "out" / "t.csv"
+        write_csv(p, ["a", "b"], [[1, 2], [3, 4]])
+        text = p.read_text().strip().splitlines()
+        assert text[0] == "a,b"
+        assert len(text) == 3
+
+
+class TestFigureDrivers:
+    def test_fig2_speedups(self, bench):
+        from repro.bench.fig2 import speedups
+
+        rows = speedups([bench])
+        assert rows[0][0] == SMALL
+        assert all(isinstance(v, float) for v in rows[0][1:])
+
+    def test_fig3_queue_stats(self):
+        from repro.bench.fig3 import collect_queue_stats
+
+        rows = collect_queue_stats([SMALL])
+        name, gen, deq, exe = rows[0][:4]
+        assert name == SMALL
+        assert gen >= deq >= exe
+
+    def test_fig4_stacked(self):
+        from repro.bench.fig4 import collect_overall
+
+        stacked = collect_overall(SMALL)
+        names = [s.approach for s in stacked]
+        assert "cuSolver" in names and "GPU-BATCH" in names
+        cu = next(s for s in stacked if s.approach == "cuSolver")
+        rcm = next(s for s in stacked if s.approach == "CPU-RCM")
+        assert cu.total_ms > rcm.total_ms
+        gpu = next(s for s in stacked if s.approach == "GPU-BATCH")
+        assert gpu.transfer_ms == 0.0
+        assert rcm.transfer_ms > 0.0
+
+    def test_fig5_scaling(self):
+        from repro.bench.fig5 import scaling_matrix, normalized
+
+        names, grid = scaling_matrix([SMALL], thread_counts=(1, 2))
+        assert grid.shape == (1, 2)
+        norm = normalized(grid)
+        assert norm.min() >= 0.0 and norm.max() <= 1.0
+
+    def test_fig6_profile(self):
+        from repro.bench.fig6 import stage_profile
+
+        rows = stage_profile([SMALL], thread_counts=(1, 2))
+        assert len(rows) == 2
+        for r in rows:
+            share_sum = sum(
+                r[k] for k in
+                ("Discover", "Sort", "Rediscover", "Signal", "addNewBatches", "Stall")
+            )
+            assert share_sum == pytest.approx(1.0, abs=1e-6)
+
+    def test_ablation(self):
+        from repro.bench.ablation import ablate, VARIANTS
+
+        rows = ablate([SMALL], n_workers=2)
+        assert len(rows) == len(VARIANTS)
+        for row in rows:
+            assert row[1] > 0
+
+
+class TestFig1:
+    def test_state_timeline(self):
+        from repro.bench.fig1 import batch_state_timeline, render_state_chart
+
+        timeline, makespan = batch_state_timeline(SMALL, n_workers=3)
+        assert makespan > 0
+        assert timeline  # at least slot 0
+        for slot, events in timeline.items():
+            phases = [p for _, p in sorted(events)]
+            # lifecycle order: speculative discovery first, completed last
+            assert phases[0] == "speculative discovery"
+            assert phases[-1] == "completed"
+            times = [t for t, _ in sorted(events)]
+            assert times == sorted(times)
+        chart = render_state_chart(timeline, makespan, width=40)
+        assert "batch" in chart and "peak concurrently active" in chart

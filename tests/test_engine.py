@@ -1,0 +1,176 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.machine.engine import Engine, DeadlockError, SimulationError
+from repro.machine.stats import RunStats, Stage
+
+
+def make_engine(n, **kw):
+    return Engine(n, RunStats(n_workers=n), **kw)
+
+
+class TestBasics:
+    def test_single_worker_cost_accumulates(self):
+        eng = make_engine(1)
+
+        def w():
+            yield ("cost", Stage.DISCOVER, 100.0)
+            yield ("cost", Stage.SORT, 50.0)
+
+        makespan = eng.run([w()])
+        assert makespan == pytest.approx(150.0)
+        agg = eng.stats.aggregate()
+        assert agg.cycles[Stage.DISCOVER] == pytest.approx(100.0)
+        assert agg.cycles[Stage.SORT] == pytest.approx(50.0)
+
+    def test_makespan_is_max_over_workers(self):
+        eng = make_engine(2)
+
+        def w(c):
+            def gen():
+                yield ("cost", Stage.DISCOVER, c)
+            return gen()
+
+        assert eng.run([w(100.0), w(250.0)]) == pytest.approx(250.0)
+
+    def test_time_ordered_interleaving(self):
+        """Shared-state mutations happen in global cycle order."""
+        eng = make_engine(2)
+        log = []
+
+        def worker(wid, costs):
+            def gen():
+                for c in costs:
+                    log.append((eng.now, wid))
+                    yield ("cost", Stage.OTHER, c)
+            return gen()
+
+        eng.run([worker(0, [10, 10, 10]), worker(1, [25, 25])])
+        times = [t for t, _ in log]
+        assert times == sorted(times)
+
+    def test_worker_count_mismatch(self):
+        eng = make_engine(2)
+        with pytest.raises(ValueError):
+            eng.run([iter(())])
+
+
+class TestWaiting:
+    def test_wait_wakes_on_state_change(self):
+        eng = make_engine(2)
+        box = {"ready": False}
+
+        def setter():
+            yield ("cost", Stage.OTHER, 100.0)
+            box["ready"] = True
+            yield ("cost", Stage.OTHER, 20.0)
+
+        def waiter():
+            yield ("wait", lambda: box["ready"])
+            yield ("cost", Stage.OTHER, 5.0)
+
+        eng.run([setter(), waiter()])
+        # waiter stalls until the setter's mutation completes at t=120
+        stall = eng.stats.per_worker[1].cycles[Stage.STALL]
+        assert stall == pytest.approx(120.0)
+
+    def test_true_predicate_does_not_stall(self):
+        eng = make_engine(1)
+
+        def w():
+            yield ("wait", lambda: True)
+            yield ("cost", Stage.OTHER, 1.0)
+
+        eng.run([w()])
+        assert eng.stats.per_worker[0].cycles.get(Stage.STALL, 0.0) == 0.0
+
+    def test_deadlock_detected(self):
+        eng = make_engine(1)
+
+        def w():
+            yield ("wait", lambda: False)
+
+        with pytest.raises(DeadlockError):
+            eng.run([w()])
+
+    def test_deadlock_two_workers(self):
+        eng = make_engine(2)
+
+        def w():
+            yield ("cost", Stage.OTHER, 10.0)
+            yield ("wait", lambda: False)
+
+        with pytest.raises(DeadlockError):
+            eng.run([w(), w()])
+
+    def test_wake_at_finish(self):
+        """A worker's StopIteration can satisfy a waiter."""
+        eng = make_engine(2)
+        done = []
+
+        def finisher():
+            yield ("cost", Stage.OTHER, 30.0)
+            done.append(True)
+
+        def waiter():
+            yield ("wait", lambda: bool(done))
+
+        eng.run([finisher(), waiter()])  # must not deadlock
+
+
+class TestJitter:
+    def test_deterministic_given_seed(self):
+        def make():
+            def w():
+                for _ in range(10):
+                    yield ("cost", Stage.OTHER, 100.0)
+            return [w()]
+
+        a = make_engine(1, jitter=0.5, seed=42)
+        b = make_engine(1, jitter=0.5, seed=42)
+        assert a.run(make()) == pytest.approx(b.run(make()))
+
+    def test_different_seeds_differ(self):
+        def make():
+            def w():
+                for _ in range(10):
+                    yield ("cost", Stage.OTHER, 100.0)
+            return [w()]
+
+        a = make_engine(1, jitter=0.5, seed=1)
+        b = make_engine(1, jitter=0.5, seed=2)
+        assert a.run(make()) != pytest.approx(b.run(make()))
+
+    def test_zero_jitter_exact(self):
+        eng = make_engine(1, jitter=0.0, seed=7)
+
+        def w():
+            yield ("cost", Stage.OTHER, 100.0)
+
+        assert eng.run([w()]) == pytest.approx(100.0)
+
+
+class TestLimits:
+    def test_step_budget(self):
+        eng = make_engine(1, max_steps=10)
+
+        def w():
+            while True:
+                yield ("cost", Stage.OTHER, 1.0)
+
+        with pytest.raises(SimulationError):
+            eng.run([w()])
+
+    def test_needs_one_worker(self):
+        with pytest.raises(ValueError):
+            Engine(0)
+
+    def test_trace_records_events(self):
+        eng = make_engine(1, trace=True)
+
+        def w():
+            yield ("cost", Stage.SORT, 10.0)
+
+        eng.run([w()])
+        assert eng.trace == [(0.0, 0, "Sort", 10.0)]

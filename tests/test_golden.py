@@ -1,0 +1,85 @@
+"""Golden regression guard: frozen serial-RCM outputs for the test set.
+
+The entire library's correctness story rests on one deterministic function:
+serial RCM with the documented tie-breaking.  These hashes freeze its output
+(and the deterministic start-node choice and component size) for every suite
+matrix — any silent change to generators, BFS, valence semantics or the sort
+discipline trips here with a precise pointer, instead of surfacing as an
+inscrutable mismatch somewhere in the parallel stack.
+
+If a change is *intended* (e.g. a new tie-break rule), regenerate:
+
+    python - <<'PY'
+    import hashlib
+    from repro.matrices.suite import matrix_names, get_matrix
+    from repro.bench.runner import pick_start
+    from repro.core.serial import rcm_serial
+    for name in matrix_names():
+        mat = get_matrix(name); start, total = pick_start(mat)
+        h = hashlib.sha256(rcm_serial(mat, start).astype('<i8').tobytes())
+        print(f'    "{name}": ("{h.hexdigest()[:16]}", {start}, {total}),')
+    PY
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.matrices.suite import matrix_names, get_matrix
+from repro.bench.runner import pick_start
+from repro.core.serial import rcm_serial
+
+GOLDEN = {
+    "bcspwr10": ("5986c5c809bdf31d", 0, 5265),
+    "bodyy4": ("9ade93c8b0f69d09", 138, 6000),
+    "benzene": ("2d878bb39da5f7a0", 0, 2744),
+    "ncvxqp3": ("50f1f1284a2ee889", 4216, 5200),
+    "ecology1": ("c130310e139285cd", 0, 12100),
+    "gupta3": ("53c54c0c20167186", 0, 3000),
+    "SiO2": ("825990273e91327b", 12, 2197),
+    "CurlCurl_3": ("3838a3ccba2061de", 0, 10648),
+    "nd12k": ("98a2501d78e6c90a", 1, 784),
+    "Si41Ge41H72": ("5294cc0a84ab644b", 0, 2197),
+    "great-britain_osm": ("2d2f6613be7cfa5f", 0, 13725),
+    "human_gene2": ("5764faf52b196d39", 223, 3525),
+    "Ga41As41H72": ("2d878bb39da5f7a0", 0, 2744),
+    "bundle_adj": ("e8f1399ed653faf7", 712, 9500),
+    "nd24k": ("cf5e36c424d4c6be", 0, 1280),
+    "coPapersDBLP": ("3b66f7753c5c00dc", 7, 9000),
+    "Emilia_923": ("7d646107c9496c08", 0, 4913),
+    "delaunay_n23": ("d2042031c30f5a57", 99, 16000),
+    "hugebubbles-00020": ("8e541d374e291eb5", 0, 16900),
+    "audikw_1": ("de086462ea7b91ad", 0, 4096),
+    "nlpkkt120": ("656f97a1e041699f", 1728, 2728),
+    "Flan_1565": ("f3c38cbf104d659f", 0, 5832),
+    "nlpkkt160": ("6f3dbfd88e4a9159", 3375, 5572),
+    "mycielskian18": ("de91cae3ae072004", 3057, 3071),
+    "nlpkkt200": ("145f906bd55abbfd", 9760, 9928),
+    "nlpkkt240": ("f1470b202c251443", 11564, 16120),
+}
+
+
+def test_golden_covers_whole_suite():
+    assert set(GOLDEN) == set(matrix_names())
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_serial_rcm_frozen(name):
+    expected_hash, expected_start, expected_total = GOLDEN[name]
+    mat = get_matrix(name)
+    start, total = pick_start(mat)
+    assert start == expected_start, "start-node choice changed"
+    assert total == expected_total, "component size changed (generator drift)"
+    perm = rcm_serial(mat, start)
+    digest = hashlib.sha256(perm.astype("<i8").tobytes()).hexdigest()[:16]
+    assert digest == expected_hash, (
+        f"serial RCM output changed on {name} — if intended, regenerate the "
+        "GOLDEN table (see module docstring)"
+    )
+
+
+def test_identical_analogues_share_hash():
+    """benzene and Ga41As41H72 use the same generator parameters — the
+    golden table should reflect that (a sanity check of the freeze itself)."""
+    assert GOLDEN["benzene"][0] == GOLDEN["Ga41As41H72"][0]

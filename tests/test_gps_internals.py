@@ -1,0 +1,145 @@
+"""White-box tests for GPS internals and engine wake semantics."""
+
+import numpy as np
+import pytest
+
+from repro.orderings.gps import gps_endpoints, _combined_levels, gps_component
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.graph import bfs_levels
+from repro.matrices import generators as g
+
+
+class TestGpsEndpoints:
+    def test_path_endpoints_are_ends(self, path5):
+        members = np.arange(5)
+        s, e = gps_endpoints(path5, members)
+        assert {s, e} <= {0, 4} or (s in (0, 4))
+        # at minimum the start is an extreme of the path
+        assert s in (0, 4)
+
+    def test_endpoints_far_apart_on_grid(self):
+        mat = g.grid2d(10, 10)
+        members = np.arange(mat.n)
+        s, e = gps_endpoints(mat, members)
+        dist = bfs_levels(mat, s)[e]
+        # pseudo-diameter: within a small factor of the true diameter (18)
+        assert dist >= 12
+
+    def test_deterministic(self, small_mesh):
+        members = np.arange(small_mesh.n)
+        assert gps_endpoints(small_mesh, members) == gps_endpoints(
+            small_mesh, members
+        )
+
+
+class TestCombinedLevels:
+    def test_partition_and_contiguity(self):
+        mat = g.grid2d(8, 8)
+        members = np.arange(mat.n)
+        s, e = gps_endpoints(mat, members)
+        combined = _combined_levels(mat, members, s, e)
+        # every member assigned
+        assert np.all(combined[members] >= 0)
+        # levels form a contiguous range starting at 0
+        lv = np.unique(combined[members])
+        assert lv[0] == 0
+        assert np.array_equal(lv, np.arange(lv.size))
+
+    def test_adjacent_nodes_within_one_level(self):
+        """Combined levels stay a valid level structure: neighbours differ
+        by at most one level (otherwise the numbering couldn't be banded)."""
+        mat = g.delaunay_mesh(300, seed=3)
+        members = np.arange(mat.n)
+        s, e = gps_endpoints(mat, members)
+        combined = _combined_levels(mat, members, s, e)
+        row_of = np.repeat(np.arange(mat.n), np.diff(mat.indptr))
+        diffs = np.abs(combined[row_of] - combined[mat.indices])
+        assert int(diffs.max()) <= 1
+
+    def test_balancing_not_wider_than_worse_side(self):
+        mat = g.grid2d(9, 9)
+        members = np.arange(mat.n)
+        s, e = gps_endpoints(mat, members)
+        combined = _combined_levels(mat, members, s, e)
+        w_combined = np.bincount(combined[members]).max()
+        w_s = np.bincount(bfs_levels(mat, s)[members]).max()
+        w_e = np.bincount(bfs_levels(mat, e)[members]).max()
+        assert w_combined <= max(w_s, w_e)
+
+
+class TestGpsComponent:
+    def test_orders_whole_component(self, small_mesh):
+        members = np.arange(small_mesh.n)
+        order = gps_component(small_mesh, members)
+        assert sorted(order.tolist()) == members.tolist()
+
+    def test_level_monotone(self):
+        mat = g.grid2d(8, 8)
+        members = np.arange(mat.n)
+        s, e = gps_endpoints(mat, members)
+        combined = _combined_levels(mat, members, s, e)
+        order = gps_component(mat, members)
+        seq = combined[order]
+        assert np.all(np.diff(seq) >= 0)
+
+
+class TestEngineWakeSemantics:
+    def test_multiple_waiters_wake_together(self):
+        from repro.machine.engine import Engine
+        from repro.machine.stats import RunStats, Stage
+
+        engine = Engine(3, RunStats(n_workers=3))
+        flag = {"go": False}
+        wake_times = {}
+
+        def setter():
+            yield ("cost", Stage.OTHER, 100.0)
+            flag["go"] = True
+            yield ("cost", Stage.OTHER, 50.0)
+
+        def waiter(wid):
+            def gen():
+                yield ("wait", lambda: flag["go"])
+                wake_times[wid] = engine.now
+                yield ("cost", Stage.OTHER, 1.0)
+            return gen()
+
+        engine.run([setter(), waiter(1), waiter(2)])
+        # both waiters woke at the setter's mutation-completion time (150)
+        assert wake_times[1] == pytest.approx(150.0)
+        assert wake_times[2] == pytest.approx(150.0)
+
+    def test_stall_attribution_per_waiter(self):
+        from repro.machine.engine import Engine
+        from repro.machine.stats import RunStats, Stage
+
+        stats = RunStats(n_workers=2)
+        engine = Engine(2, stats)
+        flag = {"go": False}
+
+        def setter():
+            yield ("cost", Stage.OTHER, 200.0)
+            flag["go"] = True
+            yield ("cost", Stage.OTHER, 10.0)
+
+        def waiter():
+            yield ("cost", Stage.OTHER, 40.0)   # waits from t=40
+            yield ("wait", lambda: flag["go"])  # wakes at 210
+
+        engine.run([setter(), waiter()])
+        assert stats.per_worker[1].cycles[Stage.STALL] == pytest.approx(170.0)
+
+    def test_jitter_bounded(self):
+        from repro.machine.engine import Engine
+        from repro.machine.stats import RunStats, Stage
+
+        for seed in range(5):
+            engine = Engine(1, RunStats(n_workers=1), jitter=0.4, seed=seed)
+
+            def w():
+                for _ in range(50):
+                    yield ("cost", Stage.OTHER, 100.0)
+
+            makespan = engine.run([w()])
+            # each event perturbed by at most ±20%
+            assert 50 * 80.0 <= makespan <= 50 * 120.0

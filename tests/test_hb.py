@@ -1,0 +1,131 @@
+"""Tests for the Harwell-Boeing reader (cross-checked against scipy's
+hb_write, which produces real-world-conformant files)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.hb import read_harwell_boeing, _parse_format
+from repro.sparse.csr import coo_to_csr
+from repro.matrices import generators as g
+
+
+def write_hb(mat, path):
+    """Write via scipy (CSC, real unsymmetric assembled)."""
+    from scipy.io import hb_write
+
+    hb_write(str(path), mat.to_scipy().tocsc())
+
+
+class TestFormatParsing:
+    @pytest.mark.parametrize(
+        "fmt,expected",
+        [
+            ("(16I5)", (16, 5, "I")),
+            ("(10F7.1)", (10, 7, "F")),
+            ("(3E25.16)", (3, 25, "E")),
+            ("(1P,3E25.16)", (3, 25, "E")),
+            ("(4D20.12)", (4, 20, "D")),
+            ("  (8I10)  ", (8, 10, "I")),
+        ],
+    )
+    def test_descriptors(self, fmt, expected):
+        assert _parse_format(fmt) == expected
+
+    def test_unsupported_rejected(self):
+        with pytest.raises(ValueError):
+            _parse_format("(A72)")
+
+
+class TestRoundTripViaScipy:
+    def test_valued_grid(self, tmp_path):
+        mat = g.grid2d(6, 6).copy()
+        mat.data = np.arange(1.0, mat.nnz + 1)
+        p = tmp_path / "grid.rb"
+        write_hb(mat, p)
+        back = read_harwell_boeing(p)
+        assert back.n == mat.n
+        assert np.array_equal(back.indptr, mat.indptr)
+        assert np.array_equal(back.indices, mat.indices)
+        assert np.allclose(back.data, mat.data)
+
+    def test_random_pattern_values(self, tmp_path):
+        rng = np.random.default_rng(0)
+        n = 20
+        rows = rng.integers(0, n, 60)
+        cols = rng.integers(0, n, 60)
+        mat = coo_to_csr(n, rows, cols, rng.random(60))
+        p = tmp_path / "rand.rb"
+        write_hb(mat, p)
+        back = read_harwell_boeing(p)
+        assert np.allclose(back.to_dense(), mat.to_dense())
+
+
+HB_SYM = """symmetric test matrix                                                   key
+             4             1             1             1
+RSA            3             3             4             0
+(4I14)          (4I14)          (4E20.12)
+             1             3             4             5
+             1             3             2             3
+  2.000000000000E+00  1.500000000000E+00  3.000000000000E+00  4.000000000000E+00
+"""
+
+HB_PATTERN = """pattern test                                                            key
+             3             1             1             0
+PSA            3             3             3             0
+(4I14)          (4I14)          (4E20.12)
+             1             3             4             4
+             1             3             2
+"""
+
+
+class TestHandWrittenFiles:
+    def test_symmetric_expansion(self, tmp_path):
+        p = tmp_path / "sym.hb"
+        p.write_text(HB_SYM)
+        m = read_harwell_boeing(p)
+        assert m.n == 3
+        dense = m.to_dense()
+        assert dense[0, 0] == pytest.approx(2.0)
+        assert dense[2, 0] == pytest.approx(1.5)
+        assert dense[0, 2] == pytest.approx(1.5)  # mirrored
+        assert dense[1, 1] == pytest.approx(3.0)
+        assert dense[2, 2] == pytest.approx(4.0)
+
+    def test_pattern_matrix(self, tmp_path):
+        p = tmp_path / "pat.hb"
+        p.write_text(HB_PATTERN)
+        m = read_harwell_boeing(p)
+        assert m.data is None
+        # entries (0,0),(2,0),(1,1) plus the mirrored (0,2)
+        assert m.nnz == 4
+        assert sorted(m.row(0).tolist()) == [0, 2]
+
+    def test_truncated_rejected(self, tmp_path):
+        p = tmp_path / "bad.hb"
+        p.write_text("just a title\n")
+        with pytest.raises(ValueError):
+            read_harwell_boeing(p)
+
+    def test_rectangular_rejected(self, tmp_path):
+        text = HB_SYM.replace(
+            "RSA            3             3",
+            "RSA            3             4",
+        )
+        p = tmp_path / "rect.hb"
+        p.write_text(text)
+        with pytest.raises(ValueError):
+            read_harwell_boeing(p)
+
+
+class TestRcmOnHbInput:
+    def test_end_to_end(self, tmp_path):
+        """Load an HB file and reorder it — the downstream user's path."""
+        from repro.core.api import reverse_cuthill_mckee
+
+        mat = g.delaunay_mesh(200, seed=6).copy()
+        mat.data = np.ones(mat.nnz)
+        p = tmp_path / "mesh.rb"
+        write_hb(mat, p)
+        loaded = read_harwell_boeing(p)
+        res = reverse_cuthill_mckee(loaded)
+        assert res.reordered_bandwidth <= res.initial_bandwidth

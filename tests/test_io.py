@@ -1,0 +1,136 @@
+"""Unit tests for MatrixMarket and npz IO."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix, coo_to_csr
+from repro.sparse.io import (
+    read_matrix_market,
+    write_matrix_market,
+    save_npz,
+    load_npz,
+)
+
+
+def write(tmp_path, text, name="m.mtx"):
+    p = tmp_path / name
+    p.write_text(text)
+    return p
+
+
+class TestReader:
+    def test_general_real(self, tmp_path):
+        p = write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n"
+            "3 3 2\n1 2 1.5\n3 1 -2.0\n",
+        )
+        m = read_matrix_market(p)
+        assert m.n == 3
+        assert m.nnz == 2
+        assert m.row_values(0)[0] == pytest.approx(1.5)
+
+    def test_symmetric_expanded(self, tmp_path):
+        p = write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n2 1 1.0\n3 3 5.0\n",
+        )
+        m = read_matrix_market(p)
+        # off-diagonal mirrored, diagonal kept single
+        assert m.nnz == 3
+        assert list(m.row(0)) == [1]
+        assert list(m.row(1)) == [0]
+
+    def test_pattern(self, tmp_path):
+        p = write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "2 2 1\n2 1\n",
+        )
+        m = read_matrix_market(p)
+        assert m.data is None
+        assert m.nnz == 2
+
+    def test_skew_symmetric_negates(self, tmp_path):
+        p = write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n2 1 3.0\n",
+        )
+        m = read_matrix_market(p)
+        assert m.row_values(1)[0] == pytest.approx(3.0)
+        assert m.row_values(0)[0] == pytest.approx(-3.0)
+
+    def test_comments_skipped(self, tmp_path):
+        p = write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% a comment\n% another\n"
+            "2 2 1\n1 2\n",
+        )
+        assert read_matrix_market(p).nnz == 1
+
+    def test_rejects_non_mm(self, tmp_path):
+        p = write(tmp_path, "hello\n1 1 1\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(p)
+
+    def test_rejects_rectangular(self, tmp_path):
+        p = write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 2 1.0\n",
+        )
+        with pytest.raises(ValueError):
+            read_matrix_market(p)
+
+    def test_rejects_array_format(self, tmp_path):
+        p = write(
+            tmp_path,
+            "%%MatrixMarket matrix array real general\n2 2\n1.0\n2.0\n3.0\n4.0\n",
+        )
+        with pytest.raises(ValueError):
+            read_matrix_market(p)
+
+    def test_gzip_support(self, tmp_path):
+        import gzip
+
+        p = tmp_path / "m.mtx.gz"
+        with gzip.open(p, "wt") as fh:
+            fh.write(
+                "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n"
+            )
+        assert read_matrix_market(p).nnz == 1
+
+
+class TestRoundTrips:
+    def test_mtx_round_trip_valued(self, tmp_path, small_grid):
+        m = small_grid.copy()
+        m.data = np.arange(m.nnz, dtype=np.float64) + 1
+        p = tmp_path / "grid.mtx"
+        write_matrix_market(m, p)
+        back = read_matrix_market(p)
+        assert np.array_equal(back.indptr, m.indptr)
+        assert np.array_equal(back.indices, m.indices)
+        assert np.allclose(back.data, m.data)
+
+    def test_mtx_round_trip_pattern(self, tmp_path, star):
+        p = tmp_path / "star.mtx"
+        write_matrix_market(star, p)
+        back = read_matrix_market(p)
+        assert back.data is None
+        assert np.array_equal(back.indices, star.indices)
+
+    def test_npz_round_trip(self, tmp_path, small_mesh):
+        p = tmp_path / "mesh.npz"
+        save_npz(small_mesh, p)
+        back = load_npz(p)
+        assert np.array_equal(back.indptr, small_mesh.indptr)
+        assert np.array_equal(back.indices, small_mesh.indices)
+
+    def test_npz_round_trip_with_values(self, tmp_path):
+        m = coo_to_csr(3, [0, 1], [1, 2], [1.0, -2.0])
+        p = tmp_path / "vals.npz"
+        save_npz(m, p)
+        back = load_npz(p)
+        assert np.allclose(back.data, m.data)

@@ -1,0 +1,120 @@
+"""Tests for the leveled (Alg. 2) and unordered (Alg. 3) baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.serial import rcm_serial
+from repro.core.leveled import rcm_leveled, leveled_cycles, LevelWork
+from repro.core.unordered import rcm_unordered, unordered_cycles
+from repro.machine.costmodel import CPUCostModel, GPUCostModel
+from repro.matrices import generators as g
+from repro.matrices.mycielski import mycielskian
+from tests.conftest import random_symmetric
+
+
+FAMILIES = [
+    ("grid", lambda: g.grid2d(15, 15)),
+    ("mesh", lambda: g.delaunay_mesh(500, seed=1)),
+    ("hub", lambda: g.hub_matrix(300, n_hubs=2, seed=2)),
+    ("rmat", lambda: g.rmat(8, edge_factor=6, seed=3)),
+    ("mycielski", lambda: mycielskian(7)),
+    ("caterpillar", lambda: g.caterpillar(30, 2)),
+]
+
+
+class TestLeveledEquivalence:
+    @pytest.mark.parametrize("name,maker", FAMILIES, ids=[f[0] for f in FAMILIES])
+    def test_matches_serial(self, name, maker):
+        mat = maker()
+        assert np.array_equal(rcm_leveled(mat, 0).permutation, rcm_serial(mat, 0))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        mat = random_symmetric(80, 0.08, seed)
+        assert np.array_equal(rcm_leveled(mat, 0).permutation, rcm_serial(mat, 0))
+
+    @pytest.mark.parametrize("start", [0, 11, 50])
+    def test_start_nodes(self, start, medium_grid):
+        assert np.array_equal(
+            rcm_leveled(medium_grid, start).permutation,
+            rcm_serial(medium_grid, start),
+        )
+
+    def test_component_only(self, two_triangles):
+        assert np.array_equal(
+            rcm_leveled(two_triangles, 4).permutation, rcm_serial(two_triangles, 4)
+        )
+
+    def test_start_out_of_range(self, small_grid):
+        with pytest.raises(ValueError):
+            rcm_leveled(small_grid, 999)
+
+
+class TestLevelWork:
+    def test_work_counts_consistent(self, small_grid):
+        res = rcm_leveled(small_grid, 0)
+        # parents across levels = all visited nodes (each node expanded once)
+        assert sum(lw.parents for lw in res.levels) == small_grid.n
+        # children across levels = everything except the start node
+        assert sum(lw.children for lw in res.levels) == small_grid.n - 1
+        # edges = full adjacency scanned once per endpoint
+        assert sum(lw.edges for lw in res.levels) == small_grid.nnz
+
+    def test_max_degree_recorded(self, star):
+        res = rcm_leveled(star, 0)
+        assert res.levels[0].max_degree == 5
+
+
+class TestLeveledCost:
+    def test_gpu_cost_grows_with_depth(self):
+        deep = rcm_leveled(g.caterpillar(200, 1), 0)
+        shallow = rcm_leveled(g.rmat(8, edge_factor=8, seed=4), 0)
+        gpu = GPUCostModel()
+        per_level_deep = leveled_cycles(deep, gpu, gpu.max_workers) / deep.depth
+        assert deep.depth > shallow.depth
+        # launch overhead makes each deep-graph level expensive
+        assert per_level_deep > 10_000
+
+    def test_more_workers_never_slower(self, medium_grid):
+        res = rcm_leveled(medium_grid, 0)
+        cpu = CPUCostModel()
+        c4 = leveled_cycles(res, cpu, 4)
+        c8 = leveled_cycles(res, cpu, 8)
+        assert c8 <= c4 * 3  # sync overhead grows, compute shrinks
+
+
+class TestUnorderedEquivalence:
+    @pytest.mark.parametrize("name,maker", FAMILIES, ids=[f[0] for f in FAMILIES])
+    def test_matches_serial(self, name, maker):
+        mat = maker()
+        assert np.array_equal(rcm_unordered(mat, 0).permutation, rcm_serial(mat, 0))
+
+    def test_level_accounting(self, medium_grid):
+        res = rcm_unordered(medium_grid, 0)
+        assert res.level_parents.sum() == medium_grid.n
+        assert res.level_children.sum() == medium_grid.n - 1
+        assert res.level_edges.sum() == medium_grid.nnz
+
+
+class TestUnorderedCost:
+    def test_positive(self, medium_grid):
+        res = rcm_unordered(medium_grid, 0)
+        assert unordered_cycles(res, CPUCostModel(), 8) > 0
+
+    def test_bfs_rounds_increase_cost(self, medium_grid):
+        slow = rcm_unordered(medium_grid, 0, bfs_rounds=6)
+        fast = rcm_unordered(medium_grid, 0, bfs_rounds=2)
+        cpu = CPUCostModel()
+        assert unordered_cycles(slow, cpu, 8) > unordered_cycles(fast, cpu, 8)
+
+    def test_falls_short_of_serial(self):
+        """The paper's observation: Reorderlib never beats CPU-RCM."""
+        from repro.core.serial import serial_cycles
+        from repro.baselines.reorderlib import reorderlib_result, reorderlib_cycles
+
+        for maker in (lambda: g.grid2d(20, 20), lambda: g.delaunay_mesh(800, seed=5)):
+            mat = maker()
+            serial = serial_cycles(mat, start=0)
+            res = reorderlib_result(mat, 0)
+            best = min(reorderlib_cycles(res, tc) for tc in (1, 4, 8, 16, 24))
+            assert best > serial

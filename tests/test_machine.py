@@ -1,0 +1,215 @@
+"""Unit tests for signals, work queue, stats and cost models."""
+
+import math
+
+import pytest
+
+from repro.machine.signals import SignalChain, SignalPayload, SignalState
+from repro.machine.workqueue import WorkQueue
+from repro.machine.stats import RunStats, Stage, StageTimes, STAGE_ORDER
+from repro.machine.costmodel import CPUCostModel, GPUCostModel, SerialCostModel
+from repro.machine.scratchpad import Scratchpad, ScratchpadOverflow
+
+
+def chain():
+    return SignalChain(bootstrap=SignalPayload(out_next=1, queue_next=1))
+
+
+class TestSignalChain:
+    def test_slot0_incoming_is_completed(self):
+        c = chain()
+        assert c.incoming_state(0) == SignalState.COMPLETED
+        assert c.incoming_payload(0).out_next == 1
+
+    def test_states_propagate(self):
+        c = chain()
+        c.send(0, SignalState.DISCOVERED)
+        assert c.incoming_state(1) == SignalState.DISCOVERED
+        assert c.incoming_state(2) == SignalState.NONE
+
+    def test_monotone_upgrade_ok(self):
+        c = chain()
+        c.send(0, SignalState.DISCOVERED)
+        c.send(0, SignalState.COUNTED, SignalPayload(out_next=5, queue_next=2))
+        c.send(0, SignalState.COMPLETED)
+        assert c.incoming_state(1) == SignalState.COMPLETED
+        assert c.incoming_payload(1).out_next == 5
+
+    def test_downgrade_rejected(self):
+        c = chain()
+        c.send(0, SignalState.COUNTED, SignalPayload(out_next=2, queue_next=2))
+        with pytest.raises(ValueError):
+            c.send(0, SignalState.DISCOVERED)
+
+    def test_counted_requires_payload(self):
+        c = chain()
+        with pytest.raises(ValueError):
+            c.send(0, SignalState.COUNTED)
+
+    def test_payload_before_counted_rejected(self):
+        c = chain()
+        with pytest.raises(RuntimeError):
+            c.incoming_payload(1)
+
+    def test_completed_keeps_earlier_payload(self):
+        c = chain()
+        p = SignalPayload(out_next=9, queue_next=3, overhang_start=5, overhang_end=9,
+                          overhang_valence=12)
+        c.send(0, SignalState.COUNTED, p)
+        c.send(0, SignalState.COMPLETED)
+        got = c.incoming_payload(1)
+        assert got.overhang_nodes == 4
+        assert got.has_overhang()
+
+
+class TestSignalPayload:
+    def test_no_overhang_by_default(self):
+        p = SignalPayload(out_next=1, queue_next=1)
+        assert not p.has_overhang()
+        assert p.overhang_nodes == 0
+
+
+class TestWorkQueue:
+    def test_take_in_order(self):
+        q = WorkQueue()
+        q.fill(0, 0, 4)
+        q.fill(1, 4, 8)
+        assert q.take_next().index == 0
+        assert q.take_next().index == 1
+        assert q.take_next() is None
+
+    def test_head_blocks_until_filled(self):
+        q = WorkQueue()
+        q.fill(1, 4, 8)  # reserves slot 0 unfilled
+        assert not q.head_ready()
+        assert q.take_next() is None
+        q.fill(0, 0, 4)
+        assert q.head_ready()
+        assert q.take_next().index == 0
+        assert q.take_next().index == 1
+
+    def test_double_fill_rejected(self):
+        q = WorkQueue()
+        q.fill(0, 0, 1)
+        with pytest.raises(RuntimeError):
+            q.fill(0, 1, 2)
+
+    def test_termination_stops_takes(self):
+        q = WorkQueue()
+        q.fill(0, 0, 4)
+        q.terminate()
+        assert q.take_next() is None
+        assert q.slots_remaining == 1
+
+    def test_empty_slot_counted(self):
+        q = WorkQueue()
+        q.fill(0, 3, 3)
+        slot = q.take_next()
+        assert slot.empty
+        assert q.n_empty_discarded == 1
+
+    def test_counters(self):
+        q = WorkQueue()
+        q.fill(0, 0, 2)
+        q.fill(1, 2, 2, empty=True)
+        q.take_next()
+        q.mark_executed()
+        q.take_next()
+        assert q.n_generated == 2
+        assert q.n_dequeued == 2
+        assert q.n_executed == 1
+        assert q.n_empty_discarded == 1
+
+    def test_len(self):
+        q = WorkQueue()
+        q.fill(2, 0, 1)
+        assert len(q) == 3
+
+
+class TestStats:
+    def test_shares_sum_to_one(self):
+        s = RunStats(n_workers=2)
+        s.add_cycles(0, Stage.DISCOVER, 50)
+        s.add_cycles(1, Stage.STALL, 50)
+        shares = s.stage_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_empty_shares_zero(self):
+        s = RunStats(n_workers=1)
+        assert all(v == 0.0 for v in s.stage_shares().values())
+
+    def test_milliseconds(self):
+        s = RunStats(n_workers=1)
+        s.makespan = 4.0e6
+        assert s.milliseconds(4.0) == pytest.approx(1.0)
+
+    def test_merged_stagetimes(self):
+        a = StageTimes({Stage.SORT: 10.0})
+        b = StageTimes({Stage.SORT: 5.0, Stage.STALL: 1.0})
+        m = a.merged(b)
+        assert m.cycles[Stage.SORT] == pytest.approx(15.0)
+        assert m.total() == pytest.approx(16.0)
+
+    def test_stage_order_covers_paper_categories(self):
+        names = [s.value for s in STAGE_ORDER]
+        assert names == [
+            "Discover", "Sort", "Rediscover", "Signal", "addNewBatches", "Stall",
+        ]
+
+
+class TestCostModels:
+    def test_cpu_contention_grows(self):
+        m = CPUCostModel()
+        assert m.contention(1) == pytest.approx(1.0)
+        assert m.contention(24) > m.contention(2)
+
+    def test_cpu_discover_scales_with_edges(self):
+        m = CPUCostModel()
+        assert m.discover(4, 100, 50, 1) < m.discover(4, 1000, 500, 1)
+
+    def test_cpu_sort_nlogn(self):
+        m = CPUCostModel()
+        assert m.sort(1000) > 10 * m.sort(64)
+
+    def test_gpu_divides_by_threads(self):
+        g = GPUCostModel()
+        # same work is much cheaper per element than serial scanning
+        big = g.sort(1024)
+        assert big < CPUCostModel().sort(1024)
+
+    def test_gpu_max_workers(self):
+        g = GPUCostModel()
+        assert g.max_workers == g.n_sms * g.blocks_per_sm
+
+    def test_gpu_threads_per_parent_power_of_two(self):
+        g = GPUCostModel()
+        assert g._threads_per_parent(1) == 1
+        assert g._threads_per_parent(5) == 4
+        assert g._threads_per_parent(300) == 256
+
+    def test_serial_model_node_cost_positive(self):
+        s = SerialCostModel()
+        assert s.node(0) > 0
+        assert s.node(10) > s.node(1)
+
+
+class TestScratchpad:
+    def test_gpu_overflow_raises(self):
+        sp = Scratchpad(capacity=10, extendable=False)
+        sp.acquire(10)
+        with pytest.raises(ScratchpadOverflow):
+            sp.acquire(1)
+
+    def test_cpu_overflow_recorded(self):
+        sp = Scratchpad(capacity=10, extendable=True)
+        sp.acquire(15)
+        assert sp.extensions == 1
+        assert sp.peak == 15
+
+    def test_release_and_reset(self):
+        sp = Scratchpad(capacity=10, extendable=True)
+        sp.acquire(5)
+        sp.release(3)
+        assert sp.used == 2
+        sp.reset()
+        assert sp.used == 0

@@ -1,0 +1,162 @@
+"""Tests for the multi-device extension and batch-BFS peripheral finding."""
+
+import numpy as np
+import pytest
+
+from repro.core.serial import rcm_serial
+from repro.core.batch import run_batch_rcm
+from repro.core.batches import BatchConfig
+from repro.core.peripheral import find_pseudo_peripheral
+from repro.core.peripheral_parallel import (
+    batch_bfs,
+    find_pseudo_peripheral_parallel,
+)
+from repro.machine.costmodel import CPUCostModel, GPUCostModel
+from repro.machine.multidevice import (
+    DeviceTopology,
+    NVLINK_LIKE,
+    PCIE_LIKE,
+    NETWORK_LIKE,
+)
+from repro.sparse.graph import bfs_order
+from repro.matrices import generators as g
+
+MODEL = CPUCostModel()
+
+
+class TestTopology:
+    def test_device_partition(self):
+        t = DeviceTopology(n_devices=3, workers_per_device=4)
+        assert t.total_workers == 12
+        assert t.device_of(0) == 0
+        assert t.device_of(3) == 0
+        assert t.device_of(4) == 1
+        assert t.device_of(11) == 2
+
+    def test_single_device_no_surcharge(self):
+        t = DeviceTopology(n_devices=1, workers_per_device=8)
+        assert t.atomic_surcharge() == pytest.approx(1.0)
+
+    def test_surcharge_grows_with_devices(self):
+        a = DeviceTopology(n_devices=2, workers_per_device=4, remote_atomic_factor=2.0)
+        b = DeviceTopology(n_devices=8, workers_per_device=1, remote_atomic_factor=2.0)
+        assert 1.0 < a.atomic_surcharge() < b.atomic_surcharge() < 2.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            DeviceTopology(n_devices=0)
+
+
+class TestMultiDeviceRuns:
+    @pytest.mark.parametrize("topo", [NVLINK_LIKE, PCIE_LIKE, NETWORK_LIKE],
+                             ids=["nvlink", "pcie", "network"])
+    def test_permutation_unchanged(self, topo, small_mesh):
+        ref = rcm_serial(small_mesh, 0)
+        res = run_batch_rcm(
+            small_mesh, 0, model=MODEL, n_workers=topo.total_workers,
+            topology=topo,
+        )
+        assert np.array_equal(res.permutation, ref)
+
+    def test_worker_count_must_match(self, small_grid):
+        with pytest.raises(ValueError, match="workers"):
+            run_batch_rcm(
+                small_grid, 0, model=MODEL, n_workers=3, topology=NVLINK_LIKE
+            )
+
+    def test_slower_interconnect_costs_more(self):
+        # wide front + small batches -> many batches in flight, so the
+        # signal chain genuinely crosses devices (a narrow matrix keeps all
+        # batches on one device and the interconnect never fires)
+        mat = g.grid3d(10, 10, 10, stencil=27)
+        cfg = BatchConfig(batch_size=16)
+
+        def ms(topo):
+            return run_batch_rcm(
+                mat, 0, model=MODEL, n_workers=topo.total_workers,
+                topology=topo, config=cfg,
+            ).milliseconds
+
+        fast = DeviceTopology(2, 6, cross_signal_cycles=1_000.0)
+        slow = DeviceTopology(2, 6, cross_signal_cycles=200_000.0)
+        assert ms(slow) > 1.5 * ms(fast)
+
+    def test_single_device_topology_near_plain(self, small_mesh):
+        """One device never pays cross-link latency: only the (cheap)
+        post-wait signal pickups differ from a plain run."""
+        topo = DeviceTopology(n_devices=1, workers_per_device=6,
+                              cross_signal_cycles=1e6)
+        with_topo = run_batch_rcm(
+            small_mesh, 0, model=MODEL, n_workers=6, topology=topo
+        )
+        plain = run_batch_rcm(small_mesh, 0, model=MODEL, n_workers=6)
+        assert with_topo.milliseconds == pytest.approx(
+            plain.milliseconds, rel=0.15
+        )
+
+    def test_jitter_fuzz_multidevice(self, small_mesh):
+        ref = rcm_serial(small_mesh, 0)
+        for seed in range(4):
+            res = run_batch_rcm(
+                small_mesh, 0, model=MODEL,
+                n_workers=NVLINK_LIKE.total_workers, topology=NVLINK_LIKE,
+                jitter=0.9, seed=seed,
+            )
+            assert np.array_equal(res.permutation, ref)
+
+
+class TestBatchBFS:
+    @pytest.mark.parametrize(
+        "maker",
+        [lambda: g.grid2d(14, 14), lambda: g.delaunay_mesh(350, seed=2),
+         lambda: g.hub_matrix(250, n_hubs=2, seed=3)],
+        ids=["grid", "mesh", "hub"],
+    )
+    def test_equals_fifo_bfs(self, maker):
+        mat = maker()
+        res = batch_bfs(mat, 0, model=MODEL, n_workers=5)
+        assert np.array_equal(res.permutation, bfs_order(mat, 0)[::-1])
+
+    def test_rejects_sorting_config(self, small_grid):
+        with pytest.raises(ValueError, match="sort_children"):
+            batch_bfs(small_grid, 0, model=MODEL, n_workers=2,
+                      config=BatchConfig())
+
+    def test_bfs_cheaper_than_rcm(self, small_mesh):
+        bfs = batch_bfs(small_mesh, 0, model=MODEL, n_workers=4)
+        rcm = run_batch_rcm(small_mesh, 0, model=MODEL, n_workers=4)
+        assert bfs.stats.makespan < rcm.stats.makespan
+
+
+class TestParallelPeripheral:
+    def test_same_node_as_serial(self, small_mesh):
+        serial = find_pseudo_peripheral(small_mesh, 0)
+        par = find_pseudo_peripheral_parallel(
+            small_mesh, 0, model=MODEL, n_workers=4
+        )
+        assert par.node == serial.node
+        assert par.result.rounds == serial.rounds
+
+    def test_cycles_accumulate_over_rounds(self, medium_grid):
+        par = find_pseudo_peripheral_parallel(
+            medium_grid, 0, model=MODEL, n_workers=4
+        )
+        one_round = batch_bfs(medium_grid, 0, model=MODEL, n_workers=4)
+        assert par.cycles >= one_round.stats.makespan
+        assert par.milliseconds == pytest.approx(
+            par.cycles / (MODEL.clock_ghz * 1e6)
+        )
+
+    def test_gpu_model_supported(self, small_mesh):
+        gpu = GPUCostModel()
+        par = find_pseudo_peripheral_parallel(
+            small_mesh, 0, model=gpu, n_workers=32
+        )
+        assert par.cycles > 0
+        assert par.clock_ghz == gpu.clock_ghz
+
+    def test_seed_out_of_range(self, small_mesh):
+        with pytest.raises(ValueError):
+            find_pseudo_peripheral_parallel(
+                small_mesh, -1, model=MODEL, n_workers=2
+            )

@@ -1,0 +1,69 @@
+"""Unit tests for the Mycielski graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.mycielski import mycielskian, mycielski_step
+from repro.sparse.validate import is_structurally_symmetric
+from repro.sparse.graph import connected_components
+
+
+def counts(k):
+    """Closed-form node/edge counts: n_{k+1} = 2 n_k + 1, e_{k+1} = 3 e_k + n_k."""
+    n, e = 2, 1
+    for _ in range(k - 2):
+        e = 3 * e + n
+        n = 2 * n + 1
+    return n, e
+
+
+class TestConstruction:
+    def test_m2_is_edge(self):
+        m = mycielskian(2)
+        assert m.n == 2
+        assert m.nnz == 2
+
+    def test_m3_is_c5(self):
+        # the Mycielskian of K2 is the 5-cycle
+        m = mycielskian(3)
+        assert m.n == 5
+        assert m.nnz == 10
+        assert all(m.degrees() == 2)
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6, 8, 10])
+    def test_counts_match_recurrence(self, k):
+        m = mycielskian(k)
+        n, e = counts(k)
+        assert m.n == n
+        assert m.nnz == 2 * e
+
+    def test_symmetric_and_connected(self):
+        m = mycielskian(8)
+        assert is_structurally_symmetric(m)
+        cnt, _ = connected_components(m)
+        assert cnt == 1
+
+    def test_triangle_free_small(self):
+        """Mycielskians of triangle-free graphs stay triangle-free."""
+        m = mycielskian(5)
+        dense = m.to_dense() > 0
+        cubed = np.linalg.matrix_power(dense.astype(int), 3)
+        assert np.trace(cubed) == 0
+
+    def test_hub_degree(self):
+        # the hub w connects to all n shadow nodes of the previous graph
+        m = mycielskian(6)
+        prev_n, _ = counts(5)
+        assert int(m.degrees()[-1]) == prev_n
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            mycielskian(1)
+
+
+class TestStep:
+    def test_step_counts(self):
+        edges = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        new_edges, n = mycielski_step(edges, 3)
+        assert n == 7
+        assert new_edges.shape[0] == 3 * 2 + 3

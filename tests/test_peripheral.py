@@ -1,0 +1,74 @@
+"""Tests for pseudo-peripheral start-node finding."""
+
+import numpy as np
+import pytest
+
+from repro.core.peripheral import (
+    find_pseudo_peripheral,
+    peripheral_cycles_serial,
+)
+from repro.sparse.graph import eccentricity_lower_bound
+from repro.machine.costmodel import SERIAL_CPU
+from repro.matrices import generators as g
+
+
+class TestFinding:
+    def test_path_finds_an_end(self, path5):
+        res = find_pseudo_peripheral(path5, 2)
+        assert res.node in (0, 4)
+        assert max(res.depths) == 4
+
+    def test_depth_never_decreases_across_rounds(self, small_mesh):
+        res = find_pseudo_peripheral(small_mesh, 0)
+        assert all(b >= a for a, b in zip(res.depths, res.depths[1:]))
+
+    def test_result_at_least_as_eccentric_as_seed(self, medium_grid):
+        seed = medium_grid.n // 2  # centre of the grid
+        res = find_pseudo_peripheral(medium_grid, seed)
+        assert eccentricity_lower_bound(medium_grid, res.node) >= (
+            eccentricity_lower_bound(medium_grid, seed)
+        )
+
+    def test_grid_reaches_near_diameter(self):
+        mat = g.grid2d(12, 12)
+        res = find_pseudo_peripheral(mat, 77)
+        # grid diameter is 22; the naive search should land close
+        assert max(res.depths) >= 18
+
+    def test_deterministic(self, small_mesh):
+        a = find_pseudo_peripheral(small_mesh, 5)
+        b = find_pseudo_peripheral(small_mesh, 5)
+        assert a.node == b.node
+        assert a.rounds == b.rounds
+
+    def test_rounds_bounded(self, small_mesh):
+        res = find_pseudo_peripheral(small_mesh, 0, max_rounds=3)
+        assert res.rounds <= 3
+
+    def test_seed_out_of_range(self, small_mesh):
+        with pytest.raises(ValueError):
+            find_pseudo_peripheral(small_mesh, -2)
+
+    def test_component_scoped(self, two_triangles):
+        res = find_pseudo_peripheral(two_triangles, 0)
+        assert res.node in (0, 1, 2)
+        assert res.reached == 3
+
+
+class TestCost:
+    def test_scales_with_rounds(self, medium_grid):
+        res = find_pseudo_peripheral(medium_grid, 0)
+        per_round = peripheral_cycles_serial(res, SERIAL_CPU) / res.rounds
+        assert per_round > medium_grid.n * SERIAL_CPU.cycles_per_node
+
+    def test_quality_improves_rcm(self):
+        """Peripheral starts should not be worse than a central start."""
+        from repro.core.serial import rcm_serial
+        from repro.sparse.bandwidth import bandwidth_after
+
+        mat = g.grid2d(14, 14)
+        centre = mat.n // 2 + 7
+        peri = find_pseudo_peripheral(mat, centre).node
+        bw_center = bandwidth_after(mat, rcm_serial(mat, centre))
+        bw_peri = bandwidth_after(mat, rcm_serial(mat, peri))
+        assert bw_peri <= bw_center

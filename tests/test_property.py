@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+The central property: *every* execution strategy — leveled, unordered,
+simulated batch under arbitrary worker counts, configurations and
+interleavings — produces exactly the serial RCM permutation on arbitrary
+symmetric graphs.  Plus structural properties of the CSR substrate and the
+batch planner.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st, HealthCheck
+
+from repro.sparse.csr import CSRMatrix, coo_to_csr
+from repro.sparse.bandwidth import bandwidth, bandwidth_after
+from repro.sparse.graph import bfs_levels
+from repro.sparse.validate import assert_permutation
+from repro.core.serial import cuthill_mckee, rcm_serial
+from repro.core.leveled import rcm_leveled
+from repro.core.unordered import rcm_unordered
+from repro.core.batch import run_batch_rcm
+from repro.core.batches import (
+    BatchConfig,
+    clamped_valences,
+    estimate_batch_count,
+    plan_ranges,
+)
+from repro.machine.costmodel import CPUCostModel
+
+MODEL = CPUCostModel()
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def symmetric_graphs(draw, max_n=40):
+    """Arbitrary symmetric pattern with at least one edge from node 0."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    n_edges = draw(st.integers(min_value=1, max_value=3 * n))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=1,
+            max_size=n_edges,
+        )
+    )
+    # guarantee node 0 has a neighbour so the component is non-trivial
+    edges.append((0, draw(st.integers(min_value=1, max_value=n - 1))))
+    rows = np.array([e[0] for e in edges] + [e[1] for e in edges])
+    cols = np.array([e[1] for e in edges] + [e[0] for e in edges])
+    keep = rows != cols
+    return coo_to_csr(n, rows[keep], cols[keep])
+
+
+class TestSerialProperties:
+    @given(mat=symmetric_graphs())
+    @settings(**SETTINGS)
+    def test_cm_is_bfs_respecting_bijection(self, mat):
+        cm = cuthill_mckee(mat, 0)
+        reached = np.flatnonzero(bfs_levels(mat, 0) >= 0)
+        assert sorted(cm.tolist()) == reached.tolist()
+        levels = bfs_levels(mat, 0)[cm]
+        assert np.all(np.diff(levels) >= 0)
+
+    @given(mat=symmetric_graphs())
+    @settings(**SETTINGS)
+    def test_rcm_reverses_cm(self, mat):
+        assert np.array_equal(rcm_serial(mat, 0), cuthill_mckee(mat, 0)[::-1])
+
+
+class TestParallelEquivalence:
+    @given(
+        mat=symmetric_graphs(),
+        workers=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(**SETTINGS)
+    def test_batch_equals_serial_any_schedule(self, mat, workers, seed):
+        ref = rcm_serial(mat, 0)
+        res = run_batch_rcm(
+            mat, 0, model=MODEL, n_workers=workers, jitter=0.9, seed=seed
+        )
+        assert np.array_equal(res.permutation, ref)
+
+    @given(
+        mat=symmetric_graphs(),
+        batch_size=st.integers(min_value=1, max_value=16),
+        temp=st.integers(min_value=4, max_value=64),
+        overhang=st.booleans(),
+        early=st.booleans(),
+        multibatch=st.integers(min_value=1, max_value=3),
+    )
+    @settings(**SETTINGS)
+    def test_batch_equals_serial_any_config(
+        self, mat, batch_size, temp, overhang, early, multibatch
+    ):
+        cfg = BatchConfig(
+            batch_size=batch_size,
+            temp_limit=temp,
+            overhang=overhang,
+            early_signaling=early,
+            multibatch=multibatch,
+        )
+        ref = rcm_serial(mat, 0)
+        res = run_batch_rcm(mat, 0, model=MODEL, n_workers=3, config=cfg)
+        assert np.array_equal(res.permutation, ref)
+
+    @given(mat=symmetric_graphs())
+    @settings(**SETTINGS)
+    def test_leveled_and_unordered_equal_serial(self, mat):
+        ref = rcm_serial(mat, 0)
+        assert np.array_equal(rcm_leveled(mat, 0).permutation, ref)
+        assert np.array_equal(rcm_unordered(mat, 0).permutation, ref)
+
+
+class TestCSRProperties:
+    @given(mat=symmetric_graphs())
+    @settings(**SETTINGS)
+    def test_transpose_involution(self, mat):
+        tt = mat.transpose().transpose()
+        assert np.array_equal(tt.indptr, mat.indptr)
+        assert np.array_equal(np.sort(tt.indices), np.sort(mat.indices))
+
+    @given(mat=symmetric_graphs(), seed=st.integers(min_value=0, max_value=999))
+    @settings(**SETTINGS)
+    def test_permute_preserves_structure(self, mat, seed):
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(mat.n)
+        p = mat.permute_symmetric(perm)
+        assert p.nnz == mat.nnz
+        assert sorted(p.degrees().tolist()) == sorted(mat.degrees().tolist())
+
+    @given(mat=symmetric_graphs(), seed=st.integers(min_value=0, max_value=999))
+    @settings(**SETTINGS)
+    def test_bandwidth_after_matches_materialized(self, mat, seed):
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(mat.n)
+        assert bandwidth_after(mat, perm) == bandwidth(mat.permute_symmetric(perm))
+
+
+class TestPlannerProperties:
+    @given(
+        vals=st.lists(st.integers(min_value=1, max_value=100), min_size=0, max_size=150),
+        batch_size=st.integers(min_value=1, max_value=20),
+        temp=st.integers(min_value=1, max_value=120),
+        gpu=st.booleans(),
+    )
+    @settings(**SETTINGS)
+    def test_plan_covers_and_respects_reservation(self, vals, batch_size, temp, gpu):
+        cfg = BatchConfig(batch_size=batch_size, temp_limit=temp, gpu_planning=gpu)
+        arr = clamped_valences(np.asarray(vals, dtype=np.int64), temp)
+        k = estimate_batch_count(len(vals), int(arr.sum()), cfg)
+        ranges = plan_ranges(arr, k, cfg)
+        assert len(ranges) == k
+        pos = 0
+        covered = 0
+        for a, b in ranges:
+            assert a == pos or a == b  # contiguous (empties repeat position)
+            assert b >= a
+            pos = max(pos, b)
+            covered += b - a
+            if not gpu:
+                assert b - a <= batch_size
+            elif b - a > 1:
+                assert int(arr[a:b].sum()) <= temp
+        assert covered == len(vals)
+        assert pos == len(vals) or len(vals) == 0
+
+
+class TestApiProperties:
+    @given(mat=symmetric_graphs(max_n=25))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_api_returns_bijection_all_methods(self, mat):
+        from repro.core.api import reverse_cuthill_mckee
+
+        ref = reverse_cuthill_mckee(mat, method="serial")
+        assert_permutation(ref.permutation, mat.n)
+        for method in ("leveled", "unordered", "batch-cpu"):
+            got = reverse_cuthill_mckee(mat, method=method)
+            assert np.array_equal(got.permutation, ref.permutation)

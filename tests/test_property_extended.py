@@ -1,0 +1,164 @@
+"""Extended property-based tests: GPU variant, multi-device, orderings,
+solver and cache-model invariants on arbitrary symmetric graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st, HealthCheck
+
+from repro.core.serial import rcm_serial
+from repro.core.batch import run_batch_rcm
+from repro.core.batch_gpu import run_batch_rcm_gpu, chunk_plan
+from repro.core.batches import BatchConfig
+from repro.machine.costmodel import CPUCostModel, GPUCostModel
+from repro.machine.multidevice import DeviceTopology
+from repro.sparse.csr import coo_to_csr
+from repro.sparse.validate import assert_permutation
+from repro.sparse.graph import bfs_order
+from repro.core.peripheral_parallel import batch_bfs
+
+from tests.test_property import symmetric_graphs, SETTINGS
+
+CPU = CPUCostModel()
+
+
+class TestGpuProperties:
+    @given(mat=symmetric_graphs(), workers=st.integers(min_value=1, max_value=32))
+    @settings(**SETTINGS)
+    def test_gpu_equals_serial(self, mat, workers):
+        ref = rcm_serial(mat, 0)
+        res = run_batch_rcm_gpu(mat, 0, n_workers=workers)
+        assert np.array_equal(res.permutation, ref)
+
+    @given(
+        mat=symmetric_graphs(),
+        temp=st.integers(min_value=2, max_value=40),
+        batch=st.integers(min_value=1, max_value=12),
+    )
+    @settings(**SETTINGS)
+    def test_gpu_tiny_scratchpad(self, mat, temp, batch):
+        """Scratchpads far smaller than adjacency lists force the chunking
+        and empty-batch machinery constantly; the result never changes."""
+        model = GPUCostModel(temp_limit=temp)
+        ref = rcm_serial(mat, 0)
+        res = run_batch_rcm_gpu(mat, 0, model=model, n_workers=8, batch_size=batch)
+        assert np.array_equal(res.permutation, ref)
+
+    @given(
+        vals=st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=300),
+        temp=st.integers(min_value=4, max_value=128),
+    )
+    @settings(**SETTINGS)
+    def test_chunk_plan_conservation(self, vals, temp):
+        arr = np.asarray(vals, dtype=np.int64)
+        plan = chunk_plan(arr, temp_limit=temp, bins=16)
+        assert sum(plan.chunk_sizes) == arr.size
+        oversized = [c for c in plan.chunk_sizes if c > temp]
+        assert len(oversized) <= plan.direct_copies
+
+
+class TestMultiDeviceProperties:
+    @given(
+        mat=symmetric_graphs(max_n=30),
+        devices=st.integers(min_value=1, max_value=4),
+        per=st.integers(min_value=1, max_value=4),
+        latency=st.floats(min_value=0.0, max_value=1e6),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_any_topology_equals_serial(self, mat, devices, per, latency, seed):
+        topo = DeviceTopology(
+            n_devices=devices, workers_per_device=per,
+            cross_signal_cycles=latency,
+        )
+        ref = rcm_serial(mat, 0)
+        res = run_batch_rcm(
+            mat, 0, model=CPU, n_workers=topo.total_workers,
+            topology=topo, jitter=0.7, seed=seed,
+        )
+        assert np.array_equal(res.permutation, ref)
+
+
+class TestBfsModeProperties:
+    @given(mat=symmetric_graphs(), workers=st.integers(min_value=1, max_value=5))
+    @settings(**SETTINGS)
+    def test_batch_bfs_equals_fifo(self, mat, workers):
+        res = batch_bfs(mat, 0, model=CPU, n_workers=workers)
+        assert np.array_equal(res.permutation, bfs_order(mat, 0)[::-1])
+
+
+class TestOrderingProperties:
+    @given(mat=symmetric_graphs(max_n=25))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_all_heuristics_return_bijections(self, mat):
+        from repro.orderings import sloan, gibbs_poole_stockmeyer, minimum_degree
+
+        for fn in (sloan, gibbs_poole_stockmeyer, minimum_degree):
+            assert_permutation(fn(mat), mat.n)
+
+    @given(mat=symmetric_graphs(max_n=20))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_supervariable_rcm_is_bijection(self, mat):
+        from repro.orderings import rcm_with_supervariables
+        from repro.sparse.graph import bfs_levels
+
+        members = np.flatnonzero(bfs_levels(mat, 0) >= 0)
+        perm = rcm_with_supervariables(mat, 0)
+        assert sorted(perm.tolist()) == members.tolist()
+
+
+class TestCacheProperties:
+    @given(
+        stream=st.lists(st.integers(min_value=0, max_value=10_000),
+                        min_size=0, max_size=500),
+        sets=st.integers(min_value=1, max_value=64),
+        ways=st.integers(min_value=1, max_value=8),
+    )
+    @settings(**SETTINGS)
+    def test_misses_bounded(self, stream, sets, ways):
+        from repro.apps.cachemodel import CacheModel
+
+        m = CacheModel(sets=sets, ways=ways, line_bytes=64, element_bytes=8)
+        arr = np.asarray(stream, dtype=np.int64)
+        stats = m.simulate(arr)
+        assert m.compulsory_misses(arr) <= stats.misses <= stats.accesses
+
+    @given(
+        stream=st.lists(st.integers(min_value=0, max_value=1_000),
+                        min_size=1, max_size=300),
+    )
+    @settings(**SETTINGS)
+    def test_more_ways_never_hurt_with_same_sets(self, stream):
+        """LRU with more ways (same set count) never misses more."""
+        from repro.apps.cachemodel import CacheModel
+
+        arr = np.asarray(stream, dtype=np.int64)
+        small = CacheModel(sets=8, ways=1, line_bytes=8, element_bytes=8)
+        big = CacheModel(sets=8, ways=4, line_bytes=8, element_bytes=8)
+        assert big.simulate(arr).misses <= small.simulate(arr).misses
+
+
+class TestSolverProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=15),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(**SETTINGS)
+    def test_envelope_cholesky_solves_random_spd(self, n, seed):
+        from repro.solver.envelope import (
+            SkylineMatrix, envelope_cholesky, solve_cholesky,
+        )
+
+        rng = np.random.default_rng(seed)
+        # random sparse SPD: A = B B^T + n I on a random pattern
+        b_mat = rng.random((n, n)) * (rng.random((n, n)) < 0.4)
+        dense = b_mat @ b_mat.T + n * np.eye(n)
+        rows, cols = np.nonzero(dense)
+        mat = coo_to_csr(n, rows, cols, dense[rows, cols])
+        sky = SkylineMatrix.from_csr(mat)
+        L = envelope_cholesky(sky)
+        rhs = rng.random(n)
+        x = solve_cholesky(L, rhs)
+        assert np.allclose(dense @ x, rhs, atol=1e-7 * n)

@@ -1,0 +1,122 @@
+"""Unit tests for the serial (ground-truth) RCM implementation."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix, coo_to_csr
+from repro.sparse.graph import bfs_levels
+from repro.sparse.bandwidth import bandwidth_after
+from repro.core.serial import cuthill_mckee, rcm_serial, serial_cycles
+from repro.matrices import generators as g
+
+
+class TestSmallKnownCases:
+    def test_path_from_end(self, path5):
+        # BFS from 0 along a path visits in order
+        assert list(cuthill_mckee(path5, 0)) == [0, 1, 2, 3, 4]
+        assert list(rcm_serial(path5, 0)) == [4, 3, 2, 1, 0]
+
+    def test_star_children_sorted_by_valence(self, star):
+        # all leaves have valence 1: stable sort keeps adjacency order
+        assert list(cuthill_mckee(star, 0)) == [0, 1, 2, 3, 4, 5]
+
+    def test_valence_tiebreak(self):
+        # 0 -- {1,2,3}; 3 also connects to 4 (valence: 1:1, 2:1, 3:2)
+        m = CSRMatrix.from_edges(5, [(0, 1), (0, 2), (0, 3), (3, 4)])
+        cm = cuthill_mckee(m, 0)
+        assert list(cm) == [0, 1, 2, 3, 4]
+
+    def test_higher_valence_child_visited_last(self):
+        # 0 -- {1,2}; 1 has extra neighbours -> valence(1) > valence(2)
+        m = CSRMatrix.from_edges(6, [(0, 1), (0, 2), (1, 3), (1, 4), (1, 5)])
+        cm = cuthill_mckee(m, 0)
+        assert list(cm[:3]) == [0, 2, 1]
+
+    def test_claim_goes_to_first_parent(self):
+        # node 3 adjacent to both 1 and 2; 1 precedes 2 in the order,
+        # so 3 is a child of 1
+        m = CSRMatrix.from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 3), (2, 4)])
+        cm = cuthill_mckee(m, 0)
+        # children of 0: valence(1)=2 < valence(2)=3 -> [1, 2]; 1 claims 3
+        assert list(cm) == [0, 1, 2, 3, 4]
+
+    def test_single_node(self):
+        m = coo_to_csr(1, [], [])
+        assert list(cuthill_mckee(m, 0)) == [0]
+
+    def test_isolated_start(self):
+        m = CSRMatrix.from_edges(3, [(1, 2)])
+        assert list(cuthill_mckee(m, 0)) == [0]
+
+
+class TestStructuralProperties:
+    def test_is_permutation_of_component(self, small_mesh):
+        cm = cuthill_mckee(small_mesh, 0)
+        assert sorted(cm) == list(range(small_mesh.n))
+
+    def test_respects_bfs_levels(self, small_mesh):
+        """CM order never decreases in BFS level (it is a BFS)."""
+        cm = cuthill_mckee(small_mesh, 0)
+        levels = bfs_levels(small_mesh, 0)[cm]
+        assert np.all(np.diff(levels) >= 0)
+
+    def test_only_component_visited(self, two_triangles):
+        cm = cuthill_mckee(two_triangles, 4)
+        assert sorted(cm) == [3, 4, 5]
+        assert cm[0] == 4
+
+    def test_rcm_is_reverse_of_cm(self, small_grid):
+        cm = cuthill_mckee(small_grid, 0)
+        assert np.array_equal(rcm_serial(small_grid, 0), cm[::-1])
+
+    def test_start_out_of_range(self, small_grid):
+        with pytest.raises(ValueError):
+            cuthill_mckee(small_grid, -1)
+
+    def test_deterministic(self, small_mesh):
+        a = cuthill_mckee(small_mesh, 3)
+        b = cuthill_mckee(small_mesh, 3)
+        assert np.array_equal(a, b)
+
+
+class TestQuality:
+    def test_bandwidth_close_to_scipy(self):
+        """Different tie-breaks, comparable quality (within 1.6x)."""
+        from repro.baselines.scipy_ref import scipy_rcm
+
+        for mat, start in [
+            (g.grid2d(15, 15), 0),
+            (g.delaunay_mesh(400, seed=2), 0),
+            (g.banded(200, 6, density=0.5, seed=3), 0),
+        ]:
+            ours = rcm_serial(mat, start)
+            if ours.size != mat.n:
+                continue  # disconnected; scipy orders all components
+            bw_ours = bandwidth_after(mat, ours)
+            bw_scipy = bandwidth_after(mat, scipy_rcm(mat))
+            assert bw_ours <= 1.6 * bw_scipy + 5
+
+    def test_reduces_bandwidth_of_shuffled_band(self):
+        band = g.banded(150, 3)
+        rng = np.random.default_rng(8)
+        shuffled = band.permute_symmetric(rng.permutation(band.n))
+        perm = rcm_serial(shuffled, int(np.argmin(np.diff(shuffled.indptr))))
+        from repro.sparse.bandwidth import bandwidth
+
+        assert bandwidth_after(shuffled, perm) < bandwidth(shuffled) / 2
+
+
+class TestSerialCycles:
+    def test_positive_and_monotone_in_size(self):
+        small = g.grid2d(5, 5)
+        large = g.grid2d(20, 20)
+        assert serial_cycles(small, start=0) > 0
+        assert serial_cycles(large, start=0) > serial_cycles(small, start=0)
+
+    def test_requires_order_or_start(self, small_grid):
+        with pytest.raises(ValueError):
+            serial_cycles(small_grid)
+
+    def test_accepts_precomputed_order(self, small_grid):
+        cm = cuthill_mckee(small_grid, 0)
+        assert serial_cycles(small_grid, cm) == serial_cycles(small_grid, start=0)

@@ -1,0 +1,216 @@
+"""Tests for the envelope Cholesky and CG solver substrates."""
+
+import numpy as np
+import pytest
+
+from repro.solver.envelope import (
+    SkylineMatrix,
+    envelope_cholesky,
+    solve_cholesky,
+    cholesky_flops,
+)
+from repro.solver.cg import conjugate_gradient
+from repro.sparse.csr import CSRMatrix, coo_to_csr
+from repro.sparse.bandwidth import profile
+from repro.matrices import generators as g
+from repro.core.api import reverse_cuthill_mckee
+
+
+def spd_laplacian(pattern: CSRMatrix, shift: float = 1.0) -> CSRMatrix:
+    """SPD system: (D + shift·I) - A on a pattern (diagonally dominant)."""
+    n = pattern.n
+    deg = pattern.degrees().astype(np.float64)
+    row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(pattern.indptr))
+    rows = np.concatenate([row_of, np.arange(n, dtype=np.int64)])
+    cols = np.concatenate([pattern.indices, np.arange(n, dtype=np.int64)])
+    vals = np.concatenate([-np.ones(pattern.nnz), deg + shift])
+    return coo_to_csr(n, rows, cols, vals)
+
+
+@pytest.fixture
+def spd_system():
+    pattern = g.grid2d(8, 8)
+    mat = spd_laplacian(pattern)
+    rng = np.random.default_rng(0)
+    b = rng.random(mat.n)
+    return mat, b
+
+
+class TestSkylineStorage:
+    def test_storage_equals_profile(self, spd_system):
+        mat, _ = spd_system
+        sky = SkylineMatrix.from_csr(mat)
+        assert sky.storage == profile(mat)
+
+    def test_values_preserved(self, spd_system):
+        mat, _ = spd_system
+        sky = SkylineMatrix.from_csr(mat)
+        dense = mat.to_dense()
+        for i in range(mat.n):
+            for j in range(int(sky.first[i]), i + 1):
+                assert sky.get(i, j) == pytest.approx(dense[i, j])
+
+    def test_zeros_inside_envelope_stored(self):
+        # entries (0,0),(2,0),(2,2): envelope of row 2 includes column 1
+        mat = coo_to_csr(3, [0, 2, 0, 2], [0, 0, 2, 2], [4.0, 1.0, 1.0, 4.0])
+        sky = SkylineMatrix.from_csr(mat)
+        assert sky.get(2, 1) == 0.0
+        assert sky.storage == 1 + 1 + 3
+
+    def test_requires_values(self, small_grid):
+        with pytest.raises(ValueError):
+            SkylineMatrix.from_csr(small_grid)
+
+    def test_upper_access_rejected(self, spd_system):
+        sky = SkylineMatrix.from_csr(spd_system[0])
+        with pytest.raises(IndexError):
+            sky.get(0, 1)
+
+
+class TestEnvelopeCholesky:
+    def test_factor_reconstructs_matrix(self, spd_system):
+        mat, _ = spd_system
+        sky = SkylineMatrix.from_csr(mat)
+        L = envelope_cholesky(sky)
+        ld = L.to_dense_lower()
+        assert np.allclose(ld @ ld.T, mat.to_dense(), atol=1e-9)
+
+    def test_matches_numpy_cholesky(self, spd_system):
+        mat, _ = spd_system
+        L = envelope_cholesky(SkylineMatrix.from_csr(mat))
+        ref = np.linalg.cholesky(mat.to_dense())
+        assert np.allclose(L.to_dense_lower(), ref, atol=1e-9)
+
+    def test_solve_correct(self, spd_system):
+        mat, b = spd_system
+        L = envelope_cholesky(SkylineMatrix.from_csr(mat))
+        x = solve_cholesky(L, b)
+        assert np.allclose(mat.to_dense() @ x, b, atol=1e-8)
+
+    def test_non_spd_rejected(self):
+        mat = coo_to_csr(2, [0, 1, 0, 1], [0, 0, 1, 1], [1.0, 2.0, 2.0, 1.0])
+        with pytest.raises(np.linalg.LinAlgError):
+            envelope_cholesky(SkylineMatrix.from_csr(mat))
+
+    def test_inplace(self, spd_system):
+        mat, _ = spd_system
+        sky = SkylineMatrix.from_csr(mat)
+        out = envelope_cholesky(sky, inplace=True)
+        assert out is sky
+
+    def test_diagonal_matrix(self):
+        mat = coo_to_csr(3, [0, 1, 2], [0, 1, 2], [4.0, 9.0, 16.0])
+        L = envelope_cholesky(SkylineMatrix.from_csr(mat))
+        assert np.allclose(np.diag(L.to_dense_lower()), [2.0, 3.0, 4.0])
+
+    def test_bad_rhs_shape(self, spd_system):
+        mat, _ = spd_system
+        L = envelope_cholesky(SkylineMatrix.from_csr(mat))
+        with pytest.raises(ValueError):
+            solve_cholesky(L, np.ones(3))
+
+
+class TestOrderingEffect:
+    def test_rcm_shrinks_factor_cost(self):
+        """The paper's fill-in motivation as an equation: RCM reduces the
+        envelope, hence storage and flops of the factorization."""
+        pattern = g.delaunay_mesh(400, seed=3)
+        rng = np.random.default_rng(1)
+        scrambled = pattern.permute_symmetric(rng.permutation(pattern.n))
+        res = reverse_cuthill_mckee(scrambled, start="peripheral")
+        reordered = scrambled.permute_symmetric(res.permutation)
+
+        sky_bad = SkylineMatrix.from_csr(spd_laplacian(scrambled))
+        sky_good = SkylineMatrix.from_csr(spd_laplacian(reordered))
+        assert sky_good.storage < sky_bad.storage / 2
+        assert cholesky_flops(sky_good) < cholesky_flops(sky_bad) / 4
+
+    def test_solution_invariant_under_reordering(self):
+        pattern = g.grid2d(7, 7)
+        mat = spd_laplacian(pattern)
+        rng = np.random.default_rng(2)
+        b = rng.random(mat.n)
+        x_direct = solve_cholesky(
+            envelope_cholesky(SkylineMatrix.from_csr(mat)), b
+        )
+        res = reverse_cuthill_mckee(pattern)
+        perm = res.permutation
+        permuted = mat.permute_symmetric(perm)
+        x_perm = solve_cholesky(
+            envelope_cholesky(SkylineMatrix.from_csr(permuted)), b[perm]
+        )
+        assert np.allclose(x_perm, x_direct[perm], atol=1e-8)
+
+
+class TestCG:
+    def test_solves_spd_system(self, spd_system):
+        mat, b = spd_system
+        res = conjugate_gradient(mat, b, tol=1e-10)
+        assert res.converged
+        assert np.allclose(mat.to_dense() @ res.x, b, atol=1e-6)
+
+    def test_residuals_decrease_overall(self, spd_system):
+        mat, b = spd_system
+        res = conjugate_gradient(mat, b)
+        assert res.residuals[-1] < res.residuals[0]
+
+    def test_iteration_count_permutation_invariant(self):
+        """Orderings change locality, never convergence."""
+        pattern = g.grid2d(10, 10)
+        mat = spd_laplacian(pattern)
+        rng = np.random.default_rng(3)
+        b = rng.random(mat.n)
+        base = conjugate_gradient(mat, b, tol=1e-9)
+        perm = rng.permutation(mat.n)
+        permuted = mat.permute_symmetric(perm)
+        other = conjugate_gradient(permuted, b[perm], tol=1e-9)
+        assert abs(base.iterations - other.iterations) <= 2
+
+    def test_max_iter_respected(self, spd_system):
+        mat, b = spd_system
+        res = conjugate_gradient(mat, b, tol=1e-30, max_iter=5)
+        assert res.iterations == 5
+        assert not res.converged
+
+    def test_spmv_accounting(self, spd_system):
+        mat, b = spd_system
+        res = conjugate_gradient(mat, b)
+        assert res.spmv_count == res.iterations + 1
+
+    def test_zero_rhs(self, spd_system):
+        mat, _ = spd_system
+        res = conjugate_gradient(mat, np.zeros(mat.n))
+        assert res.converged
+        assert np.allclose(res.x, 0.0)
+
+    def test_pattern_matrix_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            conjugate_gradient(small_grid, np.ones(small_grid.n))
+
+    def test_warm_start(self, spd_system):
+        mat, b = spd_system
+        cold = conjugate_gradient(mat, b, tol=1e-10)
+        warm = conjugate_gradient(mat, b, x0=cold.x, tol=1e-10)
+        assert warm.iterations <= 1
+
+
+class TestSpmvKernel:
+    def test_matches_scipy_on_random_systems(self):
+        from repro.solver.cg import _spmv
+
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            n = int(rng.integers(2, 60))
+            pattern = g.grid2d(max(2, n // 4 + 1), 4)
+            mat = spd_laplacian(pattern)
+            x = rng.random(mat.n)
+            ours = _spmv(mat, x)
+            ref = mat.to_scipy() @ x
+            assert np.allclose(ours, ref)
+
+    def test_empty_rows(self):
+        from repro.solver.cg import _spmv
+
+        mat = coo_to_csr(3, [0], [0], [2.0])
+        y = _spmv(mat, np.array([1.0, 5.0, 7.0]))
+        assert np.allclose(y, [2.0, 0.0, 0.0])

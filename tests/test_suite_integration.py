@@ -1,0 +1,96 @@
+"""Suite-wide integration: every Table I analogue through the full pipeline.
+
+Slower than the unit tests (seconds per matrix) but the strongest guarantee:
+on *every* test-set structure, all execution strategies agree with serial
+RCM and the bench pipeline produces sane rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matrices.suite import TESTSET, get_matrix
+from repro.bench.runner import pick_start
+from repro.core.serial import cuthill_mckee
+from repro.core.batch import run_batch_rcm
+from repro.core.batch_gpu import run_batch_rcm_gpu
+from repro.core.leveled import rcm_leveled
+from repro.core.unordered import rcm_unordered
+from repro.machine.costmodel import CPUCostModel
+
+MODEL = CPUCostModel()
+
+#: a cross-regime sample kept fast enough for the default test run; the
+#: remaining rows are exercised by the benchmark suite
+SAMPLE = [
+    "bcspwr10",        # narrow power grid, disconnected
+    "gupta3",          # dense hubs
+    "SiO2",            # chemistry + hubs
+    "great-britain_osm",  # huge diameter
+    "human_gene2",     # skewed power law, disconnected
+    "bundle_adj",      # arrowhead
+    "coPapersDBLP",    # preferential attachment
+    "hugebubbles-00020",  # deep 2-D mesh
+    "nlpkkt120",       # KKT
+    "mycielskian18",   # early-termination outlier
+]
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_all_strategies_agree(name):
+    mat = get_matrix(name)
+    start, total = pick_start(mat)
+    ref = cuthill_mckee(mat, start)[::-1]
+
+    lev = rcm_leveled(mat, start).permutation
+    assert np.array_equal(lev, ref), f"leveled diverged on {name}"
+
+    uno = rcm_unordered(mat, start).permutation
+    assert np.array_equal(uno, ref), f"unordered diverged on {name}"
+
+    cpu = run_batch_rcm(mat, start, model=MODEL, n_workers=6, total=total)
+    assert np.array_equal(cpu.permutation, ref), f"batch-cpu diverged on {name}"
+
+    gpu = run_batch_rcm_gpu(mat, start, total=total, n_workers=64)
+    assert np.array_equal(gpu.permutation, ref), f"batch-gpu diverged on {name}"
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_run_accounting(name):
+    """Cycle and queue accounting invariants hold on every regime."""
+    mat = get_matrix(name)
+    start, total = pick_start(mat)
+    res = run_batch_rcm(mat, start, model=MODEL, n_workers=6, total=total)
+    st = res.stats
+    assert st.batches_generated >= st.batches_dequeued >= st.batches_executed
+    assert st.nodes_discovered_speculatively >= total - 1
+    assert st.nodes_dropped_by_rediscovery == (
+        st.nodes_discovered_speculatively - (total - 1)
+    )
+    assert st.makespan > 0
+    assert sum(st.stage_shares().values()) == pytest.approx(1.0)
+
+
+def test_paper_reference_rows_complete():
+    """Every Table I row carries the paper's reference data for EXPERIMENTS."""
+    for entry in TESTSET:
+        p = entry.paper
+        assert p.n > 0 and p.nnz > 0
+        assert p.cpu_rcm > 0 and p.cpu_batch > 0 and p.gpu_batch > 0
+        assert entry.size_class in ("small", "medium", "large")
+        assert entry.regime
+
+
+def test_analogue_regimes_span_front_widths():
+    """The analogues must cover narrow, medium and wide BFS fronts — the
+    paper's key independent variable."""
+    from repro.sparse.graph import front_statistics
+
+    fronts = []
+    for name in ("great-britain_osm", "ecology1", "benzene", "coPapersDBLP"):
+        mat = get_matrix(name)
+        start, _ = pick_start(mat)
+        fronts.append(front_statistics(mat, start).avg_front)
+    assert fronts[0] < 50          # narrow
+    assert 50 <= fronts[1] < 150   # medium
+    assert fronts[2] > 150         # wide
+    assert fronts[3] > 1000        # very wide

@@ -1,0 +1,77 @@
+"""Unit tests for structural validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix, coo_to_csr
+from repro.sparse.validate import (
+    validate_csr,
+    is_structurally_symmetric,
+    assert_permutation,
+    has_duplicates,
+)
+
+
+class TestSymmetryCheck:
+    def test_symmetric(self, small_grid):
+        assert is_structurally_symmetric(small_grid)
+
+    def test_asymmetric(self):
+        m = coo_to_csr(3, [0], [1])
+        assert not is_structurally_symmetric(m)
+
+    def test_diagonal_only_is_symmetric(self):
+        m = coo_to_csr(3, [0, 1], [0, 1])
+        assert is_structurally_symmetric(m)
+
+
+class TestDuplicates:
+    def test_clean(self, small_grid):
+        assert not has_duplicates(small_grid)
+
+    def test_detects_duplicate(self):
+        m = CSRMatrix(
+            indptr=np.array([0, 2]), indices=np.array([0, 0]), n=1
+        )
+        assert has_duplicates(m)
+
+
+class TestValidateCsr:
+    def test_passes_on_clean(self, small_grid):
+        validate_csr(small_grid, require_symmetric=True)
+
+    def test_unsorted_rejected(self):
+        m = CSRMatrix(indptr=np.array([0, 2, 2]), indices=np.array([1, 0]), n=2)
+        with pytest.raises(ValueError, match="sorted"):
+            validate_csr(m)
+
+    def test_duplicates_rejected(self):
+        m = CSRMatrix(indptr=np.array([0, 2]), indices=np.array([0, 0]), n=1)
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_csr(m)
+
+    def test_asymmetric_rejected_when_required(self):
+        m = coo_to_csr(3, [0], [1])
+        with pytest.raises(ValueError, match="symmetric"):
+            validate_csr(m, require_symmetric=True)
+
+    def test_asymmetric_ok_when_not_required(self):
+        m = coo_to_csr(3, [0], [1])
+        validate_csr(m, require_symmetric=False)
+
+
+class TestAssertPermutation:
+    def test_valid(self):
+        assert_permutation(np.array([2, 0, 1]))
+
+    def test_repeats_rejected(self):
+        with pytest.raises(AssertionError):
+            assert_permutation(np.array([0, 0, 1]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AssertionError):
+            assert_permutation(np.array([0, 1, 3]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AssertionError):
+            assert_permutation(np.array([0, 1]), n=3)
