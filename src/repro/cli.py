@@ -6,9 +6,14 @@
     python -m repro reorder matrix.mtx -o out.mtx --method batch-cpu
     python -m repro generate ecology1 -o eco.npz
     python -m repro trace --matrix gupta3 --workers 8 -o trace.json
+    python -m repro profile --matrix gupta3 --method threads -o prof
     python -m repro bench table1 --quick       # any experiment driver
 
 Files: MatrixMarket (``.mtx``, ``.mtx.gz``) and the library's ``.npz``.
+
+``trace`` visualizes the *simulated* machine; ``profile`` (and the
+``--telemetry run.jsonl`` flag on ``reorder``/``bench``) records *real*
+wall-clock telemetry — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -81,9 +86,14 @@ def cmd_info(args) -> int:
 
 def cmd_reorder(args) -> int:
     """``reorder``: compute RCM, apply it, optionally write outputs."""
+    import json
+
+    from repro import telemetry
     from repro.core.api import reverse_cuthill_mckee
     from repro.sparse.spy import side_by_side
 
+    if getattr(args, "telemetry", None):
+        telemetry.enable()
     mat = _get_input(args)
     start = args.start if args.start is not None else "min-valence"
     if args.peripheral:
@@ -98,16 +108,29 @@ def cmd_reorder(args) -> int:
     reordered = (mat.symmetrize() if args.symmetrize else mat).permute_symmetric(
         res.permutation
     )
-    print(f"method={res.method}  components={res.n_components}")
-    print(f"bandwidth {res.initial_bandwidth} -> {res.reordered_bandwidth}")
+    # with --json, stdout carries only the JSON document (pipeable to jq);
+    # status lines move to stderr
+    status = sys.stderr if args.json else sys.stdout
+    if args.json:
+        # machine-readable: bandwidths, phase wall times and, for the
+        # simulated methods, every RunStats counter (Fig. 3/6 semantics)
+        print(json.dumps(res.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"method={res.method}  components={res.n_components}")
+        print(f"bandwidth {res.initial_bandwidth} -> {res.reordered_bandwidth}")
     if args.spy:
-        print(side_by_side(mat, reordered, size=32))
+        print(side_by_side(mat, reordered, size=32), file=status)
     if args.output:
         _save(reordered, args.output)
-        print(f"wrote {args.output}")
+        print(f"wrote {args.output}", file=status)
     if args.perm_output:
         np.savetxt(args.perm_output, res.permutation, fmt="%d")
-        print(f"wrote permutation to {args.perm_output}")
+        print(f"wrote permutation to {args.perm_output}", file=status)
+    if getattr(args, "telemetry", None):
+        n = telemetry.get().write_jsonl(
+            args.telemetry, meta={"command": "reorder", "method": args.method}
+        )
+        print(f"wrote {n} telemetry events to {args.telemetry}", file=status)
     return 0
 
 
@@ -149,6 +172,64 @@ def cmd_trace(args) -> int:
     if args.output:
         to_chrome_tracing(engine.trace, args.output, clock_ghz=model.clock_ghz)
         print(f"wrote {args.output} (load in chrome://tracing)")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """``profile``: run RCM with full telemetry; export JSONL + Chrome trace.
+
+    Unlike ``trace`` (which renders the *simulated* machine), this records
+    real wall-clock spans and counters: API phase breakdown, per-worker
+    stage spans of the OS-thread backend, and speculation/queue counters
+    with the same semantics as the simulator's ``RunStats``.
+    """
+    from repro import telemetry
+    from repro.core.api import reverse_cuthill_mckee
+
+    tel = telemetry.get()
+    tel.reset()
+    telemetry.enable()
+    mat = _get_input(args)
+    start = "peripheral" if args.peripheral else "min-valence"
+    res = reverse_cuthill_mckee(
+        mat, method=args.method, start=start, n_workers=args.workers
+    )
+
+    print(f"method={res.method}  n={mat.n}  nnz={mat.nnz}  "
+          f"components={res.n_components}")
+    print(f"bandwidth {res.initial_bandwidth} -> {res.reordered_bandwidth}")
+    print("\nphase breakdown (wall):")
+    for phase, ns in res.phase_ns.items():
+        print(f"  {phase:<16s} {ns / 1e6:10.3f} ms")
+    print(f"  {'total':<16s} {res.wall_ms:10.3f} ms")
+
+    snap = tel.snapshot()
+    if snap["counters"]:
+        print("\ncounters:")
+        for name, value in snap["counters"].items():
+            print(f"  {name:<40s} {value}")
+
+    records = tel.tracer.records()
+    worker_spans = [r for r in records if r.worker is not None]
+    if worker_spans:
+        print()
+        print(telemetry.spans_gantt(worker_spans, width=args.width))
+
+    jsonl_path = f"{args.output}.jsonl"
+    trace_path = f"{args.output}.trace.json"
+    meta = {
+        "command": "profile",
+        "method": args.method,
+        "matrix": args.matrix or args.matrix_file,
+        "n": mat.n,
+        "nnz": mat.nnz,
+        "workers": args.workers,
+        "phase_ns": res.phase_ns,
+    }
+    n = tel.write_jsonl(jsonl_path, meta=meta)
+    tel.write_chrome_trace(trace_path)
+    print(f"\nwrote {n} events to {jsonl_path}")
+    print(f"wrote {trace_path} (load in Perfetto / chrome://tracing)")
     return 0
 
 
@@ -196,8 +277,18 @@ def cmd_bench(args) -> int:
     """``bench``: forward to one of the experiment drivers."""
     import importlib
 
+    from repro import telemetry
+
+    if getattr(args, "telemetry", None):
+        telemetry.enable()
     mod = importlib.import_module(f"repro.bench.{args.experiment}")
     mod.main(args.rest)
+    if getattr(args, "telemetry", None):
+        n = telemetry.get().write_jsonl(
+            args.telemetry,
+            meta={"command": "bench", "experiment": args.experiment},
+        )
+        print(f"wrote {n} telemetry events to {args.telemetry}")
     return 0
 
 
@@ -235,6 +326,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pseudo-peripheral start node")
     p.add_argument("--symmetrize", action="store_true")
     p.add_argument("--spy", action="store_true", help="before/after spy plots")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable result (bandwidths, phases, stats)")
+    p.add_argument("--telemetry", default=None, metavar="PATH.jsonl",
+                   help="record wall-clock telemetry to a JSONL event log")
     p.set_defaults(func=cmd_reorder)
 
     p = sub.add_parser("generate", help="write a test-set analogue to a file")
@@ -250,6 +345,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default=None, help="Chrome-tracing JSON")
     p.set_defaults(func=cmd_trace)
 
+    p = sub.add_parser(
+        "profile", help="wall-clock telemetry profile (JSONL + Chrome trace)"
+    )
+    _add_input(p)
+    p.add_argument("--method", default="threads",
+                   choices=["serial", "leveled", "unordered", "algebraic",
+                            "batch-basic", "batch-cpu", "batch-gpu",
+                            "threads"])
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--peripheral", action="store_true",
+                   help="pseudo-peripheral start node")
+    p.add_argument("--width", type=int, default=100,
+                   help="ASCII Gantt width (columns)")
+    p.add_argument("-o", "--output", default="profile",
+                   help="output prefix: <prefix>.jsonl + <prefix>.trace.json")
+    p.set_defaults(func=cmd_profile)
+
     p = sub.add_parser("compare", help="compare ordering heuristics")
     _add_input(p)
     p.add_argument("--workers", type=int, default=4)
@@ -261,6 +373,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("experiment",
                    choices=["table1", "fig1", "fig2", "fig3", "fig4", "fig5",
                             "fig6", "ablation", "paper"])
+    p.add_argument("--telemetry", default=None, metavar="PATH.jsonl",
+                   help="record wall-clock telemetry to a JSONL event log")
     p.add_argument("rest", nargs=argparse.REMAINDER,
                    help="arguments forwarded to the driver")
     p.set_defaults(func=cmd_bench)

@@ -12,6 +12,7 @@ global permutation each component's RCM block is reversed *within itself*.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
@@ -30,8 +31,19 @@ from repro.core.batches import BatchConfig
 from repro.core.peripheral import find_pseudo_peripheral
 from repro.machine.costmodel import CPUCostModel, GPUCostModel
 from repro.machine.stats import RunStats
+from repro import telemetry
 
-__all__ = ["ReorderResult", "reverse_cuthill_mckee", "METHODS"]
+__all__ = ["ReorderResult", "reverse_cuthill_mckee", "METHODS", "PHASES"]
+
+#: wall-clock phase names of the :func:`reverse_cuthill_mckee` pipeline,
+#: in execution order (also the telemetry span names)
+PHASES = (
+    "validate",
+    "components",
+    "start-selection",
+    "ordering",
+    "assembly",
+)
 
 METHODS = (
     "serial",
@@ -61,10 +73,33 @@ class ReorderResult:
     reordered_bandwidth: int
     #: simulated run stats per component (batch methods only)
     stats: List[RunStats] = field(default_factory=list)
+    #: wall-clock nanoseconds per pipeline phase (see :data:`PHASES`)
+    phase_ns: Dict[str, int] = field(default_factory=dict)
 
     @property
     def n_components(self) -> int:
         return len(self.component_sizes)
+
+    @property
+    def wall_ms(self) -> float:
+        """Total measured wall milliseconds across all pipeline phases."""
+        return sum(self.phase_ns.values()) / 1e6
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (bandwidths, phases, per-component
+        simulated stats)."""
+        return {
+            "method": self.method,
+            "n": int(self.permutation.size),
+            "n_components": self.n_components,
+            "start_nodes": [int(s) for s in self.start_nodes],
+            "component_sizes": [int(s) for s in self.component_sizes],
+            "initial_bandwidth": int(self.initial_bandwidth),
+            "reordered_bandwidth": int(self.reordered_bandwidth),
+            "phase_ns": dict(self.phase_ns),
+            "wall_ms": self.wall_ms,
+            "stats": [st.to_dict() for st in self.stats],
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -134,16 +169,26 @@ def reverse_cuthill_mckee(
     """
     if method not in METHODS:
         raise ValueError(f"method must be one of {METHODS}, got {method!r}")
-    if symmetrize:
-        mat = mat.symmetrize()
-    validate_csr(mat, require_sorted=True)
-    if not is_structurally_symmetric(mat):
-        raise ValueError(
-            "matrix pattern is not symmetric; pass symmetrize=True or call "
-            "CSRMatrix.symmetrize() first"
-        )
+    tel = telemetry.get()
+    phase_ns: Dict[str, int] = {p: 0 for p in PHASES}
 
-    comps = _components_by_min_node(mat)
+    t_phase = time.perf_counter_ns()
+    with tel.span("validate", category="api", n=mat.n, nnz=mat.nnz):
+        if symmetrize:
+            mat = mat.symmetrize()
+        validate_csr(mat, require_sorted=True)
+        if not is_structurally_symmetric(mat):
+            raise ValueError(
+                "matrix pattern is not symmetric; pass symmetrize=True or call "
+                "CSRMatrix.symmetrize() first"
+            )
+    phase_ns["validate"] = time.perf_counter_ns() - t_phase
+
+    t_phase = time.perf_counter_ns()
+    with tel.span("components", category="api") as sp:
+        comps = _components_by_min_node(mat)
+        sp.set(n_components=len(comps))
+    phase_ns["components"] = time.perf_counter_ns() - t_phase
     if isinstance(start, (int, np.integer)):
         if len(comps) != 1:
             raise ValueError(
@@ -157,60 +202,76 @@ def reverse_cuthill_mckee(
     stats: List[RunStats] = []
 
     for members in comps:
-        if isinstance(start, (int, np.integer)):
-            s = int(start)
-        else:
-            s = _pick_start(mat, members, start)
+        t_phase = time.perf_counter_ns()
+        with tel.span("start-selection", category="api"):
+            if isinstance(start, (int, np.integer)):
+                s = int(start)
+            else:
+                s = _pick_start(mat, members, start)
+        phase_ns["start-selection"] += time.perf_counter_ns() - t_phase
         starts.append(s)
         sizes.append(int(members.size))
         total = int(members.size)
 
-        if method == "serial":
-            part = rcm_serial(mat, s)
-        elif method == "leveled":
-            part = rcm_leveled(mat, s).permutation
-        elif method == "unordered":
-            part = rcm_unordered(mat, s).permutation
-        elif method == "algebraic":
-            from repro.core.algebraic import rcm_algebraic
+        t_phase = time.perf_counter_ns()
+        with tel.span("ordering", category="api", method=method, size=total):
+            if method == "serial":
+                part = rcm_serial(mat, s)
+            elif method == "leveled":
+                part = rcm_leveled(mat, s).permutation
+            elif method == "unordered":
+                part = rcm_unordered(mat, s).permutation
+            elif method == "algebraic":
+                from repro.core.algebraic import rcm_algebraic
 
-            part = rcm_algebraic(mat, s).permutation
-        elif method == "batch-basic":
-            cfg = config or BatchConfig(
-                early_signaling=False, overhang=False, multibatch=1
-            )
-            res = run_batch_rcm(
-                mat, s, model=CPUCostModel(), n_workers=n_workers,
-                config=cfg, total=total, seed=seed,
-            )
-            part = res.permutation
-            stats.append(res.stats)
-        elif method == "batch-cpu":
-            res = run_batch_rcm(
-                mat, s, model=CPUCostModel(), n_workers=n_workers,
-                config=config, total=total, seed=seed,
-            )
-            part = res.permutation
-            stats.append(res.stats)
-        elif method == "batch-gpu":
-            res = run_batch_rcm_gpu(mat, s, total=total, seed=seed)
-            part = res.permutation
-            stats.append(res.stats)
-        elif method == "threads":
-            from repro.core.threads import rcm_threads
+                part = rcm_algebraic(mat, s).permutation
+            elif method == "batch-basic":
+                cfg = config or BatchConfig(
+                    early_signaling=False, overhang=False, multibatch=1
+                )
+                res = run_batch_rcm(
+                    mat, s, model=CPUCostModel(), n_workers=n_workers,
+                    config=cfg, total=total, seed=seed,
+                )
+                part = res.permutation
+                stats.append(res.stats)
+            elif method == "batch-cpu":
+                res = run_batch_rcm(
+                    mat, s, model=CPUCostModel(), n_workers=n_workers,
+                    config=config, total=total, seed=seed,
+                )
+                part = res.permutation
+                stats.append(res.stats)
+            elif method == "batch-gpu":
+                res = run_batch_rcm_gpu(mat, s, total=total, seed=seed)
+                part = res.permutation
+                stats.append(res.stats)
+            elif method == "threads":
+                from repro.core.threads import rcm_threads
 
-            part = rcm_threads(mat, s, n_threads=n_workers, total=total)
-        else:  # pragma: no cover
-            raise AssertionError(method)
+                part = rcm_threads(mat, s, n_threads=n_workers, total=total)
+            else:  # pragma: no cover
+                raise AssertionError(method)
+        phase_ns["ordering"] += time.perf_counter_ns() - t_phase
         perm_parts.append(part)
 
-    perm = np.concatenate(perm_parts) if perm_parts else np.zeros(0, dtype=np.int64)
+    t_phase = time.perf_counter_ns()
+    with tel.span("assembly", category="api"):
+        perm = (
+            np.concatenate(perm_parts) if perm_parts
+            else np.zeros(0, dtype=np.int64)
+        )
+        init_bw = bandwidth(mat)
+        reord_bw = bandwidth_after(mat, perm)
+    phase_ns["assembly"] = time.perf_counter_ns() - t_phase
+
     return ReorderResult(
         permutation=perm,
         method=method,
         start_nodes=starts,
         component_sizes=sizes,
-        initial_bandwidth=bandwidth(mat),
-        reordered_bandwidth=bandwidth_after(mat, perm),
+        initial_bandwidth=init_bw,
+        reordered_bandwidth=reord_bw,
         stats=stats,
+        phase_ns=phase_ns,
     )

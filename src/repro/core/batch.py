@@ -33,6 +33,7 @@ from repro.machine.signals import SignalState, SignalPayload
 from repro.machine.stats import RunStats, Stage
 from repro.machine.workqueue import BatchSlot
 from repro.sparse.csr import CSRMatrix
+from repro import telemetry
 
 __all__ = ["BatchResult", "batch_task", "worker_loop", "run_batch_rcm"]
 
@@ -497,8 +498,17 @@ def run_batch_rcm(
         )
         for w in range(n_workers)
     ]
-    engine.run(workers)
+    tel = telemetry.get()
+    with tel.span(
+        "run_batch_rcm", category="sim", n=mat.n, n_workers=n_workers
+    ) as sp:
+        engine.run(workers)
+        sp.set(makespan_cycles=state.stats.makespan)
     state.sync_queue_stats()
+    if tel.enabled:
+        # unify simulated counters with the process-wide registry so real
+        # and simulated runs report through one snapshot
+        tel.metrics.absorb_run_stats(state.stats)
     return BatchResult(
         permutation=state.permutation(),
         stats=state.stats,

@@ -36,6 +36,7 @@ from repro.core.batches import (
     plan_ranges,
 )
 from repro.machine.signals import SignalState
+from repro import telemetry
 
 __all__ = ["rcm_threads"]
 
@@ -44,6 +45,11 @@ COUNTED = int(SignalState.COUNTED)
 COMPLETED = int(SignalState.COMPLETED)
 
 _UNDISCOVERED = np.iinfo(np.int64).max
+
+
+def _null_span(_name):
+    """Disabled-telemetry fast path: skip the Telemetry→Tracer dispatch."""
+    return telemetry.NULL_SPAN
 
 
 @dataclass
@@ -163,8 +169,30 @@ class _SharedState:
                 self.monitor.notify_all()
 
 
-def _process_batch(state: _SharedState, cfg: BatchConfig, idx: int, a: int, b: int) -> None:
-    """One batch through the full protocol (Alg. 5, blocking waits)."""
+def _process_batch(
+    state: _SharedState,
+    cfg: BatchConfig,
+    idx: int,
+    a: int,
+    b: int,
+    wid: int = 0,
+    tel: Optional[telemetry.Telemetry] = None,
+) -> None:
+    """One batch through the full protocol (Alg. 5, blocking waits).
+
+    ``wid`` is the worker lane for telemetry spans; stage names and counter
+    semantics mirror the simulator's :class:`~repro.machine.stats.RunStats`
+    (``Discover``/``Sort``/``Rediscover``/``Signal``/``addNewBatches``/
+    ``Stall``, ``threads.speculation.*``, ``threads.batches.*``).
+    """
+    if tel is None:
+        tel = telemetry.get()
+    if tel.enabled:
+        def span(name, _t=tel, _w=wid, _i=idx):
+            """Stage span pre-bound to this batch's telemetry context."""
+            return _t.span(name, category="threads", worker=_w, batch=_i)
+    else:
+        span = _null_span
     mat = state.mat
     indptr, indices = mat.indptr, mat.indices
     parents = state.out[a:b]
@@ -173,32 +201,45 @@ def _process_batch(state: _SharedState, cfg: BatchConfig, idx: int, a: int, b: i
     # --- speculative discovery (atomicMin per parent) -------------------
     nodes_l: List[np.ndarray] = []
     ppos_l: List[np.ndarray] = []
-    for li in range(parents.size):
-        p = parents[li]
-        ch = indices[indptr[p] : indptr[p + 1]]
-        if ch.size == 0:
-            continue
-        with state.mark_lock:
-            claim = state.marks[ch] > idx
-            fresh = ch[claim]
-            state.marks[fresh] = idx
-        if fresh.size:
-            nodes_l.append(fresh)
-            ppos_l.append(np.full(fresh.size, li, dtype=np.int64))
+    with span("Discover"):
+        for li in range(parents.size):
+            p = parents[li]
+            ch = indices[indptr[p] : indptr[p + 1]]
+            if ch.size == 0:
+                continue
+            with state.mark_lock:
+                claim = state.marks[ch] > idx
+                fresh = ch[claim]
+                state.marks[fresh] = idx
+            if fresh.size:
+                nodes_l.append(fresh)
+                ppos_l.append(np.full(fresh.size, li, dtype=np.int64))
     nodes = np.concatenate(nodes_l) if nodes_l else np.zeros(0, dtype=np.int64)
     ppos = np.concatenate(ppos_l) if ppos_l else np.zeros(0, dtype=np.int64)
     vals = state.valence[nodes]
+    if tel.enabled:
+        tel.counter("threads.speculation.discovered").add(int(nodes.size))
     s_mid = state.incoming_state(idx)
 
     def redisc():
         nonlocal nodes, ppos, vals
-        with state.mark_lock:
-            alive = state.marks[nodes] >= idx
-        nodes, ppos, vals = nodes[alive], ppos[alive], vals[alive]
+        with span("Rediscover"):
+            with state.mark_lock:
+                alive = state.marks[nodes] >= idx
+            if tel.enabled:
+                tel.counter("threads.speculation.rediscovery_passes").add(1)
+                tel.counter("threads.speculation.dropped").add(
+                    int(nodes.size - alive.sum())
+                )
+            nodes, ppos, vals = nodes[alive], ppos[alive], vals[alive]
 
     def signal_count() -> Optional[dict]:
         if state.incoming_state(idx) < COUNTED:
             return None
+        with span("Signal"):
+            return _signal_count_inner()
+
+    def _signal_count_inner() -> dict:
         payload = state.incoming_payload(idx)
         count = int(nodes.size)
         val_sum = int(clamped_valences(vals, cfg.temp_limit).sum())
@@ -222,6 +263,9 @@ def _process_batch(state: _SharedState, cfg: BatchConfig, idx: int, a: int, b: i
             out_p.overhang_end = out_end
             out_p.overhang_valence = v_total
             state.send(idx, COUNTED, out_p)
+            if tel.enabled:
+                tel.counter("threads.overhangs.forwarded").add(1)
+                tel.counter("threads.overhangs.nodes").add(m_total)
         else:
             state.send(idx, COMPLETED, out_p)
         return dict(
@@ -243,10 +287,14 @@ def _process_batch(state: _SharedState, cfg: BatchConfig, idx: int, a: int, b: i
 
     # --- sort (speculative) -----------------------------------------------
     if nodes.size > 1:
-        order = np.lexsort((vals, ppos))
-        nodes, ppos, vals = nodes[order], ppos[order], vals[order]
+        with span("Sort"):
+            order = np.lexsort((vals, ppos))
+            nodes, ppos, vals = nodes[order], ppos[order], vals[order]
+        if tel.enabled:
+            tel.counter("threads.speculation.sorted_elements").add(int(nodes.size))
 
-    state.wait_incoming(idx, DISCOVERED)
+    with span("Stall"):
+        state.wait_incoming(idx, DISCOVERED)
     if not exact:
         if state.incoming_state(idx) >= DISCOVERED:
             state.send(idx, DISCOVERED)
@@ -254,37 +302,49 @@ def _process_batch(state: _SharedState, cfg: BatchConfig, idx: int, a: int, b: i
         if cfg.early_signaling:
             plan = signal_count()
 
-    state.wait_incoming(idx, COUNTED)
+    with span("Stall"):
+        state.wait_incoming(idx, COUNTED)
     if plan is None:
         plan = signal_count()
         assert plan is not None
 
-    state.write_output(plan["out_start"], nodes)
+    with span("addNewBatches"):
+        state.write_output(plan["out_start"], nodes)
 
-    state.wait_incoming(idx, COMPLETED)
+    with span("Stall"):
+        state.wait_incoming(idx, COMPLETED)
     if plan["forward"]:
         state.send(idx, COMPLETED)
 
     if not plan["forward"] and plan["k"] > 0:
-        gen_start = plan["gen_start"]
-        out_end = plan["out_start"] + plan["count"]
-        gen_nodes = state.out[gen_start:out_end]
-        cvals = clamped_valences(state.valence[gen_nodes], cfg.temp_limit)
-        ranges = plan_ranges(cvals, plan["k"], cfg)
-        for j, (ra, rb) in enumerate(ranges):
-            state.fill_slot(
-                plan["queue_start"] + j, (gen_start + ra, gen_start + rb, ra == rb)
-            )
+        with span("addNewBatches"):
+            gen_start = plan["gen_start"]
+            out_end = plan["out_start"] + plan["count"]
+            gen_nodes = state.out[gen_start:out_end]
+            cvals = clamped_valences(state.valence[gen_nodes], cfg.temp_limit)
+            ranges = plan_ranges(cvals, plan["k"], cfg)
+            for j, (ra, rb) in enumerate(ranges):
+                state.fill_slot(
+                    plan["queue_start"] + j, (gen_start + ra, gen_start + rb, ra == rb)
+                )
+            if tel.enabled:
+                tel.counter("threads.batches.generated").add(len(ranges))
 
 
-def _worker(state: _SharedState, cfg: BatchConfig) -> None:
+def _worker(state: _SharedState, cfg: BatchConfig, wid: int = 0) -> None:
+    tel = telemetry.get()
     try:
         while True:
             item = state.take_next()
             if item is None:
                 return
-            idx, a, b, _empty = item
-            _process_batch(state, cfg, idx, a, b)
+            idx, a, b, empty = item
+            if tel.enabled:
+                tel.counter("threads.batches.dequeued").add(1)
+                tel.counter(
+                    "threads.batches.empty" if empty else "threads.batches.executed"
+                ).add(1)
+            _process_batch(state, cfg, idx, a, b, wid=wid, tel=tel)
     except BaseException as exc:  # propagate to peers and the caller
         with state.monitor:
             if state.failure is None:
@@ -310,20 +370,32 @@ def rcm_threads(
         total = int((bfs_levels(mat, start) >= 0).sum())
     cfg = config or BatchConfig(multibatch=1)
     state = _SharedState(mat, start, total)
+    tel = telemetry.get()
+    if tel.enabled:
+        tel.gauge("threads.n_workers").set(max(n_threads, 1))
+        tel.counter("threads.batches.generated").add(1)  # bootstrap slot
+    run_span = tel.span(
+        "rcm_threads", category="threads", n=mat.n, total=total,
+        n_threads=max(n_threads, 1),
+    )
     threads = [
-        threading.Thread(target=_worker, args=(state, cfg), daemon=True)
-        for _ in range(max(n_threads, 1))
+        threading.Thread(target=_worker, args=(state, cfg, wid), daemon=True)
+        for wid in range(max(n_threads, 1))
     ]
+    run_span.__enter__()
     for t in threads:
         t.start()
-    for t in threads:
-        t.join(timeout=120.0)
-        if t.is_alive():
-            with state.monitor:
-                state.failure = state.failure or TimeoutError("worker hung")
-                state.done = True
-                state.monitor.notify_all()
-            raise TimeoutError("threaded RCM worker did not finish")
+    try:
+        for t in threads:
+            t.join(timeout=120.0)
+            if t.is_alive():
+                with state.monitor:
+                    state.failure = state.failure or TimeoutError("worker hung")
+                    state.done = True
+                    state.monitor.notify_all()
+                raise TimeoutError("threaded RCM worker did not finish")
+    finally:
+        run_span.__exit__(None, None, None)
     if state.failure is not None:
         raise RuntimeError("threaded RCM failed") from state.failure
     if state.written != state.total:

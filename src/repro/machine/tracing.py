@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = ["ascii_gantt", "to_chrome_tracing", "stage_timeline"]
 
@@ -73,7 +73,7 @@ def ascii_gantt(
                 row.append(_GLYPHS.get(stage, "?"))
         lines.append(f"w{wid:<3d}|{''.join(row)}|")
     legend = "  ".join(f"{g}={s}" for s, g in _GLYPHS.items())
-    lines.append(f"     {legend}")
+    lines.append(f"     {legend}  ?=unknown stage")
     return "\n".join(lines)
 
 
@@ -82,9 +82,23 @@ def to_chrome_tracing(
     path: Union[str, Path],
     *,
     clock_ghz: float = 4.0,
+    thread_names: Optional[Dict[int, str]] = None,
 ) -> None:
-    """Write the trace as Chrome-tracing JSON (microsecond timestamps)."""
-    events = []
+    """Write the trace as Chrome-tracing JSON (microsecond timestamps).
+
+    Every lane gets a ``"ph": "M"`` ``thread_name`` metadata event so
+    Perfetto labels it ``worker N`` (or a caller-supplied name via
+    ``thread_names``) instead of a bare tid.
+    """
+    lanes = sorted({wid for _, wid, _, _ in trace})
+    names = thread_names or {}
+    events: List[dict] = [{
+        "name": "thread_name",
+        "ph": "M",
+        "pid": 0,
+        "tid": wid,
+        "args": {"name": names.get(wid, f"worker {wid}")},
+    } for wid in lanes]
     for start, wid, stage, cycles in trace:
         events.append({
             "name": stage,

@@ -15,6 +15,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.sparse.csr import CSRMatrix
+from repro import telemetry
 
 __all__ = ["CGResult", "conjugate_gradient"]
 
@@ -64,29 +65,38 @@ def conjugate_gradient(
     max_iter = max_iter if max_iter is not None else 2 * n
 
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
-    spmv_count = 0
-    r = b - _spmv(mat, x)
-    spmv_count += 1
-    p = r.copy()
-    rs = float(r @ r)
-    bnorm = float(np.linalg.norm(b)) or 1.0
-    residuals = [float(np.sqrt(rs)) / bnorm]
-
-    it = 0
-    while residuals[-1] > tol and it < max_iter:
-        ap = _spmv(mat, p)
+    tel = telemetry.get()
+    solve_span = tel.span("cg.solve", category="solver", n=n, nnz=mat.nnz)
+    with solve_span:
+        spmv_count = 0
+        r = b - _spmv(mat, x)
         spmv_count += 1
-        denom = float(p @ ap)
-        if denom <= 0:
-            break  # not SPD (or numerical breakdown)
-        alpha = rs / denom
-        x += alpha * p
-        r -= alpha * ap
-        rs_new = float(r @ r)
-        residuals.append(float(np.sqrt(rs_new)) / bnorm)
-        p = r + (rs_new / rs) * p
-        rs = rs_new
-        it += 1
+        p = r.copy()
+        rs = float(r @ r)
+        bnorm = float(np.linalg.norm(b)) or 1.0
+        residuals = [float(np.sqrt(rs)) / bnorm]
+
+        it = 0
+        while residuals[-1] > tol and it < max_iter:
+            ap = _spmv(mat, p)
+            spmv_count += 1
+            denom = float(p @ ap)
+            if denom <= 0:
+                break  # not SPD (or numerical breakdown)
+            alpha = rs / denom
+            x += alpha * p
+            r -= alpha * ap
+            rs_new = float(r @ r)
+            residuals.append(float(np.sqrt(rs_new)) / bnorm)
+            p = r + (rs_new / rs) * p
+            rs = rs_new
+            it += 1
+        solve_span.set(iterations=it, spmv=spmv_count,
+                       converged=residuals[-1] <= tol)
+    if tel.enabled:
+        tel.counter("cg.iterations").add(it)
+        tel.counter("cg.spmv").add(spmv_count)
+        tel.histogram("cg.final_relative_residual").observe(residuals[-1])
 
     return CGResult(
         x=x,

@@ -1,0 +1,117 @@
+"""Structured JSONL event sink and reader.
+
+One event per line, ``type``-discriminated: a ``meta`` header (schema
+version, host info, free-form context), ``span`` events (see
+:meth:`~repro.telemetry.spans.SpanRecord.to_event`) and a final ``metrics``
+snapshot.  The format round-trips losslessly through :func:`read_jsonl` and
+is what ``repro profile --telemetry`` and ``BENCH_*.json`` builders consume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+__all__ = ["JsonlSink", "host_info", "write_events", "read_jsonl", "SCHEMA"]
+
+#: schema tag stamped into every ``meta`` event
+SCHEMA = "repro-telemetry/v1"
+
+
+def host_info() -> dict:
+    """Machine identification attached to every exported artifact."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+class JsonlSink:
+    """Append-only, thread-safe JSON-lines writer."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._fh = None
+
+    def emit(self, record: dict) -> None:
+        """Write one event as a single JSON line."""
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = self.path.open("w")
+            self._fh.write(line + "\n")
+
+    def emit_many(self, records: Iterable[dict]) -> int:
+        """Write a batch of events; returns how many were written."""
+        n = 0
+        for rec in records:
+            self.emit(rec)
+            n += 1
+        return n
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def write_events(
+    path: Union[str, Path],
+    tracer=None,
+    metrics=None,
+    meta: Optional[dict] = None,
+) -> int:
+    """Dump a full telemetry session to ``path`` as JSONL.
+
+    Emits a ``meta`` header (schema + host + caller context), every finished
+    span of ``tracer``, and a closing ``metrics`` snapshot.  Returns the
+    number of lines written.
+    """
+    with JsonlSink(path) as sink:
+        header = {
+            "type": "meta",
+            "schema": SCHEMA,
+            "unix_time": time.time(),
+            "host": host_info(),
+        }
+        if meta:
+            header["context"] = meta
+        sink.emit(header)
+        n = 1
+        if tracer is not None:
+            n += sink.emit_many(rec.to_event() for rec in tracer.records())
+        if metrics is not None:
+            sink.emit({"type": "metrics", **metrics.to_dict()})
+            n += 1
+    return n
+
+
+def read_jsonl(path: Union[str, Path]) -> List[dict]:
+    """Parse a JSONL file back into a list of event dicts."""
+    out: List[dict] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -1,0 +1,169 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Generalizes the simulator's :class:`~repro.machine.stats.RunStats` to *real*
+runs: any code path can bump a named counter, set a gauge or observe a
+histogram sample, from any thread, and a snapshot of everything is one
+:meth:`MetricsRegistry.to_dict` call away.  Counter names mirror
+``RunStats.to_dict()`` semantics (``batches.generated``,
+``speculation.discovered``, ...) so simulated and real runs are directly
+comparable; :meth:`MetricsRegistry.absorb_run_stats` performs exactly that
+mapping.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonic thread-safe counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def add(self, n: Union[int, float] = 1) -> None:
+        """Increment by ``n`` (must be >= 0)."""
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> Union[int, float]:
+        """Current total."""
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: Union[int, float]) -> None:
+        """Record the current level."""
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> Union[int, float]:
+        """Most recently set level."""
+        return self._value
+
+
+class Histogram:
+    """Streaming summary (count / sum / min / max) of observed samples."""
+
+    __slots__ = ("name", "count", "sum", "min", "max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Fold one sample into the summary."""
+        v = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += v
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
+
+    def to_dict(self) -> dict:
+        """Summary snapshot (``mean`` included when non-empty)."""
+        if not self.count:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.sum / self.count,
+        }
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created if missing."""
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created if missing."""
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name)
+            return inst
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created if missing."""
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(name)
+            return inst
+
+    def clear(self) -> None:
+        """Drop every instrument."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of all instruments."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.to_dict() for n, h in sorted(self._histograms.items())
+                },
+            }
+
+    # ------------------------------------------------------------------
+    def absorb_run_stats(self, stats, prefix: str = "sim.") -> None:
+        """Fold a simulated :class:`RunStats` into the registry.
+
+        Queue/speculation/overhang/GPU counters become counters under
+        ``prefix`` with the same nesting as ``RunStats.to_dict()``
+        (``sim.batches.generated``, ``sim.speculation.dropped``, ...);
+        makespan and worker count become gauges, stage cycles counters.
+        """
+        d = stats.to_dict()
+        self.gauge(prefix + "n_workers").set(d["n_workers"])
+        self.gauge(prefix + "makespan_cycles").set(d["makespan"])
+        for stage, cycles in d["stage_cycles"].items():
+            self.counter(f"{prefix}stage_cycles.{stage}").add(cycles)
+        for group in ("batches", "speculation", "overhangs", "gpu"):
+            for key, val in d[group].items():
+                self.counter(f"{prefix}{group}.{key}").add(val)

@@ -1,0 +1,176 @@
+"""Thread-safe hierarchical wall-clock span tracer.
+
+Real runs (the OS-thread backend, the public API pipeline, the solver)
+cannot use the simulator's cycle accounting — they need *wall-clock* spans.
+:class:`Tracer` records ``perf_counter_ns`` intervals as a tree (each thread
+keeps its own open-span stack, so nesting is captured without any global
+coordination) and is safe to use from many threads at once.
+
+The disabled path is near-free: :meth:`Tracer.span` returns a shared no-op
+context manager without allocating, so instrumentation can stay in hot code
+permanently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["SpanRecord", "Tracer", "NULL_SPAN"]
+
+
+@dataclass
+class SpanRecord:
+    """One finished wall-clock span."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    start_ns: int
+    duration_ns: int
+    thread_id: int
+    #: logical worker lane (thread backend); ``None`` = main/pipeline code
+    worker: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_ns(self) -> int:
+        """Exclusive end timestamp (``start_ns + duration_ns``)."""
+        return self.start_ns + self.duration_ns
+
+    def to_event(self) -> dict:
+        """JSON-serializable event record (the JSONL ``span`` schema)."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "cat": self.category,
+            "start_ns": self.start_ns,
+            "dur_ns": self.duration_ns,
+            "tid": self.thread_id,
+            "worker": self.worker,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        """Ignore attributes (disabled mode)."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager measuring one span on the owning thread's stack."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_worker", "_attrs",
+                 "_span_id", "_parent_id", "_start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 worker: Optional[int], attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._worker = worker
+        self._attrs = attrs
+
+    def set(self, **attrs) -> None:
+        """Attach extra attributes to the span before it closes."""
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        tr = self._tracer
+        stack = tr._stack()
+        self._parent_id = stack[-1] if stack else None
+        self._span_id = next(tr._ids)
+        stack.append(self._span_id)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = time.perf_counter_ns()
+        tr = self._tracer
+        stack = tr._stack()
+        if stack and stack[-1] == self._span_id:
+            stack.pop()
+        rec = SpanRecord(
+            span_id=self._span_id,
+            parent_id=self._parent_id,
+            name=self._name,
+            category=self._category,
+            start_ns=self._start_ns - tr.epoch_ns,
+            duration_ns=end - self._start_ns,
+            thread_id=threading.get_ident(),
+            worker=self._worker,
+            attrs=self._attrs,
+        )
+        with tr._lock:
+            tr._records.append(rec)
+        return False
+
+
+class Tracer:
+    """Collects :class:`SpanRecord` trees from any number of threads.
+
+    Timestamps are stored relative to :attr:`epoch_ns` (the construction or
+    last :meth:`clear` time) so exported traces start near zero.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self.epoch_ns = time.perf_counter_ns()
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._local = threading.local()
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, *, category: str = "phase",
+             worker: Optional[int] = None, **attrs):
+        """Open a wall-clock span as a context manager.
+
+        Returns the shared :data:`NULL_SPAN` when tracing is disabled —
+        callers can leave ``with tracer.span(...)`` in hot paths.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _ActiveSpan(self, name, category, worker, attrs)
+
+    def records(self) -> List[SpanRecord]:
+        """Snapshot of all finished spans (copy; safe to iterate)."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        """Drop all records and restart the epoch."""
+        with self._lock:
+            self._records.clear()
+            self.epoch_ns = time.perf_counter_ns()
+
+    def phase_totals(self) -> Dict[str, int]:
+        """Total nanoseconds per span name (wall, summed over records)."""
+        out: Dict[str, int] = {}
+        for rec in self.records():
+            out[rec.name] = out.get(rec.name, 0) + rec.duration_ns
+        return out

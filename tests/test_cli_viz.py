@@ -125,9 +125,13 @@ class TestTracing:
         p = tmp_path / "t.json"
         to_chrome_tracing(trace, p)
         payload = json.loads(p.read_text())
-        ev = payload["traceEvents"][0]
-        assert set(ev) >= {"name", "ph", "ts", "dur", "tid"}
-        assert all(e["ph"] == "X" for e in payload["traceEvents"])
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(meta) + len(spans) == len(payload["traceEvents"])
+        # one thread-name metadata record per worker lane
+        assert {e["args"]["name"] for e in meta} == {"worker 0", "worker 1"}
+        assert spans, "expected at least one complete event"
+        assert all(set(e) >= {"name", "ph", "ts", "dur", "tid"} for e in spans)
 
     def test_stage_timeline_sorted(self):
         trace = self.trace_of()

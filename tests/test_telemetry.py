@@ -1,0 +1,420 @@
+"""Tests for the unified telemetry layer (``repro.telemetry``).
+
+Covers the span tracer (hierarchy, thread safety, disabled-mode no-op),
+the metrics registry (concurrent counters, RunStats absorption), the JSONL
+event sink round-trip, the exporters, the instrumented library paths and
+the ``repro profile`` CLI.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.telemetry.spans import Tracer, NULL_SPAN
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.events import read_jsonl, write_events, SCHEMA
+from repro.telemetry.export import (
+    lane_assignment,
+    phase_totals_ms,
+    spans_gantt,
+    spans_to_chrome_tracing,
+    spans_to_trace_events,
+)
+from repro.machine.stats import RunStats, Stage
+
+
+@pytest.fixture(autouse=True)
+def clean_global_telemetry():
+    """Keep the process-wide instance disabled and empty around each test."""
+    telemetry.reset()
+    telemetry.disable()
+    yield
+    telemetry.reset()
+    telemetry.disable()
+
+
+class TestTracer:
+    def test_disabled_returns_shared_null_span(self):
+        tr = Tracer(enabled=False)
+        assert tr.span("x") is NULL_SPAN
+        assert tr.span("y", worker=3, foo=1) is NULL_SPAN
+
+    def test_disabled_records_nothing(self):
+        tr = Tracer(enabled=False)
+        for _ in range(10_000):
+            with tr.span("hot"):
+                pass
+        assert tr.records() == []
+
+    def test_basic_span_measured(self):
+        tr = Tracer(enabled=True)
+        with tr.span("work", category="t", n=5):
+            pass
+        (rec,) = tr.records()
+        assert rec.name == "work"
+        assert rec.category == "t"
+        assert rec.attrs == {"n": 5}
+        assert rec.duration_ns >= 0
+        assert rec.end_ns == rec.start_ns + rec.duration_ns
+
+    def test_hierarchy_parent_ids(self):
+        tr = Tracer(enabled=True)
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        by_name = {r.name: r for r in tr.records()}
+        assert by_name["outer"].parent_id is None
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+
+    def test_set_attrs_mid_span(self):
+        tr = Tracer(enabled=True)
+        with tr.span("s") as sp:
+            sp.set(found=42)
+        assert tr.records()[0].attrs["found"] == 42
+
+    def test_overlapping_spans_across_threads(self):
+        tr = Tracer(enabled=True)
+        barrier = threading.Barrier(8)
+
+        def work(i):
+            barrier.wait()
+            with tr.span("overlap", worker=i):
+                with tr.span("nested", worker=i):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        recs = tr.records()
+        assert len(recs) == 16
+        # hierarchy is per-thread: each nested span's parent is its own
+        # thread's outer span
+        outer = {r.thread_id: r for r in recs if r.name == "overlap"}
+        assert len(outer) == 8
+        for r in recs:
+            if r.name == "nested":
+                assert r.parent_id == outer[r.thread_id].span_id
+
+    def test_clear_resets_epoch_and_records(self):
+        tr = Tracer(enabled=True)
+        with tr.span("a"):
+            pass
+        tr.clear()
+        assert tr.records() == []
+        with tr.span("b"):
+            pass
+        assert tr.records()[0].start_ns >= 0
+
+    def test_phase_totals_sums_by_name(self):
+        tr = Tracer(enabled=True)
+        for _ in range(3):
+            with tr.span("p"):
+                pass
+        totals = tr.phase_totals()
+        assert set(totals) == {"p"}
+        assert totals["p"] >= 0
+
+
+class TestMetrics:
+    def test_concurrent_counter_increments(self):
+        reg = MetricsRegistry()
+        n_threads, per_thread = 8, 10_000
+        barrier = threading.Barrier(n_threads)
+
+        def bump():
+            barrier.wait()
+            c = reg.counter("hits")
+            for _ in range(per_thread):
+                c.add()
+
+        threads = [threading.Thread(target=bump) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("hits").value == n_threads * per_thread
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").add(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(3)
+        reg.gauge("g").set(7)
+        assert reg.gauge("g").value == 7
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.histogram("h").observe(v)
+        d = reg.histogram("h").to_dict()
+        assert d["count"] == 3
+        assert d["min"] == 1.0 and d["max"] == 3.0
+        assert d["mean"] == pytest.approx(2.0)
+
+    def test_to_dict_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("a").add(2)
+        reg.gauge("b").set(1.5)
+        snap = reg.to_dict()
+        assert snap["counters"] == {"a": 2}
+        assert snap["gauges"] == {"b": 1.5}
+        assert snap["histograms"] == {}
+
+    def test_absorb_run_stats_matches_to_dict(self):
+        stats = RunStats(n_workers=2)
+        stats.makespan = 123.0
+        stats.add_cycles(0, Stage.DISCOVER, 10.0)
+        stats.batches_generated = 5
+        stats.batches_executed = 4
+        stats.nodes_discovered_speculatively = 17
+        stats.nodes_dropped_by_rediscovery = 3
+        reg = MetricsRegistry()
+        reg.absorb_run_stats(stats)
+        snap = reg.to_dict()
+        ref = stats.to_dict()
+        assert snap["counters"]["sim.batches.generated"] == ref["batches"]["generated"]
+        assert snap["counters"]["sim.speculation.discovered"] == \
+            ref["speculation"]["discovered"]
+        assert snap["counters"]["sim.speculation.dropped"] == \
+            ref["speculation"]["dropped"]
+        assert snap["counters"]["sim.stage_cycles.Discover"] == 10.0
+        assert snap["gauges"]["sim.makespan_cycles"] == 123.0
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tr = Tracer(enabled=True)
+        with tr.span("phase-1", category="api", n=9):
+            pass
+        reg = MetricsRegistry()
+        reg.counter("c").add(3)
+        path = tmp_path / "run.jsonl"
+        n = write_events(path, tr, reg, meta={"matrix": "grid"})
+        events = read_jsonl(path)
+        assert len(events) == n == 3
+        meta, span, metrics = events
+        assert meta["type"] == "meta"
+        assert meta["schema"] == SCHEMA
+        assert meta["context"] == {"matrix": "grid"}
+        assert "cpus" in meta["host"]
+        assert span["type"] == "span"
+        assert span["name"] == "phase-1"
+        assert span["attrs"] == {"n": 9}
+        assert span["dur_ns"] >= 0
+        assert metrics["type"] == "metrics"
+        assert metrics["counters"] == {"c": 3}
+
+    def test_empty_session_still_has_header(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_events(path, Tracer(enabled=True), MetricsRegistry())
+        events = read_jsonl(path)
+        assert [e["type"] for e in events] == ["meta", "metrics"]
+
+    def test_every_line_is_json(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tr = Tracer(enabled=True)
+        with tr.span("a"):
+            pass
+        write_events(path, tr, MetricsRegistry())
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestExport:
+    def _spans(self):
+        tr = Tracer(enabled=True)
+        with tr.span("Discover", worker=1):
+            pass
+        with tr.span("ordering"):  # anonymous: main-thread lane
+            with tr.span("Sort", worker=0):
+                pass
+        return tr.records()
+
+    def test_lane_assignment_workers_first(self):
+        lanes = lane_assignment(self._spans())
+        assert lanes[0] == "worker 0"
+        assert lanes[1] == "worker 1"
+        assert lanes[2] == "thread 0"
+
+    def test_spans_to_trace_events_leaves_only(self):
+        events = spans_to_trace_events(self._spans())
+        names = {e[2] for e in events}
+        assert "ordering" not in names  # parent of Sort
+        assert {"Discover", "Sort"} <= names
+
+    def test_chrome_export_has_metadata_and_spans(self, tmp_path):
+        p = tmp_path / "chrome.json"
+        spans_to_chrome_tracing(self._spans(), p)
+        events = json.loads(p.read_text())["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["args"]["name"] for e in meta} >= {"worker 0", "worker 1"}
+        assert len(spans) == 3
+        assert all("dur_ns" in e["args"] for e in spans)
+
+    def test_gantt_renders_lanes(self):
+        out = spans_gantt(self._spans(), width=20)
+        assert "wall-clock Gantt" in out
+        assert "lanes:" in out
+
+    def test_gantt_empty(self):
+        assert spans_gantt([]) == "(empty trace)"
+
+    def test_phase_totals_ms(self):
+        totals = phase_totals_ms(self._spans())
+        assert set(totals) == {"Discover", "ordering", "Sort"}
+
+
+class TestInstrumentedApi:
+    def test_phase_ns_always_populated(self, medium_grid):
+        from repro.core.api import reverse_cuthill_mckee, PHASES
+
+        res = reverse_cuthill_mckee(medium_grid, method="serial")
+        assert set(res.phase_ns) == set(PHASES)
+        assert res.phase_ns["ordering"] > 0
+        assert res.wall_ms > 0
+
+    def test_result_to_dict_is_json_serializable(self, medium_grid):
+        from repro.core.api import reverse_cuthill_mckee
+
+        res = reverse_cuthill_mckee(medium_grid, method="batch-cpu", n_workers=2)
+        payload = json.loads(json.dumps(res.to_dict()))
+        assert payload["method"] == "batch-cpu"
+        assert payload["stats"][0]["batches"]["generated"] > 0
+
+    def test_api_spans_recorded_when_enabled(self, medium_grid):
+        from repro.core.api import reverse_cuthill_mckee, PHASES
+
+        telemetry.enable()
+        reverse_cuthill_mckee(medium_grid, method="serial")
+        names = {r.name for r in telemetry.get().tracer.records()}
+        assert set(PHASES) <= names
+
+    def test_disabled_leaves_no_trace(self, medium_grid):
+        from repro.core.api import reverse_cuthill_mckee
+
+        reverse_cuthill_mckee(medium_grid, method="batch-cpu", n_workers=2)
+        tel = telemetry.get()
+        assert tel.tracer.records() == []
+        assert tel.snapshot()["counters"] == {}
+
+    def test_sim_counters_absorbed(self, medium_grid):
+        from repro.core.api import reverse_cuthill_mckee
+
+        telemetry.enable()
+        res = reverse_cuthill_mckee(medium_grid, method="batch-cpu", n_workers=2)
+        counters = telemetry.get().snapshot()["counters"]
+        assert counters["sim.batches.generated"] == res.stats[0].batches_generated
+        assert counters["sim.speculation.discovered"] == \
+            res.stats[0].nodes_discovered_speculatively
+
+
+class TestInstrumentedThreads:
+    def test_counters_match_runstats_semantics(self, medium_grid):
+        from repro.core.serial import rcm_serial
+        from repro.core.threads import rcm_threads
+
+        telemetry.enable()
+        perm = rcm_threads(medium_grid, 0, n_threads=4)
+        assert np.array_equal(perm, rcm_serial(medium_grid, 0))
+        counters = telemetry.get().snapshot()["counters"]
+        n = medium_grid.n
+        # every non-start node is claimed at least once; rediscovery can
+        # only drop what speculation found
+        assert counters["threads.speculation.discovered"] >= n - 1
+        assert counters.get("threads.speculation.dropped", 0) <= \
+            counters["threads.speculation.discovered"]
+        assert counters["threads.batches.dequeued"] >= 1
+        assert counters["threads.batches.generated"] >= \
+            counters["threads.batches.dequeued"]
+
+    def test_worker_spans_use_stage_names(self, medium_grid):
+        from repro.core.threads import rcm_threads
+
+        telemetry.enable()
+        rcm_threads(medium_grid, 0, n_threads=2)
+        recs = [r for r in telemetry.get().tracer.records()
+                if r.worker is not None]
+        assert recs, "worker spans missing"
+        assert {r.name for r in recs} <= {
+            "Discover", "Sort", "Rediscover", "Signal", "addNewBatches",
+            "Stall",
+        }
+
+    def test_threads_silent_when_disabled(self, medium_grid):
+        from repro.core.threads import rcm_threads
+
+        rcm_threads(medium_grid, 0, n_threads=2)
+        tel = telemetry.get()
+        assert tel.tracer.records() == []
+        assert tel.snapshot()["counters"] == {}
+
+
+class TestInstrumentedSolver:
+    def test_cg_counters(self):
+        from repro.matrices import generators as g
+        from repro.solver.cg import conjugate_gradient
+
+        from tests.test_solver import spd_laplacian
+
+        mat = spd_laplacian(g.grid2d(10, 10))
+        telemetry.enable()
+        res = conjugate_gradient(mat, np.ones(mat.n))
+        counters = telemetry.get().snapshot()["counters"]
+        assert counters["cg.iterations"] == res.iterations
+        assert counters["cg.spmv"] == res.spmv_count
+
+
+class TestCli:
+    def test_profile_writes_artifacts(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        prefix = tmp_path / "prof"
+        code = cli_main([
+            "profile", "--matrix", "benzene", "--method", "threads",
+            "--workers", "2", "-o", str(prefix),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        events = read_jsonl(f"{prefix}.jsonl")
+        assert events[0]["type"] == "meta"
+        assert any(e["type"] == "span" for e in events)
+        chrome = json.loads((tmp_path / "prof.trace.json").read_text())
+        phs = {e["ph"] for e in chrome["traceEvents"]}
+        assert phs >= {"M", "X"}
+
+    def test_reorder_json_flag(self, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main([
+            "reorder", "--matrix", "benzene", "--method", "batch-cpu",
+            "--workers", "2", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "batch-cpu"
+        assert payload["stats"][0]["batches"]["generated"] > 0
+        assert set(payload["phase_ns"]) == {
+            "validate", "components", "start-selection", "ordering",
+            "assembly",
+        }
+
+    def test_reorder_telemetry_flag(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        path = tmp_path / "run.jsonl"
+        code = cli_main([
+            "reorder", "--matrix", "benzene", "--method", "threads",
+            "--telemetry", str(path),
+        ])
+        assert code == 0
+        assert "telemetry events" in capsys.readouterr().out
+        assert read_jsonl(path)[0]["schema"] == SCHEMA

@@ -1,0 +1,90 @@
+"""Focused tests for the simulated-trace visualizers (machine/tracing.py).
+
+Covers the degenerate inputs (empty, zero-length), overlapping events,
+the ``?`` fallback glyph for unknown stages, and the Perfetto thread-name
+metadata emitted into Chrome-tracing exports.
+"""
+
+import json
+
+from repro.machine.tracing import ascii_gantt, stage_timeline, to_chrome_tracing
+
+
+class TestAsciiGantt:
+    def test_empty_trace(self):
+        assert ascii_gantt([]) == "(empty trace)"
+
+    def test_zero_length_trace(self):
+        trace = [(0.0, 0, "Discover", 0.0), (0.0, 1, "Sort", 0.0)]
+        assert "zero-length" in ascii_gantt(trace)
+
+    def test_overlapping_events_majority_wins(self):
+        # Sort covers 90% of the makespan on worker 0; Discover overlaps it
+        trace = [(0.0, 0, "Sort", 90.0), (0.0, 0, "Discover", 10.0)]
+        out = ascii_gantt(trace, width=10, n_workers=1)
+        lane = out.splitlines()[1]
+        assert lane.count("S") > lane.count("D")
+
+    def test_unknown_stage_renders_fallback_glyph(self):
+        trace = [(0.0, 0, "totally-new-stage", 50.0)]
+        out = ascii_gantt(trace, width=10, n_workers=1)
+        assert "?" in out.splitlines()[1]
+
+    def test_legend_documents_fallback(self):
+        out = ascii_gantt([(0.0, 0, "Discover", 5.0)], width=10)
+        assert "?=unknown stage" in out
+
+    def test_respects_n_workers_override(self):
+        out = ascii_gantt([(0.0, 0, "Sort", 5.0)], width=10, n_workers=3)
+        assert "w2" in out
+
+
+class TestChromeTracing:
+    TRACE = [(0.0, 0, "Discover", 100.0), (50.0, 1, "Sort", 25.0)]
+
+    def test_thread_name_metadata_per_lane(self, tmp_path):
+        p = tmp_path / "t.json"
+        to_chrome_tracing(self.TRACE, p)
+        events = json.loads(p.read_text())["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(meta) == 2
+        assert all(e["name"] == "thread_name" for e in meta)
+        assert {e["args"]["name"] for e in meta} == {"worker 0", "worker 1"}
+        assert {e["tid"] for e in meta} == {0, 1}
+
+    def test_custom_thread_names(self, tmp_path):
+        p = tmp_path / "t.json"
+        to_chrome_tracing(self.TRACE, p, thread_names={0: "block 0"})
+        meta = [e for e in json.loads(p.read_text())["traceEvents"]
+                if e["ph"] == "M"]
+        names = {e["tid"]: e["args"]["name"] for e in meta}
+        assert names[0] == "block 0"
+        assert names[1] == "worker 1"
+
+    def test_span_events_unchanged(self, tmp_path):
+        p = tmp_path / "t.json"
+        to_chrome_tracing(self.TRACE, p, clock_ghz=1.0)
+        spans = [e for e in json.loads(p.read_text())["traceEvents"]
+                 if e["ph"] == "X"]
+        assert len(spans) == 2
+        assert spans[0]["ts"] == 0.0
+        assert spans[0]["dur"] == 100.0 / 1e3  # cycles -> µs at 1 GHz
+        assert spans[0]["args"]["cycles"] == 100.0
+
+    def test_empty_trace_still_valid_json(self, tmp_path):
+        p = tmp_path / "t.json"
+        to_chrome_tracing([], p)
+        assert json.loads(p.read_text())["traceEvents"] == []
+
+
+class TestStageTimeline:
+    def test_filters_and_sorts(self):
+        trace = [
+            (30.0, 1, "Sort", 5.0),
+            (0.0, 0, "Sort", 10.0),
+            (5.0, 0, "Discover", 2.0),
+        ]
+        assert stage_timeline(trace, "Sort") == [(0.0, 10.0), (30.0, 35.0)]
+
+    def test_missing_stage_is_empty(self):
+        assert stage_timeline([(0.0, 0, "Sort", 1.0)], "Signal") == []
