@@ -11,6 +11,7 @@ import pytest
 from repro.matrices import get_matrix, generators as g
 from repro.core.serial import rcm_serial, cuthill_mckee
 from repro.core.leveled import rcm_leveled
+from repro.core.vectorized import rcm_vectorized
 from repro.core.peripheral import find_pseudo_peripheral
 from repro.core.batches import BatchConfig, clamped_valences, estimate_batch_count, plan_ranges
 from repro.sparse.graph import bfs_levels, front_statistics
@@ -29,6 +30,10 @@ def test_kernel_serial_rcm(benchmark, mesh):
 
 def test_kernel_leveled_rcm(benchmark, mesh):
     benchmark(rcm_leveled, mesh, 0)
+
+
+def test_kernel_vectorized_rcm(benchmark, mesh):
+    benchmark(rcm_vectorized, mesh, 0)
 
 
 def test_kernel_scipy_rcm(benchmark, mesh):

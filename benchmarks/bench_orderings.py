@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.matrices import get_matrix
-from repro.core.api import reverse_cuthill_mckee
+from repro import reorder
 from repro.orderings import sloan, gibbs_poole_stockmeyer, spectral_ordering
 from repro.sparse.bandwidth import bandwidth_after, envelope_size, rms_wavefront
 from repro.bench.report import render_table, write_csv
@@ -21,7 +21,7 @@ from repro.bench.report import render_table, write_csv
 MATRICES = ["bcspwr10", "bodyy4", "ecology1", "delaunay_n23"]
 
 HEURISTICS = {
-    "RCM": lambda m: reverse_cuthill_mckee(m, start="peripheral").permutation,
+    "RCM": lambda m: reorder(m, start="peripheral").permutation,
     "Sloan": sloan,
     "GPS": gibbs_poole_stockmeyer,
     "spectral": spectral_ordering,

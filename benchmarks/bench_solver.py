@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.matrices import generators as g
-from repro.core.api import reverse_cuthill_mckee
+from repro import reorder
 from repro.solver.envelope import SkylineMatrix, envelope_cholesky, cholesky_flops, solve_cholesky
 from repro.solver.cg import conjugate_gradient
 from repro.apps.cachemodel import CacheModel
@@ -34,7 +34,7 @@ def mesh_system():
     pattern = g.delaunay_mesh(900, seed=4)
     rng = np.random.default_rng(0)
     scrambled = pattern.permute_symmetric(rng.permutation(pattern.n))
-    res = reverse_cuthill_mckee(scrambled, start="peripheral")
+    res = reorder(scrambled, start="peripheral")
     reordered = scrambled.permute_symmetric(res.permutation)
     return scrambled, reordered
 
@@ -58,7 +58,7 @@ def test_regenerate_solver_table(benchmark, results_dir):
             pattern = g.delaunay_mesh(n_pts, seed=seed)
             rng = np.random.default_rng(seed)
             scrambled = pattern.permute_symmetric(rng.permutation(pattern.n))
-            res = reverse_cuthill_mckee(scrambled, start="peripheral")
+            res = reorder(scrambled, start="peripheral")
             reordered = scrambled.permute_symmetric(res.permutation)
             sky_b = SkylineMatrix.from_csr(spd_laplacian(scrambled))
             sky_a = SkylineMatrix.from_csr(spd_laplacian(reordered))

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: compare fresh ``BENCH_*.json`` to baselines.
+
+Usage (after ``pytest benchmarks/ --benchmark-only`` refreshed
+``benchmarks/results/``)::
+
+    python benchmarks/check_regressions.py              # gate (exit 1 on regression)
+    python benchmarks/check_regressions.py --warn-only  # report, always exit 0
+    python benchmarks/check_regressions.py --update     # rewrite baselines.json
+
+Each artifact's ``wall_ms`` is compared to the committed entry in
+``benchmarks/baselines.json``; a benchmark regresses when it is more than
+``--tolerance`` (default 0.75 = 75%) slower than its baseline.  Wall time on
+shared CI runners is noisy, so the gate runs ``--warn-only`` in CI for now —
+the artifacts are still uploaded so the perf trajectory is on record.
+
+The speedup artifact gets one extra, noise-immune check: the *ratio*
+``speedups_vs_serial["vectorized"]`` must stay above ``--min-speedup``
+(default 1.0) — the vectorized kernel beating the serial loop is an
+acceptance invariant, not a tuning number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+DEFAULT_RESULTS = HERE / "results"
+DEFAULT_BASELINES = HERE / "baselines.json"
+
+
+def load_results(results_dir: Path) -> dict:
+    """``{bench_name: payload}`` for every BENCH_*.json in the directory."""
+    out = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping unreadable {path.name}: {exc}")
+            continue
+        name = payload.get("bench") or path.stem[len("BENCH_"):]
+        out[name] = payload
+    return out
+
+
+def compare(results: dict, baselines: dict, tolerance: float) -> list:
+    """One row per benchmark: (name, baseline_ms, current_ms, ratio, status)."""
+    rows = []
+    for name in sorted(set(results) | set(baselines)):
+        base = baselines.get(name, {}).get("wall_ms")
+        cur = results.get(name, {}).get("wall_ms")
+        if cur is None:
+            rows.append((name, base, None, None, "MISSING"))
+        elif base is None:
+            rows.append((name, None, cur, None, "NEW"))
+        else:
+            ratio = cur / base if base else float("inf")
+            status = "REGRESSION" if ratio > 1.0 + tolerance else "OK"
+            rows.append((name, base, cur, ratio, status))
+    return rows
+
+
+def check_speedup_invariant(results: dict, min_speedup: float) -> list:
+    """The vectorized-beats-serial ratio check (hardware-noise immune)."""
+    problems = []
+    payload = results.get("rcm_speedup")
+    if payload is None:
+        return problems
+    speedups = payload.get("speedups_vs_serial", {})
+    vec = speedups.get("vectorized")
+    if vec is None:
+        problems.append("rcm_speedup artifact lacks a 'vectorized' entry")
+    elif vec < min_speedup:
+        problems.append(
+            f"vectorized speedup vs serial is {vec:.2f}x "
+            f"(must stay >= {min_speedup:.2f}x) on {payload.get('matrix')}"
+        )
+    return problems
+
+
+def render(rows: list) -> str:
+    lines = [f"{'benchmark':40s} {'baseline ms':>12s} {'current ms':>12s} "
+             f"{'ratio':>7s}  status"]
+    for name, base, cur, ratio, status in rows:
+        lines.append(
+            f"{name:40s} "
+            f"{'-' if base is None else format(base, '12.2f'):>12s} "
+            f"{'-' if cur is None else format(cur, '12.2f'):>12s} "
+            f"{'-' if ratio is None else format(ratio, '7.2f'):>7s}  {status}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results-dir", type=Path, default=DEFAULT_RESULTS)
+    parser.add_argument("--baselines", type=Path, default=DEFAULT_BASELINES)
+    parser.add_argument("--tolerance", type=float, default=0.75,
+                        help="allowed slowdown fraction before failing")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="required vectorized-vs-serial speedup ratio")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but always exit 0")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baselines file from current results")
+    args = parser.parse_args(argv)
+
+    results = load_results(args.results_dir)
+    if not results:
+        print(f"no BENCH_*.json artifacts found in {args.results_dir}")
+        return 0 if args.warn_only else 1
+
+    if args.update:
+        baselines = {
+            name: {
+                "wall_ms": payload.get("wall_ms"),
+                "matrix": payload.get("matrix"),
+                "method": payload.get("method"),
+            }
+            for name, payload in results.items()
+            if payload.get("wall_ms") is not None
+        }
+        args.baselines.write_text(
+            json.dumps(baselines, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {len(baselines)} baselines to {args.baselines}")
+        return 0
+
+    baselines = {}
+    if args.baselines.exists():
+        baselines = json.loads(args.baselines.read_text())
+    else:
+        print(f"note: no baselines file at {args.baselines}; "
+              "all benchmarks reported as NEW")
+
+    rows = compare(results, baselines, args.tolerance)
+    print(render(rows))
+
+    problems = [f"{name}: {ratio:.2f}x slower than baseline"
+                for name, _, _, ratio, status in rows if status == "REGRESSION"]
+    problems += check_speedup_invariant(results, args.min_speedup)
+
+    if problems:
+        print("\n" + "\n".join(f"PROBLEM: {p}" for p in problems))
+        if args.warn_only:
+            print("(--warn-only: not failing the build)")
+            return 0
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,7 @@ Run: ``python examples/gpu_pipeline.py``
 
 import numpy as np
 
-from repro import reverse_cuthill_mckee, run_batch_rcm_gpu
+from repro import reorder, run_batch_rcm_gpu
 from repro.core.serial import serial_cycles, cuthill_mckee
 from repro.machine.costmodel import SERIAL_CPU
 from repro.baselines.transfer import transfer_ms
@@ -53,7 +53,7 @@ def main() -> None:
           f"amortizes for the smallest matrices")
 
     # --- A vs C: is reordering worth it for the iteration phase? ---------
-    ref = reverse_cuthill_mckee(scrambled, method="serial", start=start)
+    ref = reorder(scrambled, method="serial", start=start)
     assert np.array_equal(res.permutation, ref.permutation)
     print(f"\nbandwidth {ref.initial_bandwidth} -> {ref.reordered_bandwidth}; "
           "every SpMV in the subsequent solver iteration now walks a banded "

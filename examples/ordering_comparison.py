@@ -13,7 +13,7 @@ import time
 
 import numpy as np
 
-from repro import reverse_cuthill_mckee
+from repro import reorder
 from repro.orderings import (
     sloan,
     gibbs_poole_stockmeyer,
@@ -32,7 +32,7 @@ def main() -> None:
     print(f"scrambled mesh: n={mat.n}, nnz={mat.nnz}")
 
     heuristics = {
-        "RCM (batch-cpu)": lambda m: reverse_cuthill_mckee(
+        "RCM (batch-cpu)": lambda m: reorder(
             m, method="batch-cpu", n_workers=8, start="peripheral"
         ).permutation,
         "Sloan": sloan,

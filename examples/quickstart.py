@@ -12,7 +12,7 @@ Run: ``python examples/quickstart.py``
 
 import numpy as np
 
-from repro import reverse_cuthill_mckee, bandwidth
+from repro import reorder, bandwidth
 from repro.matrices import grid2d
 from repro.sparse.bandwidth import envelope_size, rms_wavefront
 
@@ -27,12 +27,12 @@ def main() -> None:
     print(f"scrambled envelope:  {envelope_size(scrambled)}")
 
     # serial ground truth
-    res = reverse_cuthill_mckee(scrambled, method="serial", start="peripheral")
+    res = reorder(scrambled, method="serial", start="peripheral")
     print(f"\nRCM (serial):        bandwidth {res.initial_bandwidth} -> "
           f"{res.reordered_bandwidth}")
 
     # the paper's parallel algorithm on the simulated 8-thread CPU
-    res_cpu = reverse_cuthill_mckee(
+    res_cpu = reorder(
         scrambled, method="batch-cpu", start="peripheral", n_workers=8
     )
     assert np.array_equal(res_cpu.permutation, res.permutation), \
@@ -40,7 +40,7 @@ def main() -> None:
     print("RCM (batch-cpu, 8 simulated workers): identical permutation ✓")
 
     # the first GPU RCM, on the simulated many-core device
-    res_gpu = reverse_cuthill_mckee(
+    res_gpu = reorder(
         scrambled, method="batch-gpu", start="peripheral"
     )
     assert np.array_equal(res_gpu.permutation, res.permutation)

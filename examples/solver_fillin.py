@@ -14,7 +14,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from repro import reverse_cuthill_mckee
+from repro import reorder
 from repro.matrices import delaunay_mesh
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.bandwidth import envelope_size
@@ -43,7 +43,7 @@ def main() -> None:
     rng = np.random.default_rng(0)
     scrambled = mesh.permute_symmetric(rng.permutation(mesh.n))
 
-    res = reverse_cuthill_mckee(scrambled, method="batch-cpu", n_workers=8,
+    res = reorder(scrambled, method="batch-cpu", n_workers=8,
                                start="peripheral")
     reordered = scrambled.permute_symmetric(res.permutation)
 

@@ -17,7 +17,7 @@ import time
 
 import numpy as np
 
-from repro import reverse_cuthill_mckee
+from repro import reorder
 from repro.matrices import grid3d
 from repro.sparse.csr import CSRMatrix
 
@@ -57,7 +57,7 @@ def main() -> None:
     rng = np.random.default_rng(7)
     scrambled = mat.permute_symmetric(rng.permutation(mat.n))
 
-    res = reverse_cuthill_mckee(scrambled, method="batch-cpu", n_workers=8)
+    res = reorder(scrambled, method="batch-cpu", n_workers=8)
     reordered = scrambled.permute_symmetric(res.permutation)
 
     print(f"matrix: n={mat.n}, nnz={mat.nnz}")

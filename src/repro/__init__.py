@@ -6,24 +6,31 @@ Architectures"* (IPDPS 2021): batch-based RCM with speculative discovery,
 chained signals, overhang work aggregation and early termination, executing
 on a deterministic simulated multicore CPU / many-core GPU (plus a
 real-thread backend), together with the paper's baselines, test-set
-analogues and the complete experiment harness.
+analogues and the complete experiment harness — behind one unified entry
+point, :func:`repro.reorder`, whose fast path is a level-synchronous NumPy
+kernel with optional per-component process parallelism.
 
 Quickstart::
 
-    from repro import CSRMatrix, reverse_cuthill_mckee
+    import repro
     from repro.matrices import grid2d
 
     mat = grid2d(100, 100)
-    result = reverse_cuthill_mckee(mat, method="batch-cpu", n_workers=8)
+    result = repro.reorder(mat)          # algorithm="rcm", method="auto"
     reordered = mat.permute_symmetric(result.permutation)
     print(result.initial_bandwidth, "->", result.reordered_bandwidth)
+
+``reverse_cuthill_mckee`` remains as a deprecation shim; see ``docs/api.md``
+for the migration guide.
 """
 
 from repro.sparse import CSRMatrix, coo_to_csr, bandwidth
 from repro.core.api import reverse_cuthill_mckee, ReorderResult, METHODS
+from repro.facade import reorder, ALGORITHMS
 from repro.core import (
     cuthill_mckee,
     rcm_serial,
+    rcm_vectorized,
     BatchConfig,
     BatchResult,
     run_batch_rcm,
@@ -31,17 +38,20 @@ from repro.core import (
 )
 from repro.machine.costmodel import CPUCostModel, GPUCostModel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CSRMatrix",
     "coo_to_csr",
     "bandwidth",
+    "reorder",
+    "ALGORITHMS",
     "reverse_cuthill_mckee",
     "ReorderResult",
     "METHODS",
     "cuthill_mckee",
     "rcm_serial",
+    "rcm_vectorized",
     "BatchConfig",
     "BatchResult",
     "run_batch_rcm",

@@ -85,11 +85,10 @@ def cmd_info(args) -> int:
 
 
 def cmd_reorder(args) -> int:
-    """``reorder``: compute RCM, apply it, optionally write outputs."""
+    """``reorder``: compute an ordering, apply it, optionally write outputs."""
     import json
 
-    from repro import telemetry
-    from repro.core.api import reverse_cuthill_mckee
+    from repro import reorder, telemetry
     from repro.sparse.spy import side_by_side
 
     if getattr(args, "telemetry", None):
@@ -98,8 +97,9 @@ def cmd_reorder(args) -> int:
     start = args.start if args.start is not None else "min-valence"
     if args.peripheral:
         start = "peripheral"
-    res = reverse_cuthill_mckee(
+    res = reorder(
         mat,
+        algorithm=args.algorithm,
         method=args.method,
         start=start,
         n_workers=args.workers,
@@ -183,15 +183,14 @@ def cmd_profile(args) -> int:
     stage spans of the OS-thread backend, and speculation/queue counters
     with the same semantics as the simulator's ``RunStats``.
     """
-    from repro import telemetry
-    from repro.core.api import reverse_cuthill_mckee
+    from repro import reorder, telemetry
 
     tel = telemetry.get()
     tel.reset()
     telemetry.enable()
     mat = _get_input(args)
     start = "peripheral" if args.peripheral else "min-valence"
-    res = reverse_cuthill_mckee(
+    res = reorder(
         mat, method=args.method, start=start, n_workers=args.workers
     )
 
@@ -237,34 +236,33 @@ def cmd_compare(args) -> int:
     """Compare ordering heuristics on one matrix."""
     import time
 
-    from repro.core.api import reverse_cuthill_mckee
-    from repro.orderings import (
-        sloan, gibbs_poole_stockmeyer, king, minimum_degree, spectral_ordering,
-    )
-    from repro.sparse.bandwidth import bandwidth_after, envelope_size, rms_wavefront
+    from repro import reorder
+    from repro.orderings.api import quality
     from repro.bench.report import render_table
 
     mat = _get_input(args)
-    heuristics = {
-        "RCM": lambda m: reverse_cuthill_mckee(
-            m, start="peripheral", method="batch-cpu", n_workers=args.workers
-        ).permutation,
-        "Sloan": sloan,
-        "GPS": gibbs_poole_stockmeyer,
-        "King": king,
-        "spectral": spectral_ordering,
-    }
+    # (label, algorithm, extra facade kwargs)
+    runs = [
+        ("RCM", "rcm",
+         {"start": "peripheral", "method": "batch-cpu",
+          "n_workers": args.workers}),
+        ("Sloan", "sloan", {}),
+        ("GPS", "gps", {}),
+        ("King", "king", {}),
+        ("spectral", "spectral", {}),
+    ]
     if args.mindeg:
-        heuristics["min-degree"] = minimum_degree
+        runs.append(("min-degree", "minimum-degree", {}))
     rows = []
-    for name, fn in heuristics.items():
+    for label, algorithm, kwargs in runs:
         t0 = time.perf_counter()
-        perm = fn(mat)
+        res = reorder(mat, algorithm=algorithm, **kwargs)
         dt = time.perf_counter() - t0
-        after = mat.permute_symmetric(perm)
+        # metrics only: the permutation is already computed, don't pay twice
+        q = quality(mat, algorithm, permutation=res.permutation)
         rows.append([
-            name, bandwidth_after(mat, perm), envelope_size(after),
-            round(rms_wavefront(after), 1), round(dt, 3),
+            label, q.bandwidth, q.envelope,
+            round(q.rms_wavefront, 1), round(dt, 3),
         ])
     print(render_table(
         ["heuristic", "bandwidth", "envelope", "rms wavefront", "seconds"],
@@ -302,6 +300,10 @@ def _add_input(parser, required: bool = True) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
+    from repro.core.api import METHODS
+    from repro.facade import ALGORITHMS
+
+    method_choices = ["auto", *METHODS]
     parser = argparse.ArgumentParser(
         prog="repro", description="Speculative parallel RCM reordering"
     )
@@ -312,14 +314,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-spy", action="store_true")
     p.set_defaults(func=cmd_info)
 
-    p = sub.add_parser("reorder", help="compute and apply RCM")
+    p = sub.add_parser("reorder", help="compute and apply an ordering")
     _add_input(p)
     p.add_argument("-o", "--output", default=None, help="write reordered matrix")
     p.add_argument("--perm-output", default=None, help="write the permutation")
-    p.add_argument("--method", default="serial",
-                   choices=["serial", "leveled", "unordered", "algebraic",
-                            "batch-basic", "batch-cpu", "batch-gpu",
-                            "threads"])
+    p.add_argument("--algorithm", default="rcm", choices=list(ALGORITHMS),
+                   help="ordering heuristic (default: rcm)")
+    p.add_argument("--method", default="auto", choices=method_choices,
+                   help="RCM execution strategy (default: auto — vectorized "
+                        "or serial by matrix size)")
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--start", type=int, default=None)
     p.add_argument("--peripheral", action="store_true",
@@ -349,10 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", help="wall-clock telemetry profile (JSONL + Chrome trace)"
     )
     _add_input(p)
-    p.add_argument("--method", default="threads",
-                   choices=["serial", "leveled", "unordered", "algebraic",
-                            "batch-basic", "batch-cpu", "batch-gpu",
-                            "threads"])
+    p.add_argument("--method", default="threads", choices=method_choices)
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--peripheral", action="store_true",
                    help="pseudo-peripheral start node")
@@ -372,7 +372,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="run an experiment driver")
     p.add_argument("experiment",
                    choices=["table1", "fig1", "fig2", "fig3", "fig4", "fig5",
-                            "fig6", "ablation", "paper"])
+                            "fig6", "ablation", "paper", "speedup",
+                            "throughput"])
     p.add_argument("--telemetry", default=None, metavar="PATH.jsonl",
                    help="record wall-clock telemetry to a JSONL event log")
     p.add_argument("rest", nargs=argparse.REMAINDER,

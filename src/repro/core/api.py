@@ -1,9 +1,14 @@
-"""Public RCM API: component handling, method/start selection, results.
+"""RCM pipeline internals: component handling, method/start selection, results.
 
-:func:`reverse_cuthill_mckee` is what a downstream user calls: it validates
-the matrix, decomposes it into connected components, picks a start node per
-component (explicitly, by minimum valence, or pseudo-peripherally) and runs
-the chosen algorithm variant, assembling one global permutation.
+The single public entry point of the library is :func:`repro.reorder`
+(see :mod:`repro.facade`); this module implements the RCM execution pipeline
+behind it.  :func:`reverse_cuthill_mckee` remains as a thin deprecation shim
+for pre-facade callers.
+
+:func:`_reorder_rcm` validates the matrix, decomposes it into connected
+components, picks a start node per component (explicitly, by minimum
+valence, or pseudo-peripherally) and runs the chosen algorithm variant,
+assembling one global permutation.
 
 Component convention (matches SciPy's ``csgraph.reverse_cuthill_mckee``
 structure): components are ordered by their smallest node id; within the
@@ -13,6 +18,7 @@ global permutation each component's RCM block is reversed *within itself*.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
@@ -23,6 +29,7 @@ from repro.sparse.graph import bfs_levels
 from repro.sparse.bandwidth import bandwidth, bandwidth_after
 from repro.sparse.validate import validate_csr, is_structurally_symmetric
 from repro.core.serial import rcm_serial
+from repro.core.vectorized import rcm_vectorized
 from repro.core.leveled import rcm_leveled
 from repro.core.unordered import rcm_unordered
 from repro.core.batch import run_batch_rcm, BatchResult
@@ -31,12 +38,19 @@ from repro.core.batches import BatchConfig
 from repro.core.peripheral import find_pseudo_peripheral
 from repro.machine.costmodel import CPUCostModel, GPUCostModel
 from repro.machine.stats import RunStats
+from repro.validation import check_choice, check_min, check_start
 from repro import telemetry
 
-__all__ = ["ReorderResult", "reverse_cuthill_mckee", "METHODS", "PHASES"]
+__all__ = [
+    "ReorderResult",
+    "reverse_cuthill_mckee",
+    "METHODS",
+    "PHASES",
+    "AUTO_VECTORIZED_MIN",
+]
 
-#: wall-clock phase names of the :func:`reverse_cuthill_mckee` pipeline,
-#: in execution order (also the telemetry span names)
+#: wall-clock phase names of the reorder pipeline, in execution order
+#: (also the telemetry span names)
 PHASES = (
     "validate",
     "components",
@@ -47,6 +61,8 @@ PHASES = (
 
 METHODS = (
     "serial",
+    "vectorized",
+    "parallel",
     "leveled",
     "unordered",
     "algebraic",
@@ -55,6 +71,11 @@ METHODS = (
     "batch-gpu",
     "threads",
 )
+
+#: ``method="auto"`` picks ``"vectorized"`` at or above this node count,
+#: ``"serial"`` below it (per-level NumPy dispatch overhead dominates on
+#: tiny matrices)
+AUTO_VECTORIZED_MIN = 2048
 
 
 @dataclass
@@ -75,6 +96,8 @@ class ReorderResult:
     stats: List[RunStats] = field(default_factory=list)
     #: wall-clock nanoseconds per pipeline phase (see :data:`PHASES`)
     phase_ns: Dict[str, int] = field(default_factory=dict)
+    #: the ordering algorithm that ran (``"rcm"`` for every RCM method)
+    algorithm: str = "rcm"
 
     @property
     def n_components(self) -> int:
@@ -89,6 +112,7 @@ class ReorderResult:
         """JSON-serializable summary (bandwidths, phases, per-component
         simulated stats)."""
         return {
+            "algorithm": self.algorithm,
             "method": self.method,
             "n": int(self.permutation.size),
             "n_components": self.n_components,
@@ -130,10 +154,17 @@ def _pick_start(mat: CSRMatrix, members: np.ndarray, start) -> int:
     if start == "peripheral":
         seed = int(members[np.argmin(valence[members])])
         return find_pseudo_peripheral(mat, seed).node
-    raise ValueError(f"unknown start strategy {start!r}")
+    raise AssertionError(start)  # pragma: no cover - validated upstream
 
 
-def reverse_cuthill_mckee(
+def resolve_auto_method(n: int) -> str:
+    """The concrete method ``method="auto"`` selects for an ``n``-node
+    matrix: ``"vectorized"`` once the frontier kernel amortizes its
+    per-level dispatch overhead, ``"serial"`` below that."""
+    return "vectorized" if n >= AUTO_VECTORIZED_MIN else "serial"
+
+
+def _reorder_rcm(
     mat: CSRMatrix,
     *,
     method: str = "serial",
@@ -142,33 +173,12 @@ def reverse_cuthill_mckee(
     config: Optional[BatchConfig] = None,
     symmetrize: bool = False,
     seed: int = 0,
-) -> ReorderResult:
-    """Compute a Reverse Cuthill-McKee permutation of a symmetric pattern.
-
-    Parameters
-    ----------
-    mat:
-        square :class:`CSRMatrix`; must be structurally symmetric unless
-        ``symmetrize`` is set (then ``A | A^T`` is reordered).
-    method:
-        one of :data:`METHODS`.  All methods return the **identical**
-        permutation (that is the paper's headline invariant); they differ in
-        execution strategy and in the simulated timing statistics attached.
-    start:
-        an explicit node id (single-component matrices only), or a strategy:
-        ``"min-valence"`` (default — deterministic and cheap) or
-        ``"peripheral"`` (the paper's naive pseudo-peripheral search).
-    n_workers:
-        simulated worker count for the parallel methods (CPU threads;
-        ignored by ``batch-gpu``, which sizes itself to the device model).
-    config:
-        optional :class:`BatchConfig` override for the batch methods.
-    seed:
-        interleaving jitter seed for the simulated methods (0 = canonical
-        deterministic schedule).
-    """
-    if method not in METHODS:
-        raise ValueError(f"method must be one of {METHODS}, got {method!r}")
+) -> "ReorderResult":
+    """RCM pipeline implementation (no deprecation warning; see
+    :func:`repro.reorder` for the public facade and parameter docs)."""
+    check_choice("method", method, ("auto",) + METHODS)
+    check_min("n_workers", n_workers, 1)
+    check_start(start, mat.n)
     tel = telemetry.get()
     phase_ns: Dict[str, int] = {p: 0 for p in PHASES}
 
@@ -183,6 +193,8 @@ def reverse_cuthill_mckee(
                 "CSRMatrix.symmetrize() first"
             )
     phase_ns["validate"] = time.perf_counter_ns() - t_phase
+    if method == "auto":
+        method = resolve_auto_method(mat.n)
 
     t_phase = time.perf_counter_ns()
     with tel.span("components", category="api") as sp:
@@ -196,64 +208,78 @@ def reverse_cuthill_mckee(
                 f"found {len(comps)} components"
             )
 
-    perm_parts: List[np.ndarray] = []
     starts: List[int] = []
     sizes: List[int] = []
+    t_phase = time.perf_counter_ns()
+    with tel.span("start-selection", category="api"):
+        for members in comps:
+            if isinstance(start, (int, np.integer)):
+                starts.append(int(start))
+            else:
+                starts.append(_pick_start(mat, members, start))
+            sizes.append(int(members.size))
+    phase_ns["start-selection"] = time.perf_counter_ns() - t_phase
+
+    perm_parts: List[np.ndarray] = []
     stats: List[RunStats] = []
 
-    for members in comps:
-        t_phase = time.perf_counter_ns()
-        with tel.span("start-selection", category="api"):
-            if isinstance(start, (int, np.integer)):
-                s = int(start)
-            else:
-                s = _pick_start(mat, members, start)
-        phase_ns["start-selection"] += time.perf_counter_ns() - t_phase
-        starts.append(s)
-        sizes.append(int(members.size))
-        total = int(members.size)
+    if method == "parallel":
+        from repro.parallel import ParallelConfig, rcm_components
 
         t_phase = time.perf_counter_ns()
-        with tel.span("ordering", category="api", method=method, size=total):
-            if method == "serial":
-                part = rcm_serial(mat, s)
-            elif method == "leveled":
-                part = rcm_leveled(mat, s).permutation
-            elif method == "unordered":
-                part = rcm_unordered(mat, s).permutation
-            elif method == "algebraic":
-                from repro.core.algebraic import rcm_algebraic
+        with tel.span(
+            "ordering", category="api", method=method, size=sum(sizes)
+        ):
+            perm_parts = rcm_components(
+                mat, starts, sizes=sizes,
+                config=ParallelConfig(n_workers=n_workers),
+            )
+        phase_ns["ordering"] = time.perf_counter_ns() - t_phase
+    else:
+        for s, total in zip(starts, sizes):
+            t_phase = time.perf_counter_ns()
+            with tel.span("ordering", category="api", method=method, size=total):
+                if method == "serial":
+                    part = rcm_serial(mat, s)
+                elif method == "vectorized":
+                    part = rcm_vectorized(mat, s)
+                elif method == "leveled":
+                    part = rcm_leveled(mat, s).permutation
+                elif method == "unordered":
+                    part = rcm_unordered(mat, s).permutation
+                elif method == "algebraic":
+                    from repro.core.algebraic import rcm_algebraic
 
-                part = rcm_algebraic(mat, s).permutation
-            elif method == "batch-basic":
-                cfg = config or BatchConfig(
-                    early_signaling=False, overhang=False, multibatch=1
-                )
-                res = run_batch_rcm(
-                    mat, s, model=CPUCostModel(), n_workers=n_workers,
-                    config=cfg, total=total, seed=seed,
-                )
-                part = res.permutation
-                stats.append(res.stats)
-            elif method == "batch-cpu":
-                res = run_batch_rcm(
-                    mat, s, model=CPUCostModel(), n_workers=n_workers,
-                    config=config, total=total, seed=seed,
-                )
-                part = res.permutation
-                stats.append(res.stats)
-            elif method == "batch-gpu":
-                res = run_batch_rcm_gpu(mat, s, total=total, seed=seed)
-                part = res.permutation
-                stats.append(res.stats)
-            elif method == "threads":
-                from repro.core.threads import rcm_threads
+                    part = rcm_algebraic(mat, s).permutation
+                elif method == "batch-basic":
+                    cfg = config or BatchConfig(
+                        early_signaling=False, overhang=False, multibatch=1
+                    )
+                    res = run_batch_rcm(
+                        mat, s, model=CPUCostModel(), n_workers=n_workers,
+                        config=cfg, total=total, seed=seed,
+                    )
+                    part = res.permutation
+                    stats.append(res.stats)
+                elif method == "batch-cpu":
+                    res = run_batch_rcm(
+                        mat, s, model=CPUCostModel(), n_workers=n_workers,
+                        config=config, total=total, seed=seed,
+                    )
+                    part = res.permutation
+                    stats.append(res.stats)
+                elif method == "batch-gpu":
+                    res = run_batch_rcm_gpu(mat, s, total=total, seed=seed)
+                    part = res.permutation
+                    stats.append(res.stats)
+                elif method == "threads":
+                    from repro.core.threads import rcm_threads
 
-                part = rcm_threads(mat, s, n_threads=n_workers, total=total)
-            else:  # pragma: no cover
-                raise AssertionError(method)
-        phase_ns["ordering"] += time.perf_counter_ns() - t_phase
-        perm_parts.append(part)
+                    part = rcm_threads(mat, s, n_threads=n_workers, total=total)
+                else:  # pragma: no cover
+                    raise AssertionError(method)
+            phase_ns["ordering"] += time.perf_counter_ns() - t_phase
+            perm_parts.append(part)
 
     t_phase = time.perf_counter_ns()
     with tel.span("assembly", category="api"):
@@ -274,4 +300,35 @@ def reverse_cuthill_mckee(
         reordered_bandwidth=reord_bw,
         stats=stats,
         phase_ns=phase_ns,
+    )
+
+
+def reverse_cuthill_mckee(
+    mat: CSRMatrix,
+    *,
+    method: str = "serial",
+    start: Union[int, str] = "min-valence",
+    n_workers: int = 4,
+    config: Optional[BatchConfig] = None,
+    symmetrize: bool = False,
+    seed: int = 0,
+) -> ReorderResult:
+    """Deprecated pre-facade entry point — use :func:`repro.reorder`.
+
+    Identical semantics to ``repro.reorder(mat, algorithm="rcm", ...)``
+    except that ``method`` defaults to ``"serial"`` for backward
+    compatibility.  See :func:`repro.facade.reorder` for parameter docs.
+
+    .. deprecated:: 1.1
+       call ``repro.reorder(mat, algorithm="rcm", method=..., ...)``.
+    """
+    warnings.warn(
+        "reverse_cuthill_mckee() is deprecated; use "
+        "repro.reorder(mat, algorithm='rcm', method=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _reorder_rcm(
+        mat, method=method, start=start, n_workers=n_workers,
+        config=config, symmetrize=symmetrize, seed=seed,
     )

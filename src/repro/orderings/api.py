@@ -1,15 +1,21 @@
-"""Uniform dispatcher over every ordering the library implements.
+"""Legacy ordering dispatcher — superseded by :func:`repro.reorder`.
 
-``order(mat, algorithm)`` returns a whole-matrix permutation for any of the
-heuristics — RCM (through the main API), Sloan, GPS, King, minimum degree,
-spectral — plus a quality report helper, so comparison tooling (the CLI's
-``compare``, the quality benchmark) has one entry point.
+``order(mat, algorithm)`` remains as a thin deprecation shim over the
+unified facade; new code should call ``repro.reorder(mat, algorithm=...)``
+and read the permutation off the returned
+:class:`~repro.core.api.ReorderResult`.
+
+:func:`quality` is still the home of the classical quality triple
+(bandwidth, envelope, RMS wavefront) and now accepts a precomputed
+permutation so comparison tooling that already ran the algorithm does not
+pay for it twice.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Optional
 
 import numpy as np
 
@@ -18,60 +24,38 @@ from repro.sparse.bandwidth import bandwidth_after, envelope_size, rms_wavefront
 
 __all__ = ["ALGORITHMS", "order", "quality", "OrderingQuality"]
 
-
-def _rcm(mat: CSRMatrix) -> np.ndarray:
-    from repro.core.api import reverse_cuthill_mckee
-
-    return reverse_cuthill_mckee(mat, start="peripheral").permutation
-
-
-def _sloan(mat):
-    from repro.orderings.sloan import sloan
-
-    return sloan(mat)
+#: algorithm names accepted by :func:`order` / :func:`quality` — identical
+#: to :data:`repro.facade.ALGORITHMS` (kept as a tuple here so legacy
+#: ``for name in ALGORITHMS`` loops keep working)
+ALGORITHMS = ("rcm", "sloan", "gps", "king", "minimum-degree", "spectral")
 
 
-def _gps(mat):
-    from repro.orderings.gps import gibbs_poole_stockmeyer
-
-    return gibbs_poole_stockmeyer(mat)
-
-
-def _king(mat):
-    from repro.orderings.king import king
-
-    return king(mat)
-
-
-def _mindeg(mat):
-    from repro.orderings.mindeg import minimum_degree
-
-    return minimum_degree(mat)
-
-
-def _spectral(mat):
-    from repro.orderings.spectral import spectral_ordering
-
-    return spectral_ordering(mat)
-
-
-ALGORITHMS: Dict[str, Callable[[CSRMatrix], np.ndarray]] = {
-    "rcm": _rcm,
-    "sloan": _sloan,
-    "gps": _gps,
-    "king": _king,
-    "minimum-degree": _mindeg,
-    "spectral": _spectral,
-}
+def _facade_kwargs(algorithm: str) -> dict:
+    """Facade arguments reproducing this module's historical behaviour
+    (RCM always used a pseudo-peripheral start here)."""
+    if algorithm == "rcm":
+        return {"algorithm": "rcm", "start": "peripheral"}
+    return {"algorithm": algorithm}
 
 
 def order(mat: CSRMatrix, algorithm: str = "rcm") -> np.ndarray:
-    """Whole-matrix permutation under the named heuristic."""
-    if algorithm not in ALGORITHMS:
-        raise ValueError(
-            f"unknown ordering {algorithm!r}; choose from {sorted(ALGORITHMS)}"
-        )
-    return ALGORITHMS[algorithm](mat)
+    """Deprecated — use :func:`repro.reorder`.
+
+    Returns the whole-matrix permutation under the named heuristic, exactly
+    as before; internally delegates to the facade.
+
+    .. deprecated:: 1.1
+       call ``repro.reorder(mat, algorithm=...).permutation``.
+    """
+    warnings.warn(
+        "orderings.api.order() is deprecated; use "
+        "repro.reorder(mat, algorithm=...).permutation instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.facade import reorder
+
+    return reorder(mat, **_facade_kwargs(algorithm)).permutation
 
 
 @dataclass(frozen=True)
@@ -82,13 +66,36 @@ class OrderingQuality:
     rms_wavefront: float
 
 
-def quality(mat: CSRMatrix, algorithm: str = "rcm") -> OrderingQuality:
-    """Run one heuristic and measure the classical quality triple."""
-    perm = order(mat, algorithm)
-    after = mat.permute_symmetric(perm)
+def quality(
+    mat: CSRMatrix,
+    algorithm: str = "rcm",
+    *,
+    permutation: Optional[np.ndarray] = None,
+) -> OrderingQuality:
+    """Measure the classical quality triple of one heuristic.
+
+    Pass ``permutation`` when the caller already computed it (e.g. the
+    CLI's ``compare``, which also times the run) — the algorithm is then
+    not re-executed and only the metrics are evaluated.
+    """
+    from repro.facade import reorder
+    from repro.validation import check_choice
+
+    check_choice("algorithm", algorithm, ALGORITHMS)
+    if permutation is None:
+        permutation = reorder(mat, **_facade_kwargs(algorithm)).permutation
+    else:
+        permutation = np.asarray(permutation)
+        if permutation.shape != (mat.n,) or not np.array_equal(
+            np.sort(permutation), np.arange(mat.n)
+        ):
+            raise ValueError(
+                f"permutation must be a permutation of range({mat.n})"
+            )
+    after = mat.permute_symmetric(permutation)
     return OrderingQuality(
         algorithm=algorithm,
-        bandwidth=bandwidth_after(mat, perm),
+        bandwidth=bandwidth_after(mat, permutation),
         envelope=envelope_size(after),
         rms_wavefront=rms_wavefront(after),
     )

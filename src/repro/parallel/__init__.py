@@ -1,0 +1,35 @@
+"""Process-parallel execution: per-component RCM and multi-matrix batches.
+
+Every RCM variant in :mod:`repro.core` is bounded by one interpreter; this
+subsystem sidesteps the GIL with a :class:`concurrent.futures`
+process pool.  Two work shapes are covered:
+
+* **per-component partitioning** — independent connected components of one
+  matrix are ordered concurrently (:func:`rcm_components`), largest first so
+  the pool drains evenly;
+* **chunked multi-matrix throughput** — many matrices are reordered as
+  chunks of whole pipelines (:func:`map_matrices`), the CLI/bench batch
+  path.
+
+Workers receive the CSR arrays once (pool initializer), are warmed up before
+real work is submitted, and every entry point degrades gracefully to
+in-process execution when ``fork`` is unavailable, the pool cannot start, or
+the input is too small to amortize process startup.  Results are
+**bit-identical** to the serial path in all cases.
+"""
+
+from repro.parallel.executor import (
+    ParallelConfig,
+    fork_available,
+    map_matrices,
+    rcm_components,
+    resolve_workers,
+)
+
+__all__ = [
+    "ParallelConfig",
+    "fork_available",
+    "map_matrices",
+    "rcm_components",
+    "resolve_workers",
+]

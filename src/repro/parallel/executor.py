@@ -1,0 +1,254 @@
+"""Process-pool executor with partitioning, warm-up and graceful fallback.
+
+The pool is built on ``fork`` so workers inherit the parent's modules and
+the CSR arrays are shipped exactly once per worker (pool initializer), not
+once per task.  When ``fork`` is not available (e.g. Windows / some macOS
+configurations), when the pool fails to start, or when the input is too
+small to pay for process startup, every entry point silently executes the
+same code path in-process — the caller always gets the identical result.
+
+Telemetry: spans ``parallel.components`` / ``parallel.map`` wrap the
+dispatch, and counters ``parallel.tasks``, ``parallel.chunks`` and
+``parallel.fallbacks`` record what actually ran where.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro import telemetry
+
+__all__ = [
+    "ParallelConfig",
+    "fork_available",
+    "rcm_components",
+    "map_matrices",
+    "resolve_workers",
+]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs of the process-parallel execution layer.
+
+    ``n_workers=None`` sizes the pool to ``os.cpu_count()``.  Inputs with
+    fewer than ``min_parallel_nodes`` total nodes (or a single task) run
+    in-process: process startup costs milliseconds, which a small matrix
+    never wins back.  ``force_processes`` overrides that heuristic (tests,
+    benchmarks).
+    """
+
+    n_workers: Optional[int] = None
+    chunk_size: Optional[int] = None
+    warmup: bool = True
+    min_parallel_nodes: int = 2048
+    force_processes: bool = False
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform."""
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(n_workers: Optional[int]) -> int:
+    """Effective pool size: requested count, capped at 1 minimum."""
+    if n_workers is None:
+        n_workers = os.cpu_count() or 1
+    return max(int(n_workers), 1)
+
+
+# ----------------------------------------------------------------------
+# worker-side globals (populated by the pool initializer after fork)
+# ----------------------------------------------------------------------
+_WORKER_MAT: Optional[CSRMatrix] = None
+
+
+def _init_matrix_worker(indptr: np.ndarray, indices: np.ndarray, n: int) -> None:
+    global _WORKER_MAT
+    _WORKER_MAT = CSRMatrix(indptr=indptr, indices=indices, data=None, n=n)
+
+
+def _component_task(start: int) -> np.ndarray:
+    from repro.core.vectorized import rcm_vectorized
+
+    assert _WORKER_MAT is not None, "pool initializer did not run"
+    return rcm_vectorized(_WORKER_MAT, start)
+
+
+def _warmup_task(token: int) -> int:
+    return token
+
+
+def _chunk_task(
+    payload: Sequence[Tuple[np.ndarray, np.ndarray, int]], kwargs: dict
+) -> list:
+    from repro.core.api import _reorder_rcm
+
+    out = []
+    for indptr, indices, n in payload:
+        mat = CSRMatrix(indptr=indptr, indices=indices, data=None, n=n)
+        out.append(_reorder_rcm(mat, **kwargs))
+    return out
+
+
+def _warm_pool(pool: ProcessPoolExecutor, workers: int) -> None:
+    """Spin up every worker process before real work is timed."""
+    for fut in [pool.submit(_warmup_task, i) for i in range(workers)]:
+        fut.result()
+
+
+def _record_fallback(reason: str) -> None:
+    tel = telemetry.get()
+    if tel.enabled:
+        tel.counter("parallel.fallbacks").add(1)
+        tel.counter(f"parallel.fallbacks.{reason}").add(1)
+
+
+# ----------------------------------------------------------------------
+# per-component partitioning
+# ----------------------------------------------------------------------
+def rcm_components(
+    mat: CSRMatrix,
+    starts: Sequence[int],
+    *,
+    sizes: Optional[Sequence[int]] = None,
+    config: Optional[ParallelConfig] = None,
+) -> List[np.ndarray]:
+    """RCM permutation block of each component, computed concurrently.
+
+    ``starts[i]`` is the start node of component ``i``; ``sizes`` (when
+    known) drives largest-first scheduling so the pool drains evenly.
+    Blocks come back in input order and are bit-identical to running
+    :func:`repro.core.vectorized.rcm_vectorized` per start in sequence.
+    """
+    from repro.core.vectorized import rcm_vectorized
+
+    cfg = config or ParallelConfig()
+    workers = resolve_workers(cfg.n_workers)
+    tel = telemetry.get()
+
+    def in_process(reason: str) -> List[np.ndarray]:
+        _record_fallback(reason)
+        return [rcm_vectorized(mat, int(s)) for s in starts]
+
+    if not starts:
+        return []
+    if not cfg.force_processes and (
+        len(starts) == 1 or workers == 1 or mat.n < cfg.min_parallel_nodes
+    ):
+        return in_process("small-input")
+    if not fork_available():
+        return in_process("no-fork")
+
+    # largest component first (LPT scheduling) so stragglers don't tail
+    order = np.arange(len(starts))
+    if sizes is not None:
+        order = order[np.argsort(np.asarray(sizes))[::-1]]
+
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(starts)),
+            mp_context=ctx,
+            initializer=_init_matrix_worker,
+            initargs=(mat.indptr, mat.indices, mat.n),
+        ) as pool:
+            if cfg.warmup:
+                _warm_pool(pool, min(workers, len(starts)))
+            with tel.span(
+                "parallel.components", category="parallel",
+                n_tasks=len(starts), workers=workers,
+            ):
+                futures = {
+                    int(i): pool.submit(_component_task, int(starts[i]))
+                    for i in order
+                }
+                parts = [futures[i].result() for i in range(len(starts))]
+        if tel.enabled:
+            tel.counter("parallel.tasks").add(len(starts))
+        return parts
+    except (BrokenProcessPool, OSError, RuntimeError):
+        return in_process("pool-error")
+
+
+# ----------------------------------------------------------------------
+# chunked multi-matrix throughput
+# ----------------------------------------------------------------------
+def map_matrices(
+    mats: Sequence[CSRMatrix],
+    *,
+    method: str = "vectorized",
+    start="min-valence",
+    symmetrize: bool = False,
+    config: Optional[ParallelConfig] = None,
+) -> list:
+    """Reorder many matrices through worker processes, chunked.
+
+    The CLI/bench throughput path: each chunk of matrices runs the full
+    :func:`repro.core.api._reorder_rcm` pipeline in one worker, so per-task
+    IPC overhead is amortized over ``chunk_size`` matrices.  Returns one
+    :class:`~repro.core.api.ReorderResult` per input matrix, in order.
+    """
+    from repro.core.api import _reorder_rcm
+
+    cfg = config or ParallelConfig()
+    workers = resolve_workers(cfg.n_workers)
+    tel = telemetry.get()
+    kwargs = dict(method=method, start=start, symmetrize=symmetrize)
+
+    def in_process(reason: str) -> list:
+        _record_fallback(reason)
+        return [_reorder_rcm(m, **kwargs) for m in mats]
+
+    if not mats:
+        return []
+    total_nodes = sum(m.n for m in mats)
+    if not cfg.force_processes and (
+        len(mats) == 1 or workers == 1 or total_nodes < cfg.min_parallel_nodes
+    ):
+        return in_process("small-input")
+    if not fork_available():
+        return in_process("no-fork")
+
+    chunk = cfg.chunk_size or max(1, -(-len(mats) // (workers * 4)))
+    payloads = [
+        [(m.indptr, m.indices, m.n) for m in mats[i : i + chunk]]
+        for i in range(0, len(mats), chunk)
+    ]
+
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(payloads)), mp_context=ctx
+        ) as pool:
+            if cfg.warmup:
+                _warm_pool(pool, min(workers, len(payloads)))
+            with tel.span(
+                "parallel.map", category="parallel",
+                n_matrices=len(mats), n_chunks=len(payloads), workers=workers,
+            ):
+                futures = [
+                    pool.submit(_chunk_task, p, kwargs) for p in payloads
+                ]
+                results: list = []
+                for fut in futures:
+                    results.extend(fut.result())
+        if tel.enabled:
+            tel.counter("parallel.matrices").add(len(mats))
+            tel.counter("parallel.chunks").add(len(payloads))
+        return results
+    except (BrokenProcessPool, OSError, RuntimeError):
+        return in_process("pool-error")

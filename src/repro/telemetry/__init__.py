@@ -18,7 +18,7 @@ Usage — everything hangs off one process-wide :class:`Telemetry` instance::
     from repro import telemetry
 
     telemetry.enable()
-    res = reverse_cuthill_mckee(mat, method="threads")
+    res = repro.reorder(mat, method="threads")
     telemetry.get().write_jsonl("run.jsonl", meta={"matrix": "gupta3"})
 
 Instrumented library code stays cheap when disabled: ``tel.span(...)``

@@ -1,0 +1,51 @@
+"""Central argument validation shared by the facade and the core API.
+
+One home for the parameter checks that used to be scattered ad-hoc through
+``core.api`` and ``orderings.api``, with one uniform error format::
+
+    <param> must be one of 'a', 'b', 'c'; got 'x'
+
+so every entry point rejects bad input with the same, predictable message.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "START_STRATEGIES",
+    "check_choice",
+    "check_min",
+    "check_start",
+]
+
+#: named start-node selection strategies accepted everywhere
+START_STRATEGIES = ("min-valence", "peripheral")
+
+
+def check_choice(param: str, value, choices: Sequence[str]) -> None:
+    """Raise ``ValueError`` unless ``value`` is one of ``choices``."""
+    if value not in choices:
+        listed = ", ".join(repr(c) for c in choices)
+        raise ValueError(f"{param} must be one of {listed}; got {value!r}")
+
+
+def check_min(param: str, value: int, minimum: int) -> None:
+    """Raise ``ValueError`` unless ``value`` is an int ``>= minimum``."""
+    if not isinstance(value, (int, np.integer)) or value < minimum:
+        raise ValueError(f"{param} must be an integer >= {minimum}; got {value!r}")
+
+
+def check_start(start: Union[int, str], n: int) -> None:
+    """Validate a start argument: a node id in ``[0, n)`` or a strategy."""
+    if isinstance(start, (int, np.integer)):
+        if not 0 <= int(start) < n:
+            raise ValueError(f"start node {int(start)} out of range [0, {n})")
+        return
+    if start not in START_STRATEGIES:
+        listed = ", ".join(repr(s) for s in START_STRATEGIES)
+        raise ValueError(
+            f"start strategy must be one of {listed}; got {start!r}"
+        )

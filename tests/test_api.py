@@ -9,7 +9,7 @@ from repro.sparse.validate import assert_permutation
 from repro.matrices import generators as g
 
 FAST_METHODS = [
-    "serial", "leveled", "unordered", "algebraic",
+    "serial", "vectorized", "parallel", "leveled", "unordered", "algebraic",
     "batch-basic", "batch-cpu", "threads",
 ]
 
@@ -112,8 +112,8 @@ class TestResult:
 
     def test_methods_constant_lists_all(self):
         assert set(METHODS) == {
-            "serial", "leveled", "unordered", "algebraic",
-            "batch-basic", "batch-cpu", "batch-gpu", "threads",
+            "serial", "vectorized", "parallel", "leveled", "unordered",
+            "algebraic", "batch-basic", "batch-cpu", "batch-gpu", "threads",
         }
 
     def test_batch_methods_attach_stats(self, small_grid):

@@ -1,0 +1,132 @@
+"""The unified ``repro.reorder()`` facade, shims and central validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.api import AUTO_VECTORIZED_MIN, resolve_auto_method
+from repro.facade import ALGORITHMS, reorder
+from repro.matrices import generators as g
+from repro.sparse.csr import coo_to_csr
+from repro.sparse.validate import assert_permutation
+
+
+class TestFacade:
+    def test_exported_at_top_level(self):
+        assert repro.reorder is reorder
+        assert set(ALGORITHMS) == {
+            "rcm", "sloan", "gps", "king", "minimum-degree", "spectral",
+        }
+
+    def test_default_is_rcm_auto(self, medium_grid):
+        res = reorder(medium_grid)
+        assert res.algorithm == "rcm"
+        assert res.method == resolve_auto_method(medium_grid.n)
+        assert_permutation(res.permutation, medium_grid.n)
+
+    def test_auto_threshold(self):
+        assert resolve_auto_method(AUTO_VECTORIZED_MIN - 1) == "serial"
+        assert resolve_auto_method(AUTO_VECTORIZED_MIN) == "vectorized"
+
+    @pytest.mark.parametrize("method", ["serial", "vectorized", "parallel"])
+    def test_methods_agree(self, method, medium_grid):
+        ref = reorder(medium_grid, method="serial")
+        got = reorder(medium_grid, method=method)
+        assert np.array_equal(got.permutation, ref.permutation)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_every_algorithm_returns_full_result(self, algorithm, small_grid):
+        res = reorder(small_grid, algorithm=algorithm)
+        assert res.algorithm == algorithm
+        assert_permutation(res.permutation, small_grid.n)
+        assert res.initial_bandwidth >= 0
+        assert res.reordered_bandwidth >= 0
+        assert "ordering" in res.phase_ns
+        assert res.to_dict()["algorithm"] == algorithm
+
+    def test_symmetrized_asymmetric_input(self):
+        # upper-triangle-only pattern: symmetrize=True makes it reorderable
+        rows = np.array([0, 0, 1, 2, 3])
+        cols = np.array([1, 2, 3, 4, 4])
+        mat = coo_to_csr(5, rows, cols)
+        ref = reorder(mat, method="serial", symmetrize=True)
+        got = reorder(mat, method="vectorized", symmetrize=True)
+        assert np.array_equal(got.permutation, ref.permutation)
+
+    def test_kwargs_are_keyword_only(self, small_grid):
+        with pytest.raises(TypeError):
+            reorder(small_grid, "rcm")  # noqa: the whole point
+
+
+class TestValidation:
+    def test_bad_algorithm(self, small_grid):
+        with pytest.raises(ValueError, match="algorithm must be one of"):
+            reorder(small_grid, algorithm="voodoo")
+
+    def test_bad_method(self, small_grid):
+        with pytest.raises(ValueError, match="method must be one of"):
+            reorder(small_grid, method="quantum")
+
+    def test_bad_method_for_direct_algorithm(self, small_grid):
+        with pytest.raises(ValueError, match="method must be one of"):
+            reorder(small_grid, algorithm="sloan", method="parallel")
+
+    def test_bad_start_strategy(self, small_grid):
+        with pytest.raises(ValueError, match="strategy"):
+            reorder(small_grid, start="median")
+
+    def test_start_out_of_range(self, small_grid):
+        with pytest.raises(ValueError):
+            reorder(small_grid, start=small_grid.n)
+
+    def test_bad_workers(self, small_grid):
+        with pytest.raises(ValueError, match="n_workers"):
+            reorder(small_grid, n_workers=-1)
+
+    def test_explicit_start_needs_connected(self, two_triangles):
+        with pytest.raises(ValueError, match="connected"):
+            reorder(two_triangles, start=0)
+
+
+class TestDeprecationShims:
+    def test_reverse_cuthill_mckee_warns_and_matches(self, medium_grid):
+        from repro.core.api import reverse_cuthill_mckee
+
+        ref = reorder(medium_grid, method="serial")
+        with pytest.warns(DeprecationWarning, match="repro.reorder"):
+            old = reverse_cuthill_mckee(medium_grid, method="serial")
+        assert np.array_equal(old.permutation, ref.permutation)
+
+    def test_order_warns_and_matches(self, small_grid):
+        from repro.orderings.api import order
+
+        ref = reorder(small_grid, start="peripheral", method="serial")
+        with pytest.warns(DeprecationWarning, match="repro.reorder"):
+            old = order(small_grid, "rcm")
+        assert np.array_equal(old, ref.permutation)
+
+    def test_facade_does_not_warn(self, small_grid, recwarn):
+        reorder(small_grid)
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestQualityPermutation:
+    def test_quality_accepts_precomputed_permutation(self, small_grid):
+        from repro.orderings.api import quality
+
+        res = reorder(small_grid, algorithm="sloan")
+        q = quality(small_grid, "sloan", permutation=res.permutation)
+        applied = small_grid.permute_symmetric(res.permutation)
+        from repro.sparse.bandwidth import bandwidth
+
+        assert q.bandwidth == bandwidth(applied)
+
+    def test_quality_rejects_bad_permutation(self, small_grid):
+        from repro.orderings.api import quality
+
+        with pytest.raises(ValueError):
+            quality(small_grid, "rcm", permutation=np.zeros(3, dtype=np.int64))

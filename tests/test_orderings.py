@@ -256,7 +256,7 @@ class TestOrderingDispatcher:
     def test_unknown_rejected(self, small_grid):
         from repro.orderings.api import order
 
-        with pytest.raises(ValueError, match="unknown ordering"):
+        with pytest.raises(ValueError, match="algorithm must be one of"):
             order(small_grid, "voodoo")
 
     def test_quality_report(self):
