@@ -11,18 +11,26 @@ Usage (after ``pytest benchmarks/ --benchmark-only`` refreshed
 Each artifact's ``wall_ms`` is compared to the committed entry in
 ``benchmarks/baselines.json``; a benchmark regresses when it is more than
 ``--tolerance`` (default 0.75 = 75%) slower than its baseline.  Wall time on
-shared CI runners is noisy, so the gate runs ``--warn-only`` in CI for now —
-the artifacts are still uploaded so the perf trajectory is on record.
+shared CI runners is noisy, so most benches run ``--warn-only`` in CI — but
+benches matching an ``--enforce`` glob (default ``kernel_*``: single-kernel
+microbenches, the least noise-sensitive artifacts) fail the build even under
+``--warn-only``.  Pass ``--enforce ''`` to disable enforcement entirely.
 
-The speedup artifact gets one extra, noise-immune check: the *ratio*
-``speedups_vs_serial["vectorized"]`` must stay above ``--min-speedup``
-(default 1.0) — the vectorized kernel beating the serial loop is an
-acceptance invariant, not a tuning number.
+Two *ratio* checks are noise-immune and therefore always enforced:
+
+* ``speedups_vs_serial["vectorized"]`` in the speedup artifact must stay
+  above ``--min-speedup`` (default 1.0) — the vectorized kernel beating the
+  serial loop is an acceptance invariant, not a tuning number;
+* ``hit_speedup`` in the service artifact must stay above
+  ``--min-hit-speedup`` (default 10.0) — serving a warm cache hit an order
+  of magnitude faster than a cold compute is the service layer's acceptance
+  bar (``benchmarks/bench_service.py``).
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import sys
 from pathlib import Path
@@ -61,6 +69,28 @@ def compare(results: dict, baselines: dict, tolerance: float) -> list:
             status = "REGRESSION" if ratio > 1.0 + tolerance else "OK"
             rows.append((name, base, cur, ratio, status))
     return rows
+
+
+def is_enforced(name: str, patterns: list) -> bool:
+    """Whether a bench name falls under the always-failing enforce globs."""
+    return any(p and fnmatch.fnmatch(name, p) for p in patterns)
+
+
+def check_service_invariant(results: dict, min_hit_speedup: float) -> list:
+    """The cache-hit-beats-cold-compute ratio check (hardware-noise immune)."""
+    problems = []
+    payload = results.get("service_throughput")
+    if payload is None:
+        return problems
+    hit = payload.get("hit_speedup")
+    if hit is None:
+        problems.append("service_throughput artifact lacks 'hit_speedup'")
+    elif hit < min_hit_speedup:
+        problems.append(
+            f"service cache-hit speedup is {hit:.1f}x vs cold compute "
+            f"(must stay >= {min_hit_speedup:.1f}x) on {payload.get('matrix')}"
+        )
+    return problems
 
 
 def check_speedup_invariant(results: dict, min_speedup: float) -> list:
@@ -102,8 +132,16 @@ def main(argv=None) -> int:
                         help="allowed slowdown fraction before failing")
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="required vectorized-vs-serial speedup ratio")
+    parser.add_argument("--min-hit-speedup", type=float, default=10.0,
+                        help="required service cache-hit vs cold-compute ratio")
     parser.add_argument("--warn-only", action="store_true",
-                        help="report regressions but always exit 0")
+                        help="report wall-clock regressions without failing "
+                             "(enforced globs and ratio invariants still fail)")
+    parser.add_argument("--enforce", action="append", metavar="GLOB",
+                        default=None,
+                        help="bench-name glob whose regressions fail even "
+                             "under --warn-only (repeatable; default "
+                             "'kernel_*'; pass '' to disable)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baselines file from current results")
     args = parser.parse_args(argv)
@@ -139,12 +177,25 @@ def main(argv=None) -> int:
     rows = compare(results, baselines, args.tolerance)
     print(render(rows))
 
-    problems = [f"{name}: {ratio:.2f}x slower than baseline"
-                for name, _, _, ratio, status in rows if status == "REGRESSION"]
-    problems += check_speedup_invariant(results, args.min_speedup)
+    enforce = args.enforce if args.enforce is not None else ["kernel_*"]
+    warnings, enforced = [], []
+    for name, _, _, ratio, status in rows:
+        if status != "REGRESSION":
+            continue
+        msg = f"{name}: {ratio:.2f}x slower than baseline"
+        (enforced if is_enforced(name, enforce) else warnings).append(msg)
+    # ratio invariants are noise-immune: always enforced
+    enforced += check_speedup_invariant(results, args.min_speedup)
+    enforced += check_service_invariant(results, args.min_hit_speedup)
 
-    if problems:
-        print("\n" + "\n".join(f"PROBLEM: {p}" for p in problems))
+    for msg in warnings:
+        print(f"\nPROBLEM: {msg}")
+    for msg in enforced:
+        print(f"\nENFORCED PROBLEM: {msg}")
+
+    if enforced:
+        return 1
+    if warnings:
         if args.warn_only:
             print("(--warn-only: not failing the build)")
             return 0

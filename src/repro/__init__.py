@@ -27,6 +27,7 @@ for the migration guide.
 from repro.sparse import CSRMatrix, coo_to_csr, bandwidth
 from repro.core.api import reverse_cuthill_mckee, ReorderResult, METHODS
 from repro.facade import reorder, ALGORITHMS
+from repro.service import PermutationCache, ReorderService, ServiceConfig
 from repro.core import (
     cuthill_mckee,
     rcm_serial,
@@ -46,6 +47,9 @@ __all__ = [
     "bandwidth",
     "reorder",
     "ALGORITHMS",
+    "ReorderService",
+    "ServiceConfig",
+    "PermutationCache",
     "reverse_cuthill_mckee",
     "ReorderResult",
     "METHODS",

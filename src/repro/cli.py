@@ -271,6 +271,171 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _load_spec(spec: str):
+    """A workload line: an existing matrix file path, else an analogue name."""
+    if Path(spec).exists():
+        return _load(spec)
+    from repro.matrices import get_matrix
+
+    return get_matrix(spec)
+
+
+def cmd_serve(args) -> int:
+    """``serve``: run a batch-file workload through the reordering service.
+
+    The workload is a text file with one matrix spec per line (a matrix
+    file path or a named test-set analogue; blank lines and ``#`` comments
+    ignored), optionally cycled ``--repeat`` times — repeated patterns are
+    served from the content-hash cache and concurrent duplicates coalesce
+    onto one computation.  Prints per-request outcomes and the service
+    counters; see ``docs/service.md``.
+    """
+    import json
+    import time
+
+    from repro import telemetry
+    from repro.service import ReorderService, ServiceConfig
+
+    if getattr(args, "telemetry", None):
+        telemetry.enable()
+
+    specs: List[str] = []
+    if args.workload:
+        for line in Path(args.workload).read_text().splitlines():
+            line = line.split("#", 1)[0].strip()
+            if line:
+                specs.append(line)
+    specs.extend(args.matrix or [])
+    if not specs:
+        print("serve: empty workload (no matrix specs)", file=sys.stderr)
+        return 2
+    specs = specs * max(args.repeat, 1)
+
+    cfg = ServiceConfig(
+        n_workers=args.workers,
+        max_pending=args.max_pending,
+        cache_capacity=args.capacity,
+        disk_dir=args.cache_dir,
+        request_timeout=args.timeout,
+    )
+    rows = []
+    t_total = time.perf_counter()
+    with ReorderService(cfg) as svc:
+        # submit everything up front so identical in-flight specs coalesce,
+        # then gather in order
+        loaded = [(spec, _load_spec(spec)) for spec in specs]
+        futures = [
+            (spec, mat, svc.submit(
+                mat, algorithm=args.algorithm, method=args.method,
+            ))
+            for spec, mat in loaded
+        ]
+        for spec, mat, fut in futures:
+            t0 = time.perf_counter()
+            res = fut.result(args.timeout)
+            ms = (time.perf_counter() - t0) * 1e3
+            rows.append({
+                "matrix": spec,
+                "n": mat.n,
+                "nnz": mat.nnz,
+                "method": res.method,
+                "initial_bandwidth": res.initial_bandwidth,
+                "reordered_bandwidth": res.reordered_bandwidth,
+                "wait_ms": ms,
+            })
+        stats = svc.stats()
+    total_s = time.perf_counter() - t_total
+
+    if args.json:
+        print(json.dumps(
+            {"requests": rows, "stats": stats,
+             "total_s": total_s,
+             "requests_per_s": len(rows) / total_s if total_s else 0.0},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for row in rows:
+            print(f"{row['matrix']:<28s} n={row['n']:<8d} "
+                  f"bw {row['initial_bandwidth']} -> "
+                  f"{row['reordered_bandwidth']}  "
+                  f"({row['wait_ms']:.2f} ms wait)")
+        cache = stats["cache"]
+        print(f"\n{len(rows)} requests in {total_s:.3f}s "
+              f"({len(rows) / total_s:.1f} req/s)")
+        print(f"computed={stats['service.computed']}  "
+              f"cache hits={cache['hits']} misses={cache['misses']} "
+              f"evictions={cache['evictions']}  "
+              f"coalesced={stats['service.coalesced']}")
+    if getattr(args, "telemetry", None):
+        n = telemetry.get().write_jsonl(
+            args.telemetry, meta={"command": "serve", "requests": len(rows)}
+        )
+        print(f"wrote {n} telemetry events to {args.telemetry}",
+              file=sys.stderr if args.json else sys.stdout)
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """``cache``: inspect or invalidate a disk-tier permutation cache."""
+    import json
+    import time
+
+    from repro.service import PermutationCache
+
+    cache_dir = Path(args.cache_dir)
+    if args.invalidate:
+        # the listing truncates digests to 16 chars, so accept any
+        # unambiguous prefix of a stored digest
+        digest = args.invalidate
+        if cache_dir.exists():
+            matches = [
+                p.stem for p in cache_dir.glob("*.npz")
+                if p.stem.startswith(digest)
+            ]
+            if len(matches) > 1:
+                print(f"ambiguous digest prefix {digest} "
+                      f"({len(matches)} matches)", file=sys.stderr)
+                return 1
+            if matches:
+                digest = matches[0]
+        cache = PermutationCache(disk_dir=cache_dir)
+        removed = cache.invalidate(digest)
+        print(f"{'removed' if removed else 'no entry for'} {digest}")
+        return 0 if removed else 1
+    if args.clear:
+        cache = PermutationCache(disk_dir=cache_dir)
+        n_before = len(PermutationCache.disk_entries(cache_dir)) \
+            if cache_dir.exists() else 0
+        cache.clear(purge_disk=True)
+        print(f"cleared {n_before} entries from {cache_dir}")
+        return 0
+
+    if not cache_dir.exists():
+        print(f"no cache directory at {cache_dir}", file=sys.stderr)
+        return 1
+    entries = PermutationCache.disk_entries(cache_dir)
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    if not entries:
+        print(f"{cache_dir}: empty")
+        return 0
+    now = time.time()
+    print(f"{'digest':<16s} {'alg':<10s} {'method':<12s} {'n':>8s} "
+          f"{'nnz':>10s} {'bytes':>10s}  age")
+    for e in entries:
+        if "error" in e:
+            print(f"{e['digest'][:16]:<16s} <unreadable>")
+            continue
+        age = now - (e.get("created") or now)
+        print(f"{e['digest'][:16]:<16s} {e.get('algorithm', '?'):<10s} "
+              f"{e.get('method', '?'):<12s} {e.get('n', 0):>8d} "
+              f"{e.get('nnz', 0):>10d} {e.get('perm_bytes', 0):>10d}  "
+              f"{age:7.1f}s")
+    print(f"{len(entries)} entries in {cache_dir}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     """``bench``: forward to one of the experiment drivers."""
     import importlib
@@ -368,6 +533,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mindeg", action="store_true",
                    help="include minimum degree (slow/fill-heavy on hubs)")
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "serve", help="run a batch workload through the reordering service"
+    )
+    p.add_argument("workload", nargs="?", default=None,
+                   help="text file: one matrix spec (path or analogue name) "
+                        "per line; '#' comments allowed")
+    p.add_argument("--matrix", action="append", default=None,
+                   help="add a named analogue to the workload (repeatable)")
+    p.add_argument("--algorithm", default="rcm", choices=list(ALGORITHMS))
+    p.add_argument("--method", default="auto", choices=method_choices)
+    p.add_argument("--workers", type=int, default=2,
+                   help="service worker threads (default: 2)")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="cycle the workload N times (exercises the cache)")
+    p.add_argument("--capacity", type=int, default=128,
+                   help="in-memory cache entries (LRU bound)")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="bounded submission queue size")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-request timeout in seconds")
+    p.add_argument("--cache-dir", default=None,
+                   help="disk cache tier directory (persists across runs)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable requests + service stats")
+    p.add_argument("--telemetry", default=None, metavar="PATH.jsonl",
+                   help="record wall-clock telemetry to a JSONL event log")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "cache", help="inspect or invalidate a disk permutation cache"
+    )
+    p.add_argument("cache_dir", help="disk cache tier directory")
+    p.add_argument("--invalidate", metavar="DIGEST", default=None,
+                   help="remove one entry by its content-hash digest")
+    p.add_argument("--clear", action="store_true",
+                   help="remove every entry")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable entry listing")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("bench", help="run an experiment driver")
     p.add_argument("experiment",

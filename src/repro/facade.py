@@ -2,20 +2,29 @@
 
 One facade unifies what used to be two APIs (``core.api.reverse_cuthill_mckee``
 for RCM, ``orderings.api.order`` for everything else): every algorithm —
-``rcm``, ``sloan``, ``gps``, ``king``, ``minimum-degree``, ``spectral`` —
+{algorithms} —
 goes through the same validated, telemetry-instrumented pipeline and returns
 a full :class:`~repro.core.api.ReorderResult` (permutation, bandwidth
-before/after, wall-clock phase breakdown).
+before/after, wall-clock phase breakdown).  The RCM execution methods are
+{methods}.
 
 All parameters are keyword-only and validated centrally
 (:mod:`repro.validation`): unknown ``algorithm``/``method``/``start`` values
-raise one uniform ``ValueError`` listing the valid choices.
+raise one uniform ``ValueError`` listing the valid choices.  The choice
+lists above are substituted from :data:`ALGORITHMS` /
+:data:`~repro.core.api.METHODS` at import time — there is exactly one place
+each name is spelled, and ``tests/test_doc_drift.py`` holds this file to it.
 
 For RCM, ``method="auto"`` (the default) picks the level-synchronous NumPy
 kernel (``"vectorized"``) on matrices large enough to amortize its per-level
 dispatch overhead and the pure-Python reference (``"serial"``) below that;
 ``method="parallel"`` adds per-component process parallelism on top (see
 :mod:`repro.parallel`).  Every RCM method returns the identical permutation.
+
+Passing ``cache=`` (a :class:`repro.service.PermutationCache`) makes the
+call content-addressed: a pattern + options seen before is served from the
+cache without recomputation.  :class:`repro.service.ReorderService` builds
+coalescing and admission control on top of the same path.
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ from repro.sparse.bandwidth import bandwidth, bandwidth_after
 from repro.sparse.validate import validate_csr, is_structurally_symmetric
 from repro.core.api import METHODS, PHASES, ReorderResult, _reorder_rcm
 from repro.core.batches import BatchConfig
-from repro.validation import check_choice, check_min, check_start
+from repro.validation import check_choice, check_min, check_start, choices_text
 from repro import telemetry
 
 __all__ = ["reorder", "ALGORITHMS", "METHODS"]
@@ -41,6 +50,13 @@ ALGORITHMS = ("rcm", "sloan", "gps", "king", "minimum-degree", "spectral")
 #: methods valid for algorithms other than ``"rcm"`` (they have exactly one
 #: execution strategy, so only the default resolution is accepted)
 _DIRECT_METHODS = ("auto", "direct")
+
+# single source of truth: the module docstring enumerates the choice lists
+# via the tuples themselves, never by hand (guarded by tests/test_doc_drift)
+if __doc__ is not None:  # pragma: no branch - absent only under -OO
+    __doc__ = __doc__.format(
+        algorithms=choices_text(ALGORITHMS), methods=choices_text(METHODS)
+    )
 
 
 def _algorithm_fn(algorithm: str):
@@ -78,6 +94,7 @@ def reorder(
     config: Optional[BatchConfig] = None,
     symmetrize: bool = False,
     seed: int = 0,
+    cache=None,
 ) -> ReorderResult:
     """Reorder a symmetric sparse pattern to reduce its bandwidth.
 
@@ -111,6 +128,13 @@ def reorder(
     seed:
         interleaving jitter seed for the simulated methods (0 = canonical
         deterministic schedule).
+    cache:
+        optional :class:`repro.service.PermutationCache`.  When given, the
+        request is keyed on the content hash of the pattern plus the
+        permutation-relevant options; a hit returns the cached result
+        (permutation bit-identical to recomputation) with
+        ``phase_ns={"cache": <lookup ns>}``, a miss computes and
+        populates the cache.
 
     Returns
     -------
@@ -120,14 +144,34 @@ def reorder(
     """
     check_choice("algorithm", algorithm, ALGORITHMS)
     check_min("n_workers", n_workers, 1)
-    if algorithm == "rcm":
-        return _reorder_rcm(
-            mat, method=method, start=start, n_workers=n_workers,
-            config=config, symmetrize=symmetrize, seed=seed,
-        )
-    check_choice("method", method, _DIRECT_METHODS)
-    check_start(start, max(mat.n, 1))
-    return _reorder_direct(mat, algorithm, symmetrize=symmetrize)
+
+    def compute() -> ReorderResult:
+        if algorithm == "rcm":
+            return _reorder_rcm(
+                mat, method=method, start=start, n_workers=n_workers,
+                config=config, symmetrize=symmetrize, seed=seed,
+            )
+        check_choice("method", method, _DIRECT_METHODS)
+        check_start(start, max(mat.n, 1))
+        return _reorder_direct(mat, algorithm, symmetrize=symmetrize)
+
+    if cache is None:
+        return compute()
+
+    from repro.service.keys import cache_key
+
+    key = cache_key(
+        mat, algorithm=algorithm, method=method, start=start,
+        symmetrize=symmetrize,
+    )
+    t0 = time.perf_counter_ns()
+    hit = cache.get(key)
+    if hit is not None:
+        hit.phase_ns = {"cache": time.perf_counter_ns() - t0}
+        return hit
+    res = compute()
+    cache.put(key, res)
+    return res
 
 
 def _reorder_direct(

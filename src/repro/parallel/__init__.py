@@ -23,6 +23,7 @@ from repro.parallel.executor import (
     fork_available,
     map_matrices,
     rcm_components,
+    record_fallback,
     resolve_workers,
 )
 
@@ -31,5 +32,6 @@ __all__ = [
     "fork_available",
     "map_matrices",
     "rcm_components",
+    "record_fallback",
     "resolve_workers",
 ]

@@ -29,6 +29,7 @@ __all__ = [
     "ParallelConfig",
     "fork_available",
     "rcm_components",
+    "record_fallback",
     "map_matrices",
     "resolve_workers",
 ]
@@ -106,11 +107,18 @@ def _warm_pool(pool: ProcessPoolExecutor, workers: int) -> None:
         fut.result()
 
 
-def _record_fallback(reason: str) -> None:
+def record_fallback(reason: str, *, prefix: str = "parallel") -> None:
+    """Bump the ``<prefix>.fallbacks`` counters for one degradation event.
+
+    The shared convention across execution layers: a total under
+    ``<prefix>.fallbacks`` plus one ``<prefix>.fallbacks.<reason>`` counter
+    per cause.  The process-pool layer records under ``parallel``; the
+    service layer reuses the same shape under ``service``.
+    """
     tel = telemetry.get()
     if tel.enabled:
-        tel.counter("parallel.fallbacks").add(1)
-        tel.counter(f"parallel.fallbacks.{reason}").add(1)
+        tel.counter(f"{prefix}.fallbacks").add(1)
+        tel.counter(f"{prefix}.fallbacks.{reason}").add(1)
 
 
 # ----------------------------------------------------------------------
@@ -137,7 +145,7 @@ def rcm_components(
     tel = telemetry.get()
 
     def in_process(reason: str) -> List[np.ndarray]:
-        _record_fallback(reason)
+        record_fallback(reason)
         return [rcm_vectorized(mat, int(s)) for s in starts]
 
     if not starts:
@@ -208,7 +216,7 @@ def map_matrices(
     kwargs = dict(method=method, start=start, symmetrize=symmetrize)
 
     def in_process(reason: str) -> list:
-        _record_fallback(reason)
+        record_fallback(reason)
         return [_reorder_rcm(m, **kwargs) for m in mats]
 
     if not mats:

@@ -1,0 +1,371 @@
+"""The in-process reordering service: cache, coalescing, bounded queue.
+
+:class:`ReorderService` fronts :func:`repro.reorder` with the three things
+a traffic-serving deployment needs:
+
+* **content-hash caching** — requests key on the CSR pattern digest plus
+  the permutation-relevant options (:mod:`repro.service.keys`); a repeated
+  pattern is served from :class:`~repro.service.cache.PermutationCache`
+  without recomputation;
+* **request coalescing** — concurrent submissions of the same key share
+  the one in-flight computation instead of stampeding the pool (counter
+  ``service.coalesced``);
+* **bounded admission** — at most ``max_pending`` computations are queued
+  or running; beyond that :meth:`submit` blocks up to ``submit_timeout``
+  seconds and then raises :class:`ServiceOverloadedError` (backpressure,
+  counter ``service.rejected``).  Each blocking :meth:`reorder` call takes
+  a per-request timeout and raises :class:`ServiceTimeoutError` when the
+  answer is not ready in time (the computation keeps running and still
+  populates the cache).
+
+Failures degrade gracefully: when an execution method dies with an
+environmental error (broken pool, OS failure, memory pressure) the request
+falls back along ``parallel -> vectorized -> serial`` — the same counter
+convention as ``parallel.fallbacks.*``, recorded as
+``service.fallbacks.<method>``.  Validation errors (``ValueError`` /
+``TypeError``) always propagate: a bad request must not burn the chain.
+
+Telemetry: span ``service.request`` per computation, counters
+``service.requests`` / ``service.computed`` / ``service.coalesced`` /
+``service.rejected`` / ``service.timeouts`` / ``service.fallbacks.*`` and
+the ``service.queue.depth`` gauge.  See ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.sparse.csr import CSRMatrix
+from repro.core.api import ReorderResult
+from repro.service.keys import CacheKey, cache_key
+from repro.service.cache import PermutationCache
+from repro.parallel.executor import record_fallback
+from repro import telemetry
+
+__all__ = [
+    "ServiceConfig",
+    "ReorderService",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceTimeoutError",
+    "fallback_chain",
+]
+
+_UNSET = object()
+
+#: environmental failures that trigger the method fallback chain;
+#: ``ValueError``/``TypeError`` (bad requests) always propagate
+_FALLBACK_EXCEPTIONS = (RuntimeError, OSError, MemoryError)
+
+
+class ServiceError(RuntimeError):
+    """Base class for service-level failures."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The bounded submission queue is full (backpressure)."""
+
+
+class ServiceTimeoutError(ServiceError):
+    """A request did not complete within its timeout."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of :class:`ReorderService`.
+
+    ``n_workers`` serving threads drain the queue; ``max_pending`` bounds
+    queued-plus-running computations (admission control, not a result
+    limit — cache hits and coalesced requests are always admitted);
+    ``submit_timeout`` is how long :meth:`ReorderService.submit` may block
+    for a free slot before rejecting; ``request_timeout`` is the default
+    deadline of blocking :meth:`ReorderService.reorder` calls (``None`` =
+    wait forever).  ``fallback=False`` disables the method degradation
+    chain (the first error propagates).
+    """
+
+    n_workers: int = 2
+    max_pending: int = 64
+    submit_timeout: float = 0.0
+    request_timeout: Optional[float] = None
+    cache_capacity: int = 128
+    disk_dir: Optional[Union[str, Path]] = None
+    fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+
+
+def fallback_chain(algorithm: str, method: str) -> Tuple[str, ...]:
+    """Methods tried in order for one request.
+
+    RCM degrades ``<requested> -> vectorized -> serial`` (deduplicated);
+    every method returns the identical permutation, so falling back changes
+    latency, never the answer.  Non-RCM algorithms have one strategy.
+    """
+    if algorithm != "rcm":
+        return (method,)
+    chain = [method]
+    for m in ("vectorized", "serial"):
+        if m not in chain:
+            chain.append(m)
+    return tuple(chain)
+
+
+def _call_reorder(mat: CSRMatrix, kwargs: dict) -> ReorderResult:
+    """The one seam between the service and the facade (tests patch it)."""
+    from repro.facade import reorder
+
+    return reorder(mat, **kwargs)
+
+
+class ReorderService:
+    """In-process reordering service over :func:`repro.reorder`.
+
+    ::
+
+        with ReorderService() as svc:
+            res = svc.reorder(mat)                  # cold: computes + caches
+            res = svc.reorder(mat)                  # warm: cache hit
+            futs = [svc.submit(m) for m in mats]    # async fan-out
+
+    Permutations are bit-identical to ``repro.reorder(mat, ...)`` — cold
+    and warm — because cache keys are content hashes of the exact pattern
+    plus options.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        cache: Optional[PermutationCache] = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        # explicit None check: an empty PermutationCache is falsy (__len__)
+        self.cache = cache if cache is not None else PermutationCache(
+            self.config.cache_capacity, disk_dir=self.config.disk_dir
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.n_workers,
+            thread_name_prefix="repro-service",
+        )
+        self._lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._inflight: Dict[str, Future] = {}
+        self._slots = threading.BoundedSemaphore(self.config.max_pending)
+        self._pending = 0
+        self._closed = False
+        # telemetry-independent mirror of the service counters
+        self.counters = {
+            "requests": 0,
+            "computed": 0,
+            "coalesced": 0,
+            "rejected": 0,
+            "timeouts": 0,
+            "fallbacks": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        mat: CSRMatrix,
+        *,
+        algorithm: str = "rcm",
+        method: str = "auto",
+        start: Union[int, str] = "min-valence",
+        n_workers: int = 4,
+        symmetrize: bool = False,
+    ) -> "Future[ReorderResult]":
+        """Enqueue one request; returns a future of its ReorderResult.
+
+        The future is already resolved on a cache hit, shared with the
+        in-flight leader on a coalesced duplicate, and backed by a fresh
+        pool task otherwise.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        key = cache_key(
+            mat, algorithm=algorithm, method=method, start=start,
+            symmetrize=symmetrize,
+        )
+        self._count("requests")
+
+        hit = self.cache.get(key)
+        if hit is not None:
+            fut: "Future[ReorderResult]" = Future()
+            fut.set_result(hit)
+            return fut
+
+        kwargs = dict(
+            algorithm=algorithm, method=method, start=start,
+            n_workers=n_workers, symmetrize=symmetrize,
+        )
+        with self._lock:
+            existing = self._inflight.get(key.digest)
+            if existing is not None:
+                self._count("coalesced")
+                return existing
+        if not self._slots.acquire(
+            blocking=self.config.submit_timeout > 0,
+            timeout=self.config.submit_timeout or None,
+        ):
+            self._count("rejected")
+            raise ServiceOverloadedError(
+                f"submission queue full ({self.config.max_pending} pending); "
+                "retry later or raise ServiceConfig.max_pending"
+            )
+        with self._lock:
+            # a duplicate may have raced past the first check while we
+            # waited for a slot — coalesce onto it and give the slot back
+            existing = self._inflight.get(key.digest)
+            if existing is not None:
+                self._slots.release()
+                self._count("coalesced")
+                return existing
+            fut = self._pool.submit(self._run, key, mat, kwargs)
+            self._inflight[key.digest] = fut
+            self._pending += 1
+            self._set_depth()
+        fut.add_done_callback(lambda _f, d=key.digest: self._settle(d))
+        return fut
+
+    def reorder(
+        self,
+        mat: CSRMatrix,
+        *,
+        timeout=_UNSET,
+        **options,
+    ) -> ReorderResult:
+        """Blocking convenience: :meth:`submit` + wait.
+
+        ``timeout`` (seconds) defaults to ``ServiceConfig.request_timeout``;
+        on expiry raises :class:`ServiceTimeoutError` — the computation is
+        not cancelled and still lands in the cache for the retry.
+        """
+        fut = self.submit(mat, **options)
+        if timeout is _UNSET:
+            timeout = self.config.request_timeout
+        try:
+            return fut.result(timeout)
+        except FuturesTimeoutError:
+            self._count("timeouts")
+            raise ServiceTimeoutError(
+                f"request did not complete within {timeout}s"
+            ) from None
+
+    def map(
+        self, mats: Sequence[CSRMatrix], **options
+    ) -> List[ReorderResult]:
+        """Submit a batch and gather results in input order."""
+        futures = [self.submit(m, **options) for m in mats]
+        timeout = self.config.request_timeout
+        out = []
+        for fut in futures:
+            try:
+                out.append(fut.result(timeout))
+            except FuturesTimeoutError:
+                self._count("timeouts")
+                raise ServiceTimeoutError(
+                    f"batch request did not complete within {timeout}s"
+                ) from None
+        return out
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _run(self, key: CacheKey, mat: CSRMatrix, kwargs: dict) -> ReorderResult:
+        tel = telemetry.get()
+        with tel.span(
+            "service.request", category="service",
+            algorithm=kwargs["algorithm"], method=kwargs["method"], n=mat.n,
+        ):
+            self._count("computed")
+            result = self._execute(mat, kwargs)
+            # cache before the future resolves so a waiter that arrives
+            # after coalescing cleanup finds the entry, never a stale gap
+            self.cache.put(key, result)
+            return result
+
+    def _execute(self, mat: CSRMatrix, kwargs: dict) -> ReorderResult:
+        if not self.config.fallback:
+            return _call_reorder(mat, kwargs)
+        chain = fallback_chain(kwargs["algorithm"], kwargs["method"])
+        last_exc: Optional[BaseException] = None
+        for i, m in enumerate(chain):
+            try:
+                return _call_reorder(mat, {**kwargs, "method": m})
+            except _FALLBACK_EXCEPTIONS as exc:
+                last_exc = exc
+                if i + 1 < len(chain):
+                    self._count("fallbacks")
+                    record_fallback(m, prefix="service")
+        assert last_exc is not None
+        raise last_exc
+
+    def _settle(self, digest: str) -> None:
+        with self._lock:
+            self._inflight.pop(digest, None)
+            self._pending -= 1
+            self._set_depth()
+        self._slots.release()
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _count(self, name: str) -> None:
+        # separate lock: _count is called both inside and outside
+        # self._lock regions, and threading.Lock is not reentrant
+        with self._counter_lock:
+            self.counters[name] += 1
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.counter(f"service.{name}").add(1)
+
+    def _set_depth(self) -> None:
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.gauge("service.queue.depth").set(self._pending)
+
+    @property
+    def pending(self) -> int:
+        """Computations currently queued or running."""
+        with self._lock:
+            return self._pending
+
+    def stats(self) -> dict:
+        """JSON-serializable snapshot: service counters + cache state."""
+        with self._counter_lock:
+            counters = dict(self.counters)
+        with self._lock:
+            pending = self._pending
+        return {
+            "pending": pending,
+            "max_pending": self.config.max_pending,
+            "n_workers": self.config.n_workers,
+            **{f"service.{k}": v for k, v in counters.items()},
+            "cache": self.cache.stats_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting requests and shut the worker pool down."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "ReorderService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

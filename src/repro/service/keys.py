@@ -1,0 +1,137 @@
+"""Content-addressed cache keys for reordering requests.
+
+An RCM permutation is a pure function of the matrix *pattern* —
+``indptr``/``indices`` plus the shape, never ``data`` — and of the request
+options that can change the answer: ``algorithm``, the resolved execution
+``method``, the ``start`` choice and ``symmetrize``.  Options that provably
+do **not** alter the permutation stay out of the key on purpose:
+
+* ``n_workers`` and ``seed`` — the paper's headline invariant is that every
+  execution schedule returns the serial permutation, so worker count and
+  interleaving jitter cannot change the cached answer;
+* batch ``config`` — same invariant; configs only move simulated cycles.
+
+``method`` *is* part of the key even though all RCM methods agree on the
+permutation: a cached :class:`~repro.core.api.ReorderResult` records which
+method produced it, and serving a ``"serial"`` result for a ``"parallel"``
+request would misreport that.  ``"auto"`` is canonicalized to the concrete
+method it resolves to (so ``"auto"`` and its resolution share one entry),
+and non-RCM algorithms always key as ``"direct"``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.core.api import METHODS, resolve_auto_method
+from repro.validation import check_choice, check_start
+
+__all__ = ["CacheKey", "cache_key", "pattern_digest", "canonical_method"]
+
+
+def pattern_digest(mat: CSRMatrix) -> str:
+    """SHA-256 over the CSR *pattern*: shape + ``indptr`` + ``indices``.
+
+    ``data`` is deliberately excluded — two matrices with the same sparsity
+    pattern but different values share a permutation, so they must share a
+    digest.  Arrays are hashed as little-endian int64 so the digest is
+    stable across platforms.
+    """
+    h = hashlib.sha256()
+    h.update(f"csr:{mat.n}:{mat.nnz}:".encode())
+    h.update(np.ascontiguousarray(mat.indptr, dtype="<i8").tobytes())
+    h.update(b"|")
+    h.update(np.ascontiguousarray(mat.indices, dtype="<i8").tobytes())
+    return h.hexdigest()
+
+
+def canonical_method(algorithm: str, method: str, n: int) -> str:
+    """The concrete method a request resolves to (what the key records)."""
+    if algorithm != "rcm":
+        return "direct"
+    if method == "auto":
+        return resolve_auto_method(n)
+    return method
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """One content-addressed cache slot.
+
+    ``digest`` combines the pattern digest with every permutation-relevant
+    option; it is the cache's dictionary key and the disk tier's file stem.
+    The remaining fields are kept readable for inspection (``repro cache``).
+    """
+
+    digest: str
+    pattern: str
+    n: int
+    nnz: int
+    algorithm: str
+    method: str
+    start: str
+    symmetrize: bool
+
+    def describe(self) -> dict:
+        """JSON-serializable summary (what ``repro cache`` prints)."""
+        return {
+            "digest": self.digest,
+            "pattern": self.pattern,
+            "n": self.n,
+            "nnz": self.nnz,
+            "algorithm": self.algorithm,
+            "method": self.method,
+            "start": self.start,
+            "symmetrize": self.symmetrize,
+        }
+
+
+def cache_key(
+    mat: CSRMatrix,
+    *,
+    algorithm: str = "rcm",
+    method: str = "auto",
+    start: Union[int, str] = "min-valence",
+    symmetrize: bool = False,
+) -> CacheKey:
+    """Derive the :class:`CacheKey` for one reordering request.
+
+    Validates the options with the same checks (and error messages) as
+    :func:`repro.reorder`, so a request that would fail never produces a
+    key.
+    """
+    from repro.facade import ALGORITHMS, _DIRECT_METHODS
+
+    check_choice("algorithm", algorithm, ALGORITHMS)
+    if algorithm == "rcm":
+        check_choice("method", method, ("auto",) + METHODS)
+    else:
+        check_choice("method", method, _DIRECT_METHODS)
+    check_start(start, max(mat.n, 1))
+
+    pattern = pattern_digest(mat)
+    resolved = canonical_method(algorithm, method, mat.n)
+    start_token = f"node:{int(start)}" if isinstance(
+        start, (int, np.integer)
+    ) else f"strategy:{start}"
+    h = hashlib.sha256()
+    h.update(pattern.encode())
+    h.update(
+        f"|alg:{algorithm}|method:{resolved}|start:{start_token}"
+        f"|sym:{int(bool(symmetrize))}".encode()
+    )
+    return CacheKey(
+        digest=h.hexdigest(),
+        pattern=pattern,
+        n=mat.n,
+        nnz=mat.nnz,
+        algorithm=algorithm,
+        method=resolved,
+        start=start_token,
+        symmetrize=bool(symmetrize),
+    )

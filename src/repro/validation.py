@@ -19,17 +19,26 @@ __all__ = [
     "check_choice",
     "check_min",
     "check_start",
+    "choices_text",
 ]
 
 #: named start-node selection strategies accepted everywhere
 START_STRATEGIES = ("min-valence", "peripheral")
 
 
+def choices_text(choices: Sequence[str]) -> str:
+    """Render a choice tuple as ``'a', 'b', 'c'`` — the one formatting used
+    by every error message and derived docstring, so enumerations can never
+    drift from the defining tuple."""
+    return ", ".join(repr(c) for c in choices)
+
+
 def check_choice(param: str, value, choices: Sequence[str]) -> None:
     """Raise ``ValueError`` unless ``value`` is one of ``choices``."""
     if value not in choices:
-        listed = ", ".join(repr(c) for c in choices)
-        raise ValueError(f"{param} must be one of {listed}; got {value!r}")
+        raise ValueError(
+            f"{param} must be one of {choices_text(choices)}; got {value!r}"
+        )
 
 
 def check_min(param: str, value: int, minimum: int) -> None:
@@ -45,7 +54,7 @@ def check_start(start: Union[int, str], n: int) -> None:
             raise ValueError(f"start node {int(start)} out of range [0, {n})")
         return
     if start not in START_STRATEGIES:
-        listed = ", ".join(repr(s) for s in START_STRATEGIES)
         raise ValueError(
-            f"start strategy must be one of {listed}; got {start!r}"
+            "start strategy must be one of "
+            f"{choices_text(START_STRATEGIES)}; got {start!r}"
         )

@@ -8,31 +8,8 @@ from repro.sparse.csr import CSRMatrix, coo_to_csr
 from repro.sparse.validate import assert_permutation
 from repro.matrices import generators as g
 
-FAST_METHODS = [
-    "serial", "vectorized", "parallel", "leveled", "unordered", "algebraic",
-    "batch-basic", "batch-cpu", "threads",
-]
-
-
-class TestMethodEquivalence:
-    @pytest.mark.parametrize("method", FAST_METHODS)
-    def test_connected(self, method, medium_grid):
-        ref = reverse_cuthill_mckee(medium_grid, method="serial", start=0)
-        got = reverse_cuthill_mckee(medium_grid, method=method, start=0)
-        assert np.array_equal(got.permutation, ref.permutation)
-
-    @pytest.mark.parametrize("method", FAST_METHODS + ["batch-gpu"])
-    def test_disconnected(self, method, two_triangles):
-        ref = reverse_cuthill_mckee(two_triangles, method="serial")
-        got = reverse_cuthill_mckee(two_triangles, method=method)
-        assert np.array_equal(got.permutation, ref.permutation)
-        assert got.n_components == 2
-
-    def test_gpu_method(self, small_mesh):
-        ref = reverse_cuthill_mckee(small_mesh, method="serial")
-        got = reverse_cuthill_mckee(small_mesh, method="batch-gpu")
-        assert np.array_equal(got.permutation, ref.permutation)
-        assert got.stats  # simulated stats attached
+# Cross-method permutation equivalence lives in test_equivalence_matrix.py:
+# one golden battery over every matrix x every execution method.
 
 
 class TestComponents:

@@ -1,0 +1,93 @@
+"""Guards against doc drift around the method/algorithm registries.
+
+``repro.core.api.METHODS`` and ``repro.facade.ALGORITHMS`` are the single
+source of truth for execution-method and algorithm names.  Everything else —
+the facade docstring (built by ``__doc__.format`` from
+:func:`repro.validation.choices_text`), validation error messages, the CLI
+``choices`` and the prose in ``docs/api.md`` — must follow them.  Adding a
+method without updating the docs fails here, not in a user's terminal.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro.facade as facade
+from repro.core.api import METHODS
+from repro.facade import ALGORITHMS, reorder
+from repro.validation import choices_text
+
+DOCS = Path(__file__).resolve().parents[1] / "docs"
+
+
+class TestDocstringSingleSourcing:
+    def test_facade_doc_lists_every_algorithm(self):
+        for name in ALGORITHMS:
+            assert repr(name) in facade.__doc__, (
+                f"facade docstring is missing algorithm {name!r}; it is "
+                "generated from ALGORITHMS via __doc__.format — check the "
+                "{algorithms} placeholder"
+            )
+
+    def test_facade_doc_lists_every_method(self):
+        for name in METHODS:
+            assert repr(name) in facade.__doc__, (
+                f"facade docstring is missing method {name!r}"
+            )
+
+    def test_no_unexpanded_placeholders(self):
+        assert "{algorithms}" not in facade.__doc__
+        assert "{methods}" not in facade.__doc__
+
+    def test_choices_text_shape(self):
+        assert choices_text(("a", "b")) == "'a', 'b'"
+
+
+class TestErrorMessagesDerivedFromRegistry:
+    def test_bad_algorithm_lists_all(self, small_grid):
+        with pytest.raises(ValueError) as exc:
+            reorder(small_grid, algorithm="nope")
+        for name in ALGORITHMS:
+            assert repr(name) in str(exc.value)
+
+    def test_bad_method_lists_all(self, small_grid):
+        with pytest.raises(ValueError) as exc:
+            reorder(small_grid, method="nope")
+        for name in ("auto",) + METHODS:
+            assert repr(name) in str(exc.value)
+
+
+class TestCliDerivesFromRegistry:
+    def test_reorder_parser_choices(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._subparsers._group_actions
+        ).choices["reorder"]
+        by_dest = {a.dest: a for a in sub._actions}
+        assert set(by_dest["algorithm"].choices) == set(ALGORITHMS)
+        assert set(by_dest["method"].choices) == {"auto", *METHODS}
+
+
+class TestProseDocs:
+    @pytest.mark.parametrize("name", sorted(set(ALGORITHMS) | set(METHODS)))
+    def test_api_md_mentions_every_name(self, name):
+        text = (DOCS / "api.md").read_text()
+        assert name in text, (
+            f"docs/api.md does not mention {name!r}; update the docs when "
+            "extending METHODS/ALGORITHMS"
+        )
+
+    def test_service_doc_exists_and_mentions_counters(self):
+        text = (DOCS / "service.md").read_text()
+        for counter in (
+            "service.cache.hits",
+            "service.cache.misses",
+            "service.cache.evictions",
+            "service.coalesced",
+            "service.queue.depth",
+        ):
+            assert counter in text, f"docs/service.md missing {counter}"
