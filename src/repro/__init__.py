@@ -24,6 +24,7 @@ Quickstart::
 for the migration guide.
 """
 
+from repro import backends
 from repro.sparse import CSRMatrix, coo_to_csr, bandwidth
 from repro.core.api import reverse_cuthill_mckee, ReorderResult, METHODS
 from repro.facade import reorder, ALGORITHMS
@@ -42,6 +43,7 @@ from repro.machine.costmodel import CPUCostModel, GPUCostModel
 __version__ = "1.1.0"
 
 __all__ = [
+    "backends",
     "CSRMatrix",
     "coo_to_csr",
     "bandwidth",

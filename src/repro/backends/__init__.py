@@ -1,0 +1,53 @@
+"""Execution-backend registry for RCM methods.
+
+Importing this package registers the built-in backends; every
+method-string surface in the library (dispatch, ``method="auto"``,
+degradation chains, CLI choices, cache keys, docs) resolves through it.
+See :mod:`repro.backends.base` for the model and
+:mod:`repro.backends.builtin` for the built-in registrations.
+"""
+
+from repro.backends.base import (
+    KINDS,
+    KIND_OS_THREADS,
+    KIND_PROCESS,
+    KIND_SERIAL,
+    KIND_SIMULATED,
+    KIND_VECTORIZED,
+    Backend,
+    backends,
+    capability_rows,
+    capability_table,
+    degradation_order,
+    get,
+    in_process_fallback,
+    is_registered,
+    method_choices,
+    names,
+    register,
+    resolve_auto_method,
+    unregister,
+)
+from repro.backends import builtin as _builtin  # noqa: F401  (registers)
+
+__all__ = [
+    "KINDS",
+    "KIND_SERIAL",
+    "KIND_VECTORIZED",
+    "KIND_SIMULATED",
+    "KIND_OS_THREADS",
+    "KIND_PROCESS",
+    "Backend",
+    "register",
+    "unregister",
+    "get",
+    "is_registered",
+    "names",
+    "backends",
+    "method_choices",
+    "resolve_auto_method",
+    "degradation_order",
+    "in_process_fallback",
+    "capability_rows",
+    "capability_table",
+]

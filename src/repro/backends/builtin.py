@@ -1,0 +1,264 @@
+"""Registration of the built-in RCM execution backends.
+
+One :func:`~repro.backends.base.register` call per method — the whole
+definition of a backend (run adapter, capability flags, cost estimate)
+lives here, so adding an eleventh method is a matter of appending one more
+block to this file (or calling ``register()`` from the new backend's own
+module).
+
+Adapters normalize every kernel to one of two shapes:
+
+* ``run_component(mat, start, *, total, n_workers, config, seed)`` →
+  ``(permutation_block, RunStats | None)``
+* ``run_matrix(mat, starts, *, sizes, n_workers, config, seed)`` →
+  ``[permutation_block, ...]``
+
+Heavyweight or optional dependencies (the process pool, the OS-thread
+machine, the semiring kernel) are imported inside their adapters, exactly
+as the old dispatch chain did, so ``import repro`` stays cheap.
+
+Cost estimates price a pattern in the same simulated cycles the machine
+models use (:mod:`repro.machine.costmodel`), with two Python-runtime terms
+the pure machine models do not see: per-level NumPy dispatch overhead and
+process-pool startup.  ``PY_LEVEL_DISPATCH_CYCLES`` is calibrated so the
+serial/vectorized crossover for an average-valence-4 mesh pattern lands at
+the measured ``n ≈ 2048`` (the old ``AUTO_VECTORIZED_MIN`` threshold this
+cost model replaces).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.backends.base import (
+    KIND_OS_THREADS,
+    KIND_PROCESS,
+    KIND_SERIAL,
+    KIND_SIMULATED,
+    KIND_VECTORIZED,
+    Backend,
+    register,
+)
+from repro.core.batch import run_batch_rcm
+from repro.core.batch_gpu import run_batch_rcm_gpu
+from repro.core.batches import BatchConfig
+from repro.core.leveled import rcm_leveled
+from repro.core.serial import rcm_serial
+from repro.core.unordered import rcm_unordered
+from repro.core.vectorized import rcm_vectorized
+from repro.machine.costmodel import CPUCostModel, SERIAL_CPU, VECTORIZED_CPU
+
+__all__ = [
+    "PY_LEVEL_DISPATCH_CYCLES",
+    "POOL_STARTUP_CYCLES",
+    "POOL_NOMINAL_WORKERS",
+]
+
+#: Python/NumPy overhead per BFS level of the vectorized kernel, on top of
+#: the machine model's ``level_overhead_cycles`` — calibrated to keep the
+#: measured serial/vectorized crossover at n ≈ 2048 for avg-valence-4
+#: patterns (the old ``AUTO_VECTORIZED_MIN``).
+PY_LEVEL_DISPATCH_CYCLES = 3000.0
+
+#: one-time cost of forking and warming the process pool (~10 ms at the
+#: models' 4 GHz reference clock)
+POOL_STARTUP_CYCLES = 4.0e7
+
+#: pool size assumed when pricing method="parallel" (the facade default)
+POOL_NOMINAL_WORKERS = 4
+
+
+def _log2(x: float) -> float:
+    return math.log2(x) if x > 2.0 else 1.0
+
+
+def _serial_cost(n: int, nnz: int, n_components: int) -> float:
+    # per-parent child sorts: nnz elements total, segments of avg valence
+    avg_valence = nnz / max(n, 1)
+    sort = nnz * SERIAL_CPU.cycles_per_sorted_element * _log2(avg_valence)
+    return SERIAL_CPU.run(n, nnz, sort)
+
+
+def _bfs_shape(n: int, nnz: int, n_components: int):
+    """(levels, width) estimate: components traverse sequentially, each a
+    mesh-like frontier of ``sqrt(component size)`` levels."""
+    per_comp = n / n_components
+    levels = n_components * max(math.sqrt(per_comp), 1.0)
+    return levels, n / levels
+
+
+def _vectorized_cost(n: int, nnz: int, n_components: int) -> float:
+    levels, width = _bfs_shape(n, nnz, n_components)
+    sort = n * VECTORIZED_CPU.sort_element_cycles * _log2(width)
+    return (
+        VECTORIZED_CPU.run(int(math.ceil(levels)), nnz, sort)
+        + levels * PY_LEVEL_DISPATCH_CYCLES
+    )
+
+
+def _parallel_cost(n: int, nnz: int, n_components: int) -> float:
+    # components are the parallelism grain: speedup caps at the smaller of
+    # the component count and the nominal pool size
+    ways = max(min(n_components, POOL_NOMINAL_WORKERS), 1)
+    return POOL_STARTUP_CYCLES + _vectorized_cost(n, nnz, n_components) / ways
+
+
+# ---------------------------------------------------------------------------
+# run adapters (all normalized to the two Backend callable shapes)
+# ---------------------------------------------------------------------------
+
+def _run_serial(mat, start, *, total, n_workers, config, seed):
+    return rcm_serial(mat, start), None
+
+
+def _run_vectorized(mat, start, *, total, n_workers, config, seed):
+    return rcm_vectorized(mat, start), None
+
+
+def _run_parallel(mat, starts, *, sizes, n_workers, config, seed):
+    from repro.parallel import ParallelConfig, rcm_components
+
+    return rcm_components(
+        mat, starts, sizes=sizes, config=ParallelConfig(n_workers=n_workers)
+    )
+
+
+def _run_leveled(mat, start, *, total, n_workers, config, seed):
+    return rcm_leveled(mat, start).permutation, None
+
+
+def _run_unordered(mat, start, *, total, n_workers, config, seed):
+    return rcm_unordered(mat, start).permutation, None
+
+
+def _run_algebraic(mat, start, *, total, n_workers, config, seed):
+    from repro.core.algebraic import rcm_algebraic
+
+    return rcm_algebraic(mat, start).permutation, None
+
+
+def _run_batch_basic(mat, start, *, total, n_workers, config, seed):
+    # the basic machine (Alg. 4): Alg. 5's refinements forced off unless
+    # the caller configured them explicitly
+    cfg = config or BatchConfig(
+        early_signaling=False, overhang=False, multibatch=1
+    )
+    res = run_batch_rcm(
+        mat, start, model=CPUCostModel(), n_workers=n_workers,
+        config=cfg, total=total, seed=seed,
+    )
+    return res.permutation, res.stats
+
+
+def _run_batch_cpu(mat, start, *, total, n_workers, config, seed):
+    res = run_batch_rcm(
+        mat, start, model=CPUCostModel(), n_workers=n_workers,
+        config=config, total=total, seed=seed,
+    )
+    return res.permutation, res.stats
+
+
+def _run_batch_gpu(mat, start, *, total, n_workers, config, seed):
+    res = run_batch_rcm_gpu(mat, start, total=total, seed=seed)
+    return res.permutation, res.stats
+
+
+def _run_threads(mat, start, *, total, n_workers, config, seed):
+    from repro.core.threads import rcm_threads
+
+    return rcm_threads(mat, start, n_threads=n_workers, total=total), None
+
+
+# ---------------------------------------------------------------------------
+# registrations — order here is presentation order everywhere
+# ---------------------------------------------------------------------------
+
+register(Backend(
+    name="serial",
+    kind=KIND_SERIAL,
+    summary="Alg. 1 — the pure-Python single-threaded ground truth",
+    run_component=_run_serial,
+    auto_candidate=True,
+    fallback_rank=1,
+    cost_estimate=_serial_cost,
+))
+
+register(Backend(
+    name="vectorized",
+    kind=KIND_VECTORIZED,
+    summary="level-synchronous NumPy frontier kernel",
+    run_component=_run_vectorized,
+    auto_candidate=True,
+    fallback_rank=0,
+    cost_estimate=_vectorized_cost,
+))
+
+register(Backend(
+    name="parallel",
+    kind=KIND_PROCESS,
+    summary="per-component process pool over the vectorized kernel",
+    run_matrix=_run_parallel,
+    honors_n_workers=True,
+    auto_candidate=True,
+    cost_estimate=_parallel_cost,
+))
+
+register(Backend(
+    name="leveled",
+    kind=KIND_SIMULATED,
+    summary="Alg. 2 — level-synchronous simulated baseline",
+    run_component=_run_leveled,
+))
+
+register(Backend(
+    name="unordered",
+    kind=KIND_SIMULATED,
+    summary="Alg. 3 — BFS + per-level producer/consumer",
+    run_component=_run_unordered,
+))
+
+register(Backend(
+    name="algebraic",
+    kind=KIND_VECTORIZED,
+    summary="semiring-SpMV RCM",
+    run_component=_run_algebraic,
+))
+
+register(Backend(
+    name="batch-basic",
+    kind=KIND_SIMULATED,
+    summary="Alg. 4 on the simulated machine",
+    run_component=_run_batch_basic,
+    honors_n_workers=True,
+    honors_config=True,
+    honors_seed=True,
+    emits_stats=True,
+))
+
+register(Backend(
+    name="batch-cpu",
+    kind=KIND_SIMULATED,
+    summary="Alg. 5 on the simulated multicore CPU",
+    run_component=_run_batch_cpu,
+    honors_n_workers=True,
+    honors_config=True,
+    honors_seed=True,
+    emits_stats=True,
+))
+
+register(Backend(
+    name="batch-gpu",
+    kind=KIND_SIMULATED,
+    summary="Alg. 5 + Sec. V on the simulated GPU",
+    run_component=_run_batch_gpu,
+    honors_seed=True,
+    emits_stats=True,
+))
+
+register(Backend(
+    name="threads",
+    kind=KIND_OS_THREADS,
+    summary="Alg. 5 on real OS threads",
+    run_component=_run_threads,
+    honors_n_workers=True,
+))

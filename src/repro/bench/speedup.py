@@ -18,14 +18,22 @@ import json
 import time
 from typing import List, Optional, Sequence
 
+from repro import backends
+from repro.backends import KIND_SERIAL, KIND_VECTORIZED
 from repro.bench.report import render_table, write_csv
 from repro.telemetry.events import SCHEMA, host_info
 
 __all__ = ["DEFAULT_METHODS", "largest_matrix_name", "measure", "main"]
 
-#: methods compared by default — the serial reference, the NumPy frontier
-#: kernel and the process-parallel executor
-DEFAULT_METHODS = ("serial", "vectorized", "parallel")
+#: methods compared by default — the registry's auto candidates (the
+#: backends with real wall-clock ambitions: serial reference, NumPy
+#: frontier kernel, process-parallel executor)
+DEFAULT_METHODS = tuple(
+    b.name for b in backends.backends() if b.auto_candidate
+)
+
+#: ``--quick`` keeps only single-process array kernels (no pool startup)
+_QUICK_KINDS = (KIND_SERIAL, KIND_VECTORIZED)
 
 
 def largest_matrix_name() -> str:
@@ -108,7 +116,11 @@ def main(argv: Optional[Sequence[str]] = None) -> List[dict]:
     methods = [m for m in args.methods.split(",") if m]
     repeats = args.repeats
     if args.quick:
-        methods = [m for m in methods if m in ("serial", "vectorized")]
+        methods = [
+            m for m in methods
+            if backends.is_registered(m)
+            and backends.get(m).kind in _QUICK_KINDS
+        ]
         repeats = 1
 
     rows = measure(name, methods, repeats=repeats, n_workers=args.workers)

@@ -25,6 +25,10 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+# the one eager repro import: every --method choices list below comes from
+# the backend registry, resolved at module import (single source of truth)
+from repro.backends import capability_rows, capability_table, method_choices
+
 __all__ = ["main"]
 
 
@@ -455,6 +459,21 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_backends(args) -> int:
+    """``backends``: the registered execution backends and what each honors.
+
+    The default output is the exact Markdown capability table embedded in
+    ``docs/api.md`` (regenerate the doc section from here).
+    """
+    if args.json:
+        import json
+
+        print(json.dumps(capability_rows(), indent=2))
+    else:
+        print(capability_table())
+    return 0
+
+
 def _add_input(parser, required: bool = True) -> None:
     grp = parser.add_mutually_exclusive_group(required=required)
     grp.add_argument("matrix_file", nargs="?", default=None,
@@ -465,10 +484,9 @@ def _add_input(parser, required: bool = True) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
-    from repro.core.api import METHODS
     from repro.facade import ALGORITHMS
 
-    method_choices = ["auto", *METHODS]
+    methods = list(method_choices())
     parser = argparse.ArgumentParser(
         prog="repro", description="Speculative parallel RCM reordering"
     )
@@ -485,9 +503,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--perm-output", default=None, help="write the permutation")
     p.add_argument("--algorithm", default="rcm", choices=list(ALGORITHMS),
                    help="ordering heuristic (default: rcm)")
-    p.add_argument("--method", default="auto", choices=method_choices,
-                   help="RCM execution strategy (default: auto — vectorized "
-                        "or serial by matrix size)")
+    p.add_argument("--method", default="auto", choices=methods,
+                   help="RCM execution strategy (default: auto — cheapest "
+                        "backend by cost model; see 'repro backends')")
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--start", type=int, default=None)
     p.add_argument("--peripheral", action="store_true",
@@ -517,7 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", help="wall-clock telemetry profile (JSONL + Chrome trace)"
     )
     _add_input(p)
-    p.add_argument("--method", default="threads", choices=method_choices)
+    p.add_argument("--method", default="threads", choices=methods)
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--peripheral", action="store_true",
                    help="pseudo-peripheral start node")
@@ -543,7 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--matrix", action="append", default=None,
                    help="add a named analogue to the workload (repeatable)")
     p.add_argument("--algorithm", default="rcm", choices=list(ALGORITHMS))
-    p.add_argument("--method", default="auto", choices=method_choices)
+    p.add_argument("--method", default="auto", choices=methods)
     p.add_argument("--workers", type=int, default=2,
                    help="service worker threads (default: 2)")
     p.add_argument("--repeat", type=int, default=1,
@@ -573,6 +591,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable entry listing")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "backends", help="list registered execution backends + capabilities"
+    )
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable capability rows")
+    p.set_defaults(func=cmd_backends)
 
     p = sub.add_parser("bench", help="run an experiment driver")
     p.add_argument("experiment",

@@ -7,8 +7,12 @@ for pre-facade callers.
 
 :func:`_reorder_rcm` validates the matrix, decomposes it into connected
 components, picks a start node per component (explicitly, by minimum
-valence, or pseudo-peripherally) and runs the chosen algorithm variant,
-assembling one global permutation.
+valence, or pseudo-peripherally) and runs the chosen execution backend,
+assembling one global permutation.  Which backends exist, what each one
+honors, and what ``method="auto"`` resolves to all live in
+:mod:`repro.backends` — this module only walks the pipeline and hands each
+component (or, for whole-matrix backends, the component list) to the
+registered run callable.
 
 Component convention (matches SciPy's ``csgraph.reverse_cuthill_mckee``
 structure): components are ordered by their smallest node id; within the
@@ -24,21 +28,16 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro import backends
+from repro.backends import resolve_auto_method  # noqa: F401  (re-export)
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.graph import bfs_levels
 from repro.sparse.bandwidth import bandwidth, bandwidth_after
 from repro.sparse.validate import validate_csr, is_structurally_symmetric
-from repro.core.serial import rcm_serial
-from repro.core.vectorized import rcm_vectorized
-from repro.core.leveled import rcm_leveled
-from repro.core.unordered import rcm_unordered
-from repro.core.batch import run_batch_rcm, BatchResult
-from repro.core.batch_gpu import run_batch_rcm_gpu
 from repro.core.batches import BatchConfig
 from repro.core.peripheral import find_pseudo_peripheral
-from repro.machine.costmodel import CPUCostModel, GPUCostModel
 from repro.machine.stats import RunStats
-from repro.validation import check_choice, check_min, check_start
+from repro.validation import check_choice, check_start
 from repro import telemetry
 
 __all__ = [
@@ -46,7 +45,7 @@ __all__ = [
     "reverse_cuthill_mckee",
     "METHODS",
     "PHASES",
-    "AUTO_VECTORIZED_MIN",
+    "resolve_auto_method",
 ]
 
 #: wall-clock phase names of the reorder pipeline, in execution order
@@ -59,23 +58,9 @@ PHASES = (
     "assembly",
 )
 
-METHODS = (
-    "serial",
-    "vectorized",
-    "parallel",
-    "leveled",
-    "unordered",
-    "algebraic",
-    "batch-basic",
-    "batch-cpu",
-    "batch-gpu",
-    "threads",
-)
-
-#: ``method="auto"`` picks ``"vectorized"`` at or above this node count,
-#: ``"serial"`` below it (per-level NumPy dispatch overhead dominates on
-#: tiny matrices)
-AUTO_VECTORIZED_MIN = 2048
+#: registered RCM execution methods, snapshotted at import for backward
+#: compatibility — new code should call :func:`repro.backends.names`
+METHODS = backends.names()
 
 
 @dataclass
@@ -157,13 +142,6 @@ def _pick_start(mat: CSRMatrix, members: np.ndarray, start) -> int:
     raise AssertionError(start)  # pragma: no cover - validated upstream
 
 
-def resolve_auto_method(n: int) -> str:
-    """The concrete method ``method="auto"`` selects for an ``n``-node
-    matrix: ``"vectorized"`` once the frontier kernel amortizes its
-    per-level dispatch overhead, ``"serial"`` below that."""
-    return "vectorized" if n >= AUTO_VECTORIZED_MIN else "serial"
-
-
 def _reorder_rcm(
     mat: CSRMatrix,
     *,
@@ -175,9 +153,12 @@ def _reorder_rcm(
     seed: int = 0,
 ) -> "ReorderResult":
     """RCM pipeline implementation (no deprecation warning; see
-    :func:`repro.reorder` for the public facade and parameter docs)."""
-    check_choice("method", method, ("auto",) + METHODS)
-    check_min("n_workers", n_workers, 1)
+    :func:`repro.reorder` for the public facade and parameter docs).
+
+    ``n_workers`` is validated at the facade boundary
+    (:func:`repro.facade.reorder`); this layer trusts it.
+    """
+    check_choice("method", method, backends.method_choices())
     check_start(start, mat.n)
     tel = telemetry.get()
     phase_ns: Dict[str, int] = {p: 0 for p in PHASES}
@@ -193,8 +174,6 @@ def _reorder_rcm(
                 "CSRMatrix.symmetrize() first"
             )
     phase_ns["validate"] = time.perf_counter_ns() - t_phase
-    if method == "auto":
-        method = resolve_auto_method(mat.n)
 
     t_phase = time.perf_counter_ns()
     with tel.span("components", category="api") as sp:
@@ -207,6 +186,12 @@ def _reorder_rcm(
                 "explicit start node requires a connected matrix; "
                 f"found {len(comps)} components"
             )
+
+    # auto-resolution sits after component discovery so the cost models see
+    # the real (n, nnz, n_components) triple, not just the node count
+    if method == "auto":
+        method = backends.resolve_auto_method(mat.n, mat.nnz, len(comps))
+    backend = backends.get(method)
 
     starts: List[int] = []
     sizes: List[int] = []
@@ -223,63 +208,28 @@ def _reorder_rcm(
     perm_parts: List[np.ndarray] = []
     stats: List[RunStats] = []
 
-    if method == "parallel":
-        from repro.parallel import ParallelConfig, rcm_components
-
+    if backend.run_matrix is not None:
         t_phase = time.perf_counter_ns()
         with tel.span(
             "ordering", category="api", method=method, size=sum(sizes)
         ):
-            perm_parts = rcm_components(
-                mat, starts, sizes=sizes,
-                config=ParallelConfig(n_workers=n_workers),
-            )
+            perm_parts = list(backend.run_matrix(
+                mat, starts, sizes=sizes, n_workers=n_workers,
+                config=config, seed=seed,
+            ))
         phase_ns["ordering"] = time.perf_counter_ns() - t_phase
     else:
         for s, total in zip(starts, sizes):
             t_phase = time.perf_counter_ns()
             with tel.span("ordering", category="api", method=method, size=total):
-                if method == "serial":
-                    part = rcm_serial(mat, s)
-                elif method == "vectorized":
-                    part = rcm_vectorized(mat, s)
-                elif method == "leveled":
-                    part = rcm_leveled(mat, s).permutation
-                elif method == "unordered":
-                    part = rcm_unordered(mat, s).permutation
-                elif method == "algebraic":
-                    from repro.core.algebraic import rcm_algebraic
-
-                    part = rcm_algebraic(mat, s).permutation
-                elif method == "batch-basic":
-                    cfg = config or BatchConfig(
-                        early_signaling=False, overhang=False, multibatch=1
-                    )
-                    res = run_batch_rcm(
-                        mat, s, model=CPUCostModel(), n_workers=n_workers,
-                        config=cfg, total=total, seed=seed,
-                    )
-                    part = res.permutation
-                    stats.append(res.stats)
-                elif method == "batch-cpu":
-                    res = run_batch_rcm(
-                        mat, s, model=CPUCostModel(), n_workers=n_workers,
-                        config=config, total=total, seed=seed,
-                    )
-                    part = res.permutation
-                    stats.append(res.stats)
-                elif method == "batch-gpu":
-                    res = run_batch_rcm_gpu(mat, s, total=total, seed=seed)
-                    part = res.permutation
-                    stats.append(res.stats)
-                elif method == "threads":
-                    from repro.core.threads import rcm_threads
-
-                    part = rcm_threads(mat, s, n_threads=n_workers, total=total)
-                else:  # pragma: no cover
-                    raise AssertionError(method)
+                part, comp_stats = backend.run_component(
+                    mat, s, total=total, n_workers=n_workers,
+                    config=config, seed=seed,
+                )
             phase_ns["ordering"] += time.perf_counter_ns() - t_phase
             perm_parts.append(part)
+            if comp_stats is not None:
+                stats.append(comp_stats)
 
     t_phase = time.perf_counter_ns()
     with tel.span("assembly", category="api"):
@@ -328,7 +278,11 @@ def reverse_cuthill_mckee(
         DeprecationWarning,
         stacklevel=2,
     )
-    return _reorder_rcm(
-        mat, method=method, start=start, n_workers=n_workers,
-        config=config, symmetrize=symmetrize, seed=seed,
+    # delegate through the facade so validation (n_workers bounds etc.)
+    # happens exactly once, at the public boundary
+    from repro.facade import reorder
+
+    return reorder(
+        mat, algorithm="rcm", method=method, start=start,
+        n_workers=n_workers, config=config, symmetrize=symmetrize, seed=seed,
     )

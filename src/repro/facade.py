@@ -11,15 +11,19 @@ before/after, wall-clock phase breakdown).  The RCM execution methods are
 All parameters are keyword-only and validated centrally
 (:mod:`repro.validation`): unknown ``algorithm``/``method``/``start`` values
 raise one uniform ``ValueError`` listing the valid choices.  The choice
-lists above are substituted from :data:`ALGORITHMS` /
-:data:`~repro.core.api.METHODS` at import time — there is exactly one place
-each name is spelled, and ``tests/test_doc_drift.py`` holds this file to it.
+lists above are substituted from :data:`ALGORITHMS` and the execution-backend
+registry (:mod:`repro.backends`) at import time — each method name is
+spelled exactly once, at its ``register()`` call, and
+``tests/test_doc_drift.py`` holds this file to it.
 
-For RCM, ``method="auto"`` (the default) picks the level-synchronous NumPy
-kernel (``"vectorized"``) on matrices large enough to amortize its per-level
-dispatch overhead and the pure-Python reference (``"serial"``) below that;
-``method="parallel"`` adds per-component process parallelism on top (see
-:mod:`repro.parallel`).  Every RCM method returns the identical permutation.
+For RCM, ``method="auto"`` (the default) asks every auto-candidate backend
+to price the pattern through its ``cost_estimate(n, nnz, n_components)``
+hook and runs the cheapest — the pure-Python reference on small patterns,
+the level-synchronous NumPy kernel once its per-level dispatch overhead
+amortizes, the per-component process pool when a huge pattern splits into
+enough components to feed it (see
+:func:`repro.backends.resolve_auto_method`).  Every RCM method returns the
+identical permutation.
 
 Passing ``cache=`` (a :class:`repro.service.PermutationCache`) makes the
 call content-addressed: a pattern + options seen before is served from the
@@ -37,6 +41,7 @@ import numpy as np
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.bandwidth import bandwidth, bandwidth_after
 from repro.sparse.validate import validate_csr, is_structurally_symmetric
+from repro import backends
 from repro.core.api import METHODS, PHASES, ReorderResult, _reorder_rcm
 from repro.core.batches import BatchConfig
 from repro.validation import check_choice, check_min, check_start, choices_text
@@ -52,10 +57,12 @@ ALGORITHMS = ("rcm", "sloan", "gps", "king", "minimum-degree", "spectral")
 _DIRECT_METHODS = ("auto", "direct")
 
 # single source of truth: the module docstring enumerates the choice lists
-# via the tuples themselves, never by hand (guarded by tests/test_doc_drift)
+# from ALGORITHMS and the backend registry, never by hand (guarded by
+# tests/test_doc_drift)
 if __doc__ is not None:  # pragma: no branch - absent only under -OO
     __doc__ = __doc__.format(
-        algorithms=choices_text(ALGORITHMS), methods=choices_text(METHODS)
+        algorithms=choices_text(ALGORITHMS),
+        methods=choices_text(backends.names()),
     )
 
 
@@ -109,11 +116,14 @@ def reorder(
         heuristics (``sloan``, ``gps``, ``king``, ``minimum-degree``,
         ``spectral``) run directly on the whole matrix.
     method:
-        RCM execution strategy, one of ``("auto",) + METHODS``.  ``"auto"``
-        (default) picks ``"vectorized"`` or ``"serial"`` by matrix size.
-        All methods return the **identical** permutation (the paper's
-        headline invariant); they differ in execution strategy and in the
-        statistics attached.  For non-RCM algorithms only ``"auto"``/
+        RCM execution strategy, one of
+        :func:`repro.backends.method_choices`.  ``"auto"`` (default) runs
+        the cost-model selector over the registered auto candidates
+        (weighing node count, nnz and component count).  All methods
+        return the **identical** permutation (the paper's headline
+        invariant); they differ in execution strategy and in the
+        statistics attached — see the capability table in
+        ``docs/api.md``.  For non-RCM algorithms only ``"auto"``/
         ``"direct"`` are accepted.
     start:
         an explicit node id (single-component matrices only), or a strategy:

@@ -6,6 +6,9 @@ once per task.  When ``fork`` is not available (e.g. Windows / some macOS
 configurations), when the pool fails to start, or when the input is too
 small to pay for process startup, every entry point silently executes the
 same code path in-process — the caller always gets the identical result.
+The in-process target comes from the backend registry's degradation chain
+(:func:`repro.backends.in_process_fallback`), the same declaration the
+service layer's fallback chain derives from.
 
 Telemetry: spans ``parallel.components`` / ``parallel.map`` wrap the
 dispatch, and counters ``parallel.tasks``, ``parallel.chunks`` and
@@ -138,7 +141,7 @@ def rcm_components(
     Blocks come back in input order and are bit-identical to running
     :func:`repro.core.vectorized.rcm_vectorized` per start in sequence.
     """
-    from repro.core.vectorized import rcm_vectorized
+    from repro import backends
 
     cfg = config or ParallelConfig()
     workers = resolve_workers(cfg.n_workers)
@@ -146,7 +149,15 @@ def rcm_components(
 
     def in_process(reason: str) -> List[np.ndarray]:
         record_fallback(reason)
-        return [rcm_vectorized(mat, int(s)) for s in starts]
+        target = backends.get(backends.in_process_fallback("parallel"))
+        return [
+            target.run_component(
+                mat, int(s), total=total, n_workers=1, config=None, seed=0,
+            )[0]
+            for s, total in zip(
+                starts, sizes if sizes is not None else [None] * len(starts)
+            )
+        ]
 
     if not starts:
         return []

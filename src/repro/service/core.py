@@ -20,10 +20,14 @@ a traffic-serving deployment needs:
 
 Failures degrade gracefully: when an execution method dies with an
 environmental error (broken pool, OS failure, memory pressure) the request
-falls back along ``parallel -> vectorized -> serial`` — the same counter
-convention as ``parallel.fallbacks.*``, recorded as
-``service.fallbacks.<method>``.  Validation errors (``ValueError`` /
-``TypeError``) always propagate: a bad request must not burn the chain.
+falls back along the registry's declarative degradation chain
+(:func:`repro.backends.degradation_order`, e.g.
+``parallel -> vectorized -> serial``) — the same counter convention as
+``parallel.fallbacks.*``, recorded as ``service.fallbacks.<method>``.  A
+requested method that is not registered at all (an optional backend absent
+from this install) degrades the same way at admission time instead of
+erroring.  Validation errors (``ValueError`` / ``TypeError``) always
+propagate: a bad request must not burn the chain.
 
 Telemetry: span ``service.request`` per computation, counters
 ``service.requests`` / ``service.computed`` / ``service.coalesced`` /
@@ -40,6 +44,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import backends
 from repro.sparse.csr import CSRMatrix
 from repro.core.api import ReorderResult
 from repro.service.keys import CacheKey, cache_key
@@ -107,17 +112,15 @@ class ServiceConfig:
 def fallback_chain(algorithm: str, method: str) -> Tuple[str, ...]:
     """Methods tried in order for one request.
 
-    RCM degrades ``<requested> -> vectorized -> serial`` (deduplicated);
-    every method returns the identical permutation, so falling back changes
-    latency, never the answer.  Non-RCM algorithms have one strategy.
+    RCM degrades along the registry's declarative chain — the requested
+    method, then every backend with a ``fallback_rank``, ascending (today
+    ``vectorized`` then ``serial``).  Every method returns the identical
+    permutation, so falling back changes latency, never the answer.
+    Non-RCM algorithms have one strategy.
     """
     if algorithm != "rcm":
         return (method,)
-    chain = [method]
-    for m in ("vectorized", "serial"):
-        if m not in chain:
-            chain.append(m)
-    return tuple(chain)
+    return backends.degradation_order(method)
 
 
 def _call_reorder(mat: CSRMatrix, kwargs: dict) -> ReorderResult:
@@ -194,6 +197,7 @@ class ReorderService:
         """
         if self._closed:
             raise ServiceError("service is closed")
+        method = self._admit_method(algorithm, method)
         key = cache_key(
             mat, algorithm=algorithm, method=method, start=start,
             symmetrize=symmetrize,
@@ -279,6 +283,29 @@ class ReorderService:
                     f"batch request did not complete within {timeout}s"
                 ) from None
         return out
+
+    def _admit_method(self, algorithm: str, method: str) -> str:
+        """Degrade a request for a method this install does not have.
+
+        A client may ask for an optional backend that never registered
+        here (GPU build, distributed build...).  With fallback enabled the
+        request is admitted on the method's first registered degradation
+        target — counted as ``service.fallbacks.<method>``, like any other
+        degradation — instead of bouncing with a validation error.
+        """
+        if (
+            not self.config.fallback
+            or algorithm != "rcm"
+            or method == "auto"
+            or backends.is_registered(method)
+        ):
+            return method
+        for m in backends.degradation_order(method)[1:]:
+            if backends.is_registered(m):
+                self._count("fallbacks")
+                record_fallback(method, prefix="service")
+                return m
+        return method
 
     # ------------------------------------------------------------------
     # execution

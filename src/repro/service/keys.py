@@ -14,21 +14,24 @@ do **not** alter the permutation stay out of the key on purpose:
 ``method`` *is* part of the key even though all RCM methods agree on the
 permutation: a cached :class:`~repro.core.api.ReorderResult` records which
 method produced it, and serving a ``"serial"`` result for a ``"parallel"``
-request would misreport that.  ``"auto"`` is canonicalized to the concrete
-method it resolves to (so ``"auto"`` and its resolution share one entry),
-and non-RCM algorithms always key as ``"direct"``.
+request would misreport that.  ``"auto"`` is canonicalized through the
+backend registry's cost-model selector
+(:func:`repro.backends.resolve_auto_method`, with the connected-pattern
+estimate ``n_components=1`` — the key must be computable without a BFS) so
+``"auto"`` and its resolution share one entry, and non-RCM algorithms
+always key as ``"direct"``.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
+from repro import backends
 from repro.sparse.csr import CSRMatrix
-from repro.core.api import METHODS, resolve_auto_method
 from repro.validation import check_choice, check_start
 
 __all__ = ["CacheKey", "cache_key", "pattern_digest", "canonical_method"]
@@ -50,12 +53,23 @@ def pattern_digest(mat: CSRMatrix) -> str:
     return h.hexdigest()
 
 
-def canonical_method(algorithm: str, method: str, n: int) -> str:
-    """The concrete method a request resolves to (what the key records)."""
+def canonical_method(
+    algorithm: str, method: str, n: int, nnz: Optional[int] = None
+) -> str:
+    """The concrete method a request resolves to (what the key records).
+
+    ``"auto"`` runs the registry's cost-model selector with a
+    ``n_components=1`` connected-pattern estimate: the key must be
+    derivable from the CSR arrays alone, without paying for component
+    discovery.  (The pipeline itself re-resolves with the real component
+    count, so on a heavily disconnected pattern the executed method can
+    differ from the keyed one — both still return the identical
+    permutation.)
+    """
     if algorithm != "rcm":
         return "direct"
     if method == "auto":
-        return resolve_auto_method(n)
+        return backends.resolve_auto_method(n, nnz)
     return method
 
 
@@ -109,13 +123,13 @@ def cache_key(
 
     check_choice("algorithm", algorithm, ALGORITHMS)
     if algorithm == "rcm":
-        check_choice("method", method, ("auto",) + METHODS)
+        check_choice("method", method, backends.method_choices())
     else:
         check_choice("method", method, _DIRECT_METHODS)
     check_start(start, max(mat.n, 1))
 
     pattern = pattern_digest(mat)
-    resolved = canonical_method(algorithm, method, mat.n)
+    resolved = canonical_method(algorithm, method, mat.n, mat.nnz)
     start_token = f"node:{int(start)}" if isinstance(
         start, (int, np.integer)
     ) else f"strategy:{start}"

@@ -110,6 +110,70 @@ class TestChunkPlan:
         plan = chunk_plan(vals, temp_limit=1024)
         assert plan.n_chunks == 1
 
+
+class TestChunkPlanEdges:
+    """Precise edge-path coverage: zero children, the single-valence
+    direct-copy floor, and hierarchical refinement of one oversized bin.
+
+    ``bins=2`` makes the mean-centred remap hand-computable: values at or
+    below the mean land in bin 0, everything else in bin 1.
+    """
+
+    def test_zero_child_batch_plans_nothing(self):
+        plan = chunk_plan(np.zeros(0, dtype=np.int64), temp_limit=128)
+        assert plan.n_chunks == 0
+        assert plan.refinements == 0
+        assert plan.direct_copies == 0
+
+    def test_single_valence_oversized_bin_streams_directly(self):
+        # 500 children of valence 5 overflow a 400-slot scratchpad on
+        # their own, but share one valence: no refinement can split them,
+        # so the plan streams them matrix->permutation without staging
+        vals = np.concatenate([
+            np.full(500, 5, dtype=np.int64),
+            np.full(300, 6, dtype=np.int64),
+        ])
+        plan = chunk_plan(vals, temp_limit=400, bins=2)
+        assert plan.chunk_sizes == [500, 300]
+        assert plan.direct_copies == 1
+        assert plan.refinements == 0
+        # only the direct-copy chunk may exceed scratch
+        assert [c for c in plan.chunk_sizes if c > 400] == [500]
+
+    def test_oversized_mixed_bin_refines_hierarchically(self):
+        # bin 0 holds two distinct valences (10 and 11, both below the
+        # 100-heavy mean) totalling 400 > 350: it must refine, and the
+        # sub-histogram separates the valences into scratch-sized chunks;
+        # bin 1 (500 x valence 100) hits the single-valence floor instead
+        vals = np.concatenate([
+            np.full(200, 10, dtype=np.int64),
+            np.full(200, 11, dtype=np.int64),
+            np.full(500, 100, dtype=np.int64),
+        ])
+        plan = chunk_plan(vals, temp_limit=350, bins=2)
+        assert plan.refinements == 1
+        assert plan.direct_copies == 1
+        assert plan.chunk_sizes == [200, 200, 500]
+        assert sum(plan.chunk_sizes) == vals.size
+        # every staged (non-direct) chunk fits the scratchpad
+        assert [c for c in plan.chunk_sizes if c > 350] == [500]
+
+    def test_refined_plan_preserves_valence_order(self):
+        vals = np.concatenate([
+            np.full(200, 10, dtype=np.int64),
+            np.full(200, 11, dtype=np.int64),
+            np.full(500, 100, dtype=np.int64),
+        ])
+        plan = chunk_plan(vals, temp_limit=350, bins=2)
+        sorted_vals = np.sort(vals, kind="stable")
+        pos, prev_max = 0, -1
+        for size in plan.chunk_sizes:
+            chunk = sorted_vals[pos : pos + size]
+            assert int(chunk.min()) >= prev_max
+            prev_max = int(chunk.max())
+            pos += size
+        assert pos == vals.size
+
     def test_valence_order_preserved(self):
         """Chunks are ascending valence ranges: concatenating chunk-local
         sorts equals the global sort (the correctness argument)."""

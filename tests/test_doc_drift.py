@@ -1,25 +1,34 @@
-"""Guards against doc drift around the method/algorithm registries.
+"""Guards against doc drift around the backend registry and algorithm list.
 
-``repro.core.api.METHODS`` and ``repro.facade.ALGORITHMS`` are the single
-source of truth for execution-method and algorithm names.  Everything else —
-the facade docstring (built by ``__doc__.format`` from
+The execution-backend registry (:mod:`repro.backends`) and
+``repro.facade.ALGORITHMS`` are the single source of truth for
+execution-method and algorithm names.  Everything else — the facade
+docstring (built by ``__doc__.format`` from
 :func:`repro.validation.choices_text`), validation error messages, the CLI
-``choices`` and the prose in ``docs/api.md`` — must follow them.  Adding a
-method without updating the docs fails here, not in a user's terminal.
+``choices``, the cache-key method field, the generated capability table in
+``docs/api.md`` and the cross-links from README/``docs/service.md`` — must
+follow them.  Adding a method without updating the docs fails here, not in
+a user's terminal; a hand-written method list anywhere in ``src/repro``
+fails the AST guard (``tools/check_method_literals.py``) that runs both
+here and as a CI step.
 """
 
 from __future__ import annotations
 
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
 
 import repro.facade as facade
-from repro.core.api import METHODS
+from repro import backends
 from repro.facade import ALGORITHMS, reorder
 from repro.validation import choices_text
 
-DOCS = Path(__file__).resolve().parents[1] / "docs"
+REPO = Path(__file__).resolve().parents[1]
+DOCS = REPO / "docs"
+METHODS = backends.names()
 
 
 class TestDocstringSingleSourcing:
@@ -36,6 +45,11 @@ class TestDocstringSingleSourcing:
             assert repr(name) in facade.__doc__, (
                 f"facade docstring is missing method {name!r}"
             )
+
+    def test_facade_doc_embeds_registry_choices_verbatim(self):
+        # the {methods} placeholder expands to choices_text over the
+        # registry — the exact string, not a paraphrase
+        assert choices_text(backends.names()) in facade.__doc__
 
     def test_no_unexpanded_placeholders(self):
         assert "{algorithms}" not in facade.__doc__
@@ -55,7 +69,7 @@ class TestErrorMessagesDerivedFromRegistry:
     def test_bad_method_lists_all(self, small_grid):
         with pytest.raises(ValueError) as exc:
             reorder(small_grid, method="nope")
-        for name in ("auto",) + METHODS:
+        for name in backends.method_choices():
             assert repr(name) in str(exc.value)
 
 
@@ -69,7 +83,42 @@ class TestCliDerivesFromRegistry:
         ).choices["reorder"]
         by_dest = {a.dest: a for a in sub._actions}
         assert set(by_dest["algorithm"].choices) == set(ALGORITHMS)
-        assert set(by_dest["method"].choices) == {"auto", *METHODS}
+        assert tuple(by_dest["method"].choices) == backends.method_choices()
+
+    def test_profile_and_serve_share_the_registry_choices(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subs = next(a for a in parser._subparsers._group_actions).choices
+        for command in ("profile", "serve"):
+            method_action = next(
+                a for a in subs[command]._actions if a.dest == "method"
+            )
+            assert tuple(method_action.choices) == backends.method_choices()
+
+
+class TestCacheKeyDerivesFromRegistry:
+    def test_key_method_field_accepts_every_backend(self, small_grid):
+        from repro.service.keys import cache_key
+
+        for name in METHODS:
+            key = cache_key(small_grid, method=name)
+            assert key.method == name
+
+    def test_auto_canonicalizes_to_a_registered_backend(self, small_grid):
+        from repro.service.keys import cache_key, canonical_method
+
+        key = cache_key(small_grid, method="auto")
+        assert backends.is_registered(key.method)
+        assert key.method == canonical_method(
+            "rcm", "auto", small_grid.n, small_grid.nnz
+        )
+
+    def test_unknown_method_never_reaches_the_digest(self, small_grid):
+        from repro.service.keys import cache_key
+
+        with pytest.raises(ValueError, match="method must be one of"):
+            cache_key(small_grid, method="quantum")
 
 
 class TestProseDocs:
@@ -77,9 +126,23 @@ class TestProseDocs:
     def test_api_md_mentions_every_name(self, name):
         text = (DOCS / "api.md").read_text()
         assert name in text, (
-            f"docs/api.md does not mention {name!r}; update the docs when "
-            "extending METHODS/ALGORITHMS"
+            f"docs/api.md does not mention {name!r}; regenerate the backend "
+            "capability table with `python -m repro backends`"
         )
+
+    def test_api_md_embeds_generated_capability_table(self):
+        # the table in docs/api.md is the verbatim output of
+        # `python -m repro backends`; regenerate on any registry change
+        text = (DOCS / "api.md").read_text()
+        assert backends.capability_table() in text, (
+            "docs/api.md capability table is stale; replace it with the "
+            "output of `python -m repro backends`"
+        )
+
+    def test_readme_and_service_md_cross_link_the_table(self):
+        anchor = "api.md#rcm-execution-backends"
+        assert anchor in (REPO / "README.md").read_text()
+        assert anchor in (DOCS / "service.md").read_text()
 
     def test_service_doc_exists_and_mentions_counters(self):
         text = (DOCS / "service.md").read_text()
@@ -91,3 +154,37 @@ class TestProseDocs:
             "service.queue.depth",
         ):
             assert counter in text, f"docs/service.md missing {counter}"
+
+
+class TestNoLiteralMethodTuples:
+    """The CI guard, exercised from the test suite as well."""
+
+    def test_guard_passes_on_the_tree(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_method_literals.py")],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_guard_actually_detects_violations(self):
+        import ast
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "check_method_literals",
+            REPO / "tools" / "check_method_literals.py",
+        )
+        tool = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(tool)
+
+        methods = frozenset(backends.names())
+        flagged = tool.find_violations(
+            ast.parse("CHAIN = ('vectorized', 'serial')"), methods
+        )
+        assert flagged == [(1, ("vectorized", "serial"))]
+        # non-method tuples and single names stay legal
+        assert not tool.find_violations(
+            ast.parse("X = ('auto', 'direct')\nY = 'serial'"), methods
+        )

@@ -257,6 +257,34 @@ class TestFallback:
         assert fallback_chain("rcm", "vectorized") == ("vectorized", "serial")
         assert fallback_chain("sloan", "direct") == ("direct",)
 
+    def test_chain_derives_from_the_registry(self):
+        from repro import backends
+
+        for method in backends.names():
+            assert fallback_chain("rcm", method) == backends.degradation_order(
+                method
+            )
+
+    def test_unregistered_method_degrades_at_admission(self, tel, small_grid):
+        # a client asking for an optional backend this install lacks is
+        # served by the first registered degradation target, not bounced
+        ref = reorder(small_grid, method="vectorized")
+        with ReorderService() as svc:
+            res = svc.reorder(small_grid, method="gpu-distributed")
+        assert res.method == "vectorized"
+        assert res.permutation.tobytes() == ref.permutation.tobytes()
+        assert svc.counters["fallbacks"] == 1
+        assert tel.counter("service.fallbacks.gpu-distributed").value == 1
+
+    def test_unregistered_method_rejected_when_fallback_disabled(
+        self, small_grid
+    ):
+        cfg = ServiceConfig(fallback=False)
+        with ReorderService(cfg) as svc:
+            with pytest.raises(ValueError, match="method must be one of"):
+                svc.submit(small_grid, method="gpu-distributed")
+        assert svc.counters["fallbacks"] == 0
+
     def test_validation_error_propagates_without_fallback(self, monkeypatch):
         calls = []
         real = service_core._call_reorder
