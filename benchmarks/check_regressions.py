@@ -25,6 +25,12 @@ Two *ratio* checks are noise-immune and therefore always enforced:
   ``--min-hit-speedup`` (default 10.0) — serving a warm cache hit an order
   of magnitude faster than a cold compute is the service layer's acceptance
   bar (``benchmarks/bench_service.py``).
+
+When a flight-recorder file is present (``<results-dir>/flight.jsonl`` or
+``--flight``), the ``method="auto"`` cost model is additionally gated: a
+calibrated mispick rate above ``--max-mispick-rate`` (default 0.25) is
+reported as a problem (warning-level under ``--warn-only`` — close calls
+flip under scheduler noise).
 """
 
 from __future__ import annotations
@@ -111,6 +117,41 @@ def check_speedup_invariant(results: dict, min_speedup: float) -> list:
     return problems
 
 
+def check_flight_mispick(flight_path: Path, max_rate: float) -> list:
+    """The auto cost-model mispick gate over a flight-recorder file.
+
+    Uses :func:`repro.telemetry.flight.calibrate` when the package is
+    importable (benchmarks run with ``PYTHONPATH=src``); silently passes
+    when the flight file is absent — recording is opt-in.
+    """
+    if not flight_path.exists():
+        return []
+    try:
+        from repro.telemetry import flight
+    except ImportError:
+        print(f"warning: {flight_path} present but repro is not importable; "
+              "skipping mispick check")
+        return []
+    records = flight.read_records(flight_path)
+    if not records:
+        return []
+    report = flight.calibrate(records)
+    print(f"\nflight recorder: {report['records']} auto resolutions, "
+          f"mispick rate {report['mispick_rate']:.1%} "
+          f"(threshold {max_rate:.1%})")
+    if report["mispick_rate"] > max_rate:
+        worst = {
+            b: s["mispick_rate"] for b, s in report["backends"].items()
+            if s["mispicks"]
+        }
+        return [
+            f"auto cost-model mispick rate {report['mispick_rate']:.1%} "
+            f"exceeds {max_rate:.1%} over {report['records']} resolutions "
+            f"(per-backend: {worst})"
+        ]
+    return []
+
+
 def render(rows: list) -> str:
     lines = [f"{'benchmark':40s} {'baseline ms':>12s} {'current ms':>12s} "
              f"{'ratio':>7s}  status"]
@@ -134,6 +175,13 @@ def main(argv=None) -> int:
                         help="required vectorized-vs-serial speedup ratio")
     parser.add_argument("--min-hit-speedup", type=float, default=10.0,
                         help="required service cache-hit vs cold-compute ratio")
+    parser.add_argument("--flight", type=Path, default=None,
+                        metavar="FLIGHT.jsonl",
+                        help="flight-recorder file to gate on (default: "
+                             "<results-dir>/flight.jsonl when present)")
+    parser.add_argument("--max-mispick-rate", type=float, default=0.25,
+                        help="allowed auto cost-model mispick fraction "
+                             "before the flight gate fails")
     parser.add_argument("--warn-only", action="store_true",
                         help="report wall-clock regressions without failing "
                              "(enforced globs and ratio invariants still fail)")
@@ -187,6 +235,12 @@ def main(argv=None) -> int:
     # ratio invariants are noise-immune: always enforced
     enforced += check_speedup_invariant(results, args.min_speedup)
     enforced += check_service_invariant(results, args.min_hit_speedup)
+    flight_path = args.flight or (args.results_dir / "flight.jsonl")
+    mispick_problems = check_flight_mispick(flight_path,
+                                            args.max_mispick_rate)
+    # scheduling noise can flip close calls, so the flight gate warns
+    # under --warn-only rather than failing outright
+    warnings += mispick_problems
 
     for msg in warnings:
         print(f"\nPROBLEM: {msg}")

@@ -7,10 +7,14 @@ run reproduces the paper's evaluation artifacts.  CSVs land in
 ``benchmarks/results/``.
 
 Every benchmark additionally emits a standardized ``BENCH_<name>.json``
-next to the CSVs: matrix/method (when parametrized), wall milliseconds,
-wall-clock phase breakdown and the full telemetry counter snapshot, plus
-host info — the machine-readable perf trajectory that future optimization
-PRs are judged against.
+next to the CSVs *and* at the repository root (the root copy is the
+machine-readable perf trajectory that future optimization PRs are judged
+against, so it is written unconditionally — even when the benchmark body
+raises): matrix/method (when parametrized), wall milliseconds, wall-clock
+phase breakdown and the full telemetry counter snapshot, plus host info
+and the git SHA.  A session-scoped flight recorder captures every
+``method="auto"`` resolution to ``benchmarks/results/flight.jsonl`` for
+``repro telemetry calibrate``.
 """
 
 from __future__ import annotations
@@ -23,9 +27,11 @@ from pathlib import Path
 import pytest
 
 from repro import telemetry
-from repro.telemetry.events import SCHEMA, host_info
+from repro.telemetry import flight
+from repro.telemetry.events import SCHEMA, git_sha, host_info
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 #: matrices used by per-matrix kernel benchmarks — one per structural regime
 BENCH_MATRICES = ["bcspwr10", "benzene", "gupta3", "ecology1", "mycielskian18", "nlpkkt160"]
@@ -38,6 +44,14 @@ _METHOD_KEYS = ("method", "approach", "variant", "kernel")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def flight_recorder(results_dir) -> None:
+    """Record every auto resolution of the bench session for calibration."""
+    flight.configure(results_dir / "flight.jsonl")
+    yield
+    flight.disable_recording()
 
 
 def _bench_name(nodeid: str) -> str:
@@ -55,28 +69,38 @@ def bench_record(request, results_dir):
     was_enabled = tel.enabled
     tel.enable()
     t0 = time.perf_counter_ns()
-    yield
-    wall_ms = (time.perf_counter_ns() - t0) / 1e6
-    if not was_enabled:
-        tel.disable()
+    try:
+        yield
+    finally:
+        # the artifact must exist even when the benchmark body fails —
+        # a missing BENCH_*.json reads as "never ran" downstream
+        wall_ms = (time.perf_counter_ns() - t0) / 1e6
+        if not was_enabled:
+            tel.disable()
 
-    params = dict(getattr(getattr(request.node, "callspec", None), "params", {}))
-    matrix = params.get("name") or params.get("matrix")
-    method = next((params[k] for k in _METHOD_KEYS if k in params), None)
-    snap = tel.snapshot()
-    payload = {
-        "schema": SCHEMA,
-        "bench": _bench_name(request.node.nodeid),
-        "matrix": matrix,
-        "method": method,
-        "wall_ms": wall_ms,
-        "phases_ms": {
-            name: ns / 1e6 for name, ns in sorted(snap["phases_ns"].items())
-        },
-        "counters": snap["counters"],
-        "gauges": snap["gauges"],
-        "host": host_info(),
-        "unix_time": time.time(),
-    }
-    out = results_dir / f"BENCH_{payload['bench']}.json"
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        params = dict(
+            getattr(getattr(request.node, "callspec", None), "params", {})
+        )
+        matrix = params.get("name") or params.get("matrix")
+        method = next((params[k] for k in _METHOD_KEYS if k in params), None)
+        snap = tel.snapshot()
+        payload = {
+            "schema": SCHEMA,
+            "bench": _bench_name(request.node.nodeid),
+            "matrix": matrix,
+            "method": method,
+            "wall_ms": wall_ms,
+            "phases_ms": {
+                name: ns / 1e6
+                for name, ns in sorted(snap["phases_ns"].items())
+            },
+            "counters": snap["counters"],
+            "gauges": snap["gauges"],
+            "host": host_info(),
+            "git_sha": git_sha(),
+            "unix_time": time.time(),
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        fname = f"BENCH_{payload['bench']}.json"
+        (results_dir / fname).write_text(text)
+        (REPO_ROOT / fname).write_text(text)

@@ -22,6 +22,7 @@ from repro.backends.base import (
     get,
     in_process_fallback,
     is_registered,
+    auto_estimates,
     method_choices,
     names,
     register,
@@ -45,6 +46,7 @@ __all__ = [
     "names",
     "backends",
     "method_choices",
+    "auto_estimates",
     "resolve_auto_method",
     "degradation_order",
     "in_process_fallback",

@@ -40,6 +40,7 @@ __all__ = [
     "names",
     "backends",
     "method_choices",
+    "auto_estimates",
     "resolve_auto_method",
     "degradation_order",
     "in_process_fallback",
@@ -201,6 +202,29 @@ def method_choices() -> Tuple[str, ...]:
     return ("auto",) + names()
 
 
+def auto_estimates(
+    n: int, nnz: Optional[int] = None, n_components: int = 1
+) -> Dict[str, float]:
+    """Every auto candidate's cost estimate for a pattern, by method name.
+
+    The full pricing table behind one ``auto`` resolution — what the
+    flight recorder persists so ``repro telemetry calibrate`` can judge
+    the pick against the measured wall time.  Insertion order is
+    registration order (the tie-break order).  ``nnz=None`` assumes an
+    average valence of 4 — the mesh-like prior of the paper's test set —
+    for callers that only know the node count.
+    """
+    if nnz is None:
+        nnz = 4 * n
+    estimates = {
+        b.name: b.estimate(n, nnz, n_components)
+        for b in _REGISTRY.values() if b.auto_candidate
+    }
+    if not estimates:
+        raise ValueError("no auto-candidate backends are registered")
+    return estimates
+
+
 def resolve_auto_method(
     n: int, nnz: Optional[int] = None, n_components: int = 1
 ) -> str:
@@ -209,18 +233,10 @@ def resolve_auto_method(
     Cost-model-driven: every ``auto_candidate`` backend prices the pattern
     through its ``cost_estimate(n, nnz, n_components)`` hook and the
     cheapest wins (ties break toward earlier registration, i.e. the serial
-    reference).  ``nnz=None`` assumes an average valence of 4 — the
-    mesh-like prior of the paper's test set — for callers that only know
-    the node count.
+    reference — dict insertion order preserves it through ``min``).
     """
-    if nnz is None:
-        nnz = 4 * n
-    candidates = [b for b in _REGISTRY.values() if b.auto_candidate]
-    if not candidates:
-        raise ValueError("no auto-candidate backends are registered")
-    return min(
-        candidates, key=lambda b: b.estimate(n, nnz, n_components)
-    ).name
+    estimates = auto_estimates(n, nnz, n_components)
+    return min(estimates, key=estimates.__getitem__)
 
 
 def degradation_order(method: str) -> Tuple[str, ...]:

@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence
 from repro import backends
 from repro.backends import KIND_SERIAL, KIND_VECTORIZED
 from repro.bench.report import render_table, write_csv
-from repro.telemetry.events import SCHEMA, host_info
+from repro.telemetry.events import SCHEMA, git_sha, host_info
 
 __all__ = ["DEFAULT_METHODS", "largest_matrix_name", "measure", "main"]
 
@@ -148,6 +148,7 @@ def main(argv: Optional[Sequence[str]] = None) -> List[dict]:
             },
             "wall_ms": min(r["ordering_ms"] for r in rows),
             "host": host_info(),
+            "git_sha": git_sha(),
             "unix_time": time.time(),
         }
         with open(args.json, "w") as fh:

@@ -22,7 +22,7 @@ import time
 from typing import List, Optional, Sequence
 
 from repro.bench.report import render_table, write_csv
-from repro.telemetry.events import SCHEMA, host_info
+from repro.telemetry.events import SCHEMA, git_sha, host_info
 
 __all__ = ["build_workload", "measure", "main"]
 
@@ -118,6 +118,7 @@ def main(argv: Optional[Sequence[str]] = None) -> List[dict]:
             "modes": rows,
             "wall_ms": rows[0]["seconds"] * 1e3,
             "host": host_info(),
+            "git_sha": git_sha(),
             "unix_time": time.time(),
         }
         with open(args.json, "w") as fh:

@@ -302,6 +302,13 @@ def cmd_serve(args) -> int:
 
     if getattr(args, "telemetry", None):
         telemetry.enable()
+    if getattr(args, "listen", None) is not None:
+        # a live endpoint implies recording: counters must move to scrape
+        telemetry.enable()
+    if getattr(args, "flight", None):
+        from repro.telemetry import flight
+
+        flight.configure(args.flight)
 
     specs: List[str] = []
     if args.workload:
@@ -323,8 +330,18 @@ def cmd_serve(args) -> int:
         request_timeout=args.timeout,
     )
     rows = []
+    server = None
     t_total = time.perf_counter()
     with ReorderService(cfg) as svc:
+        if getattr(args, "listen", None) is not None:
+            from repro.telemetry.prometheus import MetricsServer
+
+            server = MetricsServer(
+                telemetry.get().metrics, port=args.listen,
+                status_fn=svc.stats,
+            ).start()
+            print(f"metrics endpoint listening on {server.url}",
+                  file=sys.stderr)
         # submit everything up front so identical in-flight specs coalesce,
         # then gather in order
         loaded = [(spec, _load_spec(spec)) for spec in specs]
@@ -347,8 +364,14 @@ def cmd_serve(args) -> int:
                 "reordered_bandwidth": res.reordered_bandwidth,
                 "wait_ms": ms,
             })
+        total_s = time.perf_counter() - t_total
+        if server is not None and getattr(args, "linger", 0) > 0:
+            # keep the endpoint scrapeable after the workload drains
+            # (CI smoke tests, manual curl sessions)
+            time.sleep(args.linger)
         stats = svc.stats()
-    total_s = time.perf_counter() - t_total
+    if server is not None:
+        server.stop()
 
     if args.json:
         print(json.dumps(
@@ -376,6 +399,49 @@ def cmd_serve(args) -> int:
         )
         print(f"wrote {n} telemetry events to {args.telemetry}",
               file=sys.stderr if args.json else sys.stdout)
+    return 0
+
+
+def cmd_telemetry(args) -> int:
+    """``telemetry``: flight-recorder analysis and metric inventory.
+
+    ``calibrate FLIGHT.jsonl`` aggregates recorded ``method="auto"``
+    resolutions into a predicted-vs-actual report with a per-backend
+    mispick rate; ``inventory`` prints the generated Prometheus metric
+    table embedded in ``docs/observability.md``.
+    """
+    import json
+
+    if args.telemetry_command == "inventory":
+        from repro.telemetry.prometheus import metric_inventory_table
+
+        print(metric_inventory_table())
+        return 0
+
+    # calibrate
+    from repro.telemetry import flight
+
+    path = Path(args.flight)
+    if not path.exists():
+        print(f"calibrate: no flight file at {path}", file=sys.stderr)
+        return 2
+    records = flight.read_records(path)
+    report = flight.calibrate(records, tie_epsilon=args.tie_epsilon)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(flight.format_report(report))
+    if (
+        args.max_mispick_rate is not None
+        and report["records"]
+        and report["mispick_rate"] > args.max_mispick_rate
+    ):
+        print(
+            f"calibrate: mispick rate {report['mispick_rate']:.1%} exceeds "
+            f"threshold {args.max_mispick_rate:.1%}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -578,7 +644,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine-readable requests + service stats")
     p.add_argument("--telemetry", default=None, metavar="PATH.jsonl",
                    help="record wall-clock telemetry to a JSONL event log")
+    p.add_argument("--listen", type=int, default=None, metavar="PORT",
+                   help="serve /metrics, /healthz and /statusz on "
+                        "127.0.0.1:PORT while the workload runs "
+                        "(0 = OS-assigned; implies telemetry)")
+    p.add_argument("--linger", type=float, default=0.0, metavar="SECONDS",
+                   help="keep the --listen endpoint up this long after the "
+                        "workload drains (scrape window for smoke tests)")
+    p.add_argument("--flight", default=None, metavar="PATH.jsonl",
+                   help="record method=auto cost-model resolutions to a "
+                        "flight-recorder ring file")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="flight-recorder calibration and metric inventory",
+    )
+    tsub = p.add_subparsers(dest="telemetry_command", required=True)
+    tp = tsub.add_parser(
+        "calibrate",
+        help="predicted-vs-actual report over a flight-recorder file",
+    )
+    tp.add_argument("flight", help="flight-recorder JSONL file")
+    tp.add_argument("--tie-epsilon", type=float, default=0.05,
+                    help="relative margin below which competing predictions "
+                         "count as a tie, not a mispick (default: 0.05)")
+    tp.add_argument("--max-mispick-rate", type=float, default=None,
+                    help="exit non-zero when the overall mispick rate "
+                         "exceeds this fraction")
+    tp.add_argument("--json", action="store_true",
+                    help="machine-readable report")
+    tp.set_defaults(func=cmd_telemetry)
+    tp = tsub.add_parser(
+        "inventory",
+        help="print the generated Prometheus metric inventory table",
+    )
+    tp.set_defaults(func=cmd_telemetry)
 
     p = sub.add_parser(
         "cache", help="inspect or invalidate a disk permutation cache"

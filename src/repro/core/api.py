@@ -39,6 +39,7 @@ from repro.core.peripheral import find_pseudo_peripheral
 from repro.machine.stats import RunStats
 from repro.validation import check_choice, check_start
 from repro import telemetry
+from repro.telemetry import flight
 
 __all__ = [
     "ReorderResult",
@@ -189,8 +190,10 @@ def _reorder_rcm(
 
     # auto-resolution sits after component discovery so the cost models see
     # the real (n, nnz, n_components) triple, not just the node count
+    auto_estimates: Optional[Dict[str, float]] = None
     if method == "auto":
-        method = backends.resolve_auto_method(mat.n, mat.nnz, len(comps))
+        auto_estimates = backends.auto_estimates(mat.n, mat.nnz, len(comps))
+        method = min(auto_estimates, key=auto_estimates.__getitem__)
     backend = backends.get(method)
 
     starts: List[int] = []
@@ -230,6 +233,14 @@ def _reorder_rcm(
             perm_parts.append(part)
             if comp_stats is not None:
                 stats.append(comp_stats)
+
+    if auto_estimates is not None:
+        # close the cost-model loop: what auto predicted vs. what it cost
+        flight.record_auto(
+            n=mat.n, nnz=mat.nnz, n_components=len(comps),
+            estimates=auto_estimates, chosen=method,
+            actual_wall_ms=phase_ns["ordering"] / 1e6,
+        )
 
     t_phase = time.perf_counter_ns()
     with tel.span("assembly", category="api"):

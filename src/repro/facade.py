@@ -46,6 +46,7 @@ from repro.core.api import METHODS, PHASES, ReorderResult, _reorder_rcm
 from repro.core.batches import BatchConfig
 from repro.validation import check_choice, check_min, check_start, choices_text
 from repro import telemetry
+from repro.telemetry import context as tctx
 
 __all__ = ["reorder", "ALGORITHMS", "METHODS"]
 
@@ -165,23 +166,30 @@ def reorder(
         check_start(start, max(mat.n, 1))
         return _reorder_direct(mat, algorithm, symmetrize=symmetrize)
 
-    if cache is None:
-        return compute()
-
-    from repro.service.keys import cache_key
-
-    key = cache_key(
-        mat, algorithm=algorithm, method=method, start=start,
-        symmetrize=symmetrize,
+    # every spontaneous call gets a trace identity (service requests
+    # arrive with one already active and inherit it unchanged)
+    trace_scope = (
+        tctx.ensure_context() if telemetry.get().enabled
+        else tctx.activate(None)
     )
-    t0 = time.perf_counter_ns()
-    hit = cache.get(key)
-    if hit is not None:
-        hit.phase_ns = {"cache": time.perf_counter_ns() - t0}
-        return hit
-    res = compute()
-    cache.put(key, res)
-    return res
+    with trace_scope:
+        if cache is None:
+            return compute()
+
+        from repro.service.keys import cache_key
+
+        key = cache_key(
+            mat, algorithm=algorithm, method=method, start=start,
+            symmetrize=symmetrize,
+        )
+        t0 = time.perf_counter_ns()
+        hit = cache.get(key)
+        if hit is not None:
+            hit.phase_ns = {"cache": time.perf_counter_ns() - t0}
+            return hit
+        res = compute()
+        cache.put(key, res)
+        return res
 
 
 def _reorder_direct(

@@ -12,7 +12,13 @@ service layer's fallback chain derives from.
 
 Telemetry: spans ``parallel.components`` / ``parallel.map`` wrap the
 dispatch, and counters ``parallel.tasks``, ``parallel.chunks`` and
-``parallel.fallbacks`` record what actually ran where.
+``parallel.fallbacks`` record what actually ran where.  When telemetry is
+enabled the pool switches to *traced* task functions: each worker resets
+its forked-in telemetry, records spans/counters locally under the
+request's :class:`~repro.telemetry.context.TraceContext`, and ships a
+:class:`~repro.telemetry.context.WorkerReport` back with its result; the
+parent merges every report under the dispatch span with a stable lane per
+worker pid, so one request produces one coherent cross-process trace.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ import numpy as np
 
 from repro.sparse.csr import CSRMatrix
 from repro import telemetry
+from repro.telemetry.spans import current_trace
 
 __all__ = [
     "ParallelConfig",
@@ -88,6 +95,27 @@ def _component_task(start: int) -> np.ndarray:
     return rcm_vectorized(_WORKER_MAT, start)
 
 
+def _component_task_traced(start: int, ctx, epoch_ns: int):
+    """Traced variant: returns ``(permutation, WorkerReport)``.
+
+    The worker re-bases its (forked) telemetry on the parent's epoch,
+    activates the request's trace context and wraps the kernel in a
+    ``parallel.worker`` span, so the parent can merge a self-consistent
+    sub-trace (see :mod:`repro.telemetry.context`).
+    """
+    from repro.core.vectorized import rcm_vectorized
+    from repro.telemetry import context as tctx
+
+    assert _WORKER_MAT is not None, "pool initializer did not run"
+    tctx.begin_worker_capture(epoch_ns)
+    tel = telemetry.get()
+    with tctx.activate(ctx):
+        with tel.span("parallel.worker", category="parallel",
+                      start_node=int(start)):
+            perm = rcm_vectorized(_WORKER_MAT, start)
+    return perm, tctx.collect_worker_report()
+
+
 def _warmup_task(token: int) -> int:
     return token
 
@@ -102,6 +130,39 @@ def _chunk_task(
         mat = CSRMatrix(indptr=indptr, indices=indices, data=None, n=n)
         out.append(_reorder_rcm(mat, **kwargs))
     return out
+
+
+def _chunk_task_traced(
+    payload: Sequence[Tuple[np.ndarray, np.ndarray, int]], kwargs: dict,
+    ctx, epoch_ns: int,
+):
+    """Traced variant of :func:`_chunk_task`: ``(results, WorkerReport)``."""
+    from repro.core.api import _reorder_rcm
+    from repro.telemetry import context as tctx
+
+    tctx.begin_worker_capture(epoch_ns)
+    tel = telemetry.get()
+    out = []
+    with tctx.activate(ctx):
+        with tel.span("parallel.worker", category="parallel",
+                      n_matrices=len(payload)):
+            for indptr, indices, n in payload:
+                mat = CSRMatrix(indptr=indptr, indices=indices, data=None, n=n)
+                out.append(_reorder_rcm(mat, **kwargs))
+    return out, tctx.collect_worker_report()
+
+
+def _merge_reports(tel, reports, *, parent_span_id, trace_id) -> None:
+    """Fold worker reports into the parent, one stable lane per pid."""
+    from repro.telemetry import context as tctx
+
+    lanes: dict = {}
+    for report in reports:
+        lane = lanes.setdefault(report.pid, len(lanes))
+        tctx.merge_worker_report(
+            tel, report, parent_span_id=parent_span_id,
+            lane=lane, trace_id=trace_id,
+        )
 
 
 def _warm_pool(pool: ProcessPoolExecutor, workers: int) -> None:
@@ -185,15 +246,33 @@ def rcm_components(
         ) as pool:
             if cfg.warmup:
                 _warm_pool(pool, min(workers, len(starts)))
+            traced = tel.enabled
+            req_ctx = current_trace() if traced else None
             with tel.span(
                 "parallel.components", category="parallel",
                 n_tasks=len(starts), workers=workers,
-            ):
-                futures = {
-                    int(i): pool.submit(_component_task, int(starts[i]))
-                    for i in order
-                }
-                parts = [futures[i].result() for i in range(len(starts))]
+            ) as sp:
+                if traced:
+                    futures = {
+                        int(i): pool.submit(
+                            _component_task_traced, int(starts[i]),
+                            req_ctx, tel.tracer.epoch_ns,
+                        )
+                        for i in order
+                    }
+                    pairs = [futures[i].result() for i in range(len(starts))]
+                    parts = [perm for perm, _ in pairs]
+                    _merge_reports(
+                        tel, [rep for _, rep in pairs],
+                        parent_span_id=sp.span_id,
+                        trace_id=req_ctx.trace_id if req_ctx else None,
+                    )
+                else:
+                    futures = {
+                        int(i): pool.submit(_component_task, int(starts[i]))
+                        for i in order
+                    }
+                    parts = [futures[i].result() for i in range(len(starts))]
         if tel.enabled:
             tel.counter("parallel.tasks").add(len(starts))
         return parts
@@ -255,16 +334,34 @@ def map_matrices(
         ) as pool:
             if cfg.warmup:
                 _warm_pool(pool, min(workers, len(payloads)))
+            traced = tel.enabled
+            req_ctx = current_trace() if traced else None
             with tel.span(
                 "parallel.map", category="parallel",
                 n_matrices=len(mats), n_chunks=len(payloads), workers=workers,
-            ):
-                futures = [
-                    pool.submit(_chunk_task, p, kwargs) for p in payloads
-                ]
+            ) as sp:
                 results: list = []
-                for fut in futures:
-                    results.extend(fut.result())
+                if traced:
+                    futures = [
+                        pool.submit(_chunk_task_traced, p, kwargs,
+                                    req_ctx, tel.tracer.epoch_ns)
+                        for p in payloads
+                    ]
+                    reports = []
+                    for fut in futures:
+                        chunk_results, report = fut.result()
+                        results.extend(chunk_results)
+                        reports.append(report)
+                    _merge_reports(
+                        tel, reports, parent_span_id=sp.span_id,
+                        trace_id=req_ctx.trace_id if req_ctx else None,
+                    )
+                else:
+                    futures = [
+                        pool.submit(_chunk_task, p, kwargs) for p in payloads
+                    ]
+                    for fut in futures:
+                        results.extend(fut.result())
         if tel.enabled:
             tel.counter("parallel.matrices").add(len(mats))
             tel.counter("parallel.chunks").add(len(payloads))

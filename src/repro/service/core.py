@@ -51,6 +51,7 @@ from repro.service.keys import CacheKey, cache_key
 from repro.service.cache import PermutationCache
 from repro.parallel.executor import record_fallback
 from repro import telemetry
+from repro.telemetry import context as tctx
 
 __all__ = [
     "ServiceConfig",
@@ -236,7 +237,14 @@ class ReorderService:
                 self._slots.release()
                 self._count("coalesced")
                 return existing
-            fut = self._pool.submit(self._run, key, mat, kwargs)
+            # request identity for cross-thread/process tracing: created
+            # at admission so the pool thread, the parallel workers and
+            # any facade re-entry all stamp the same trace_id
+            ctx = (
+                tctx.new_trace_context(request_id=key.digest[:12])
+                if telemetry.get().enabled else None
+            )
+            fut = self._pool.submit(self._run, key, mat, kwargs, ctx)
             self._inflight[key.digest] = fut
             self._pending += 1
             self._set_depth()
@@ -310,18 +318,23 @@ class ReorderService:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def _run(self, key: CacheKey, mat: CSRMatrix, kwargs: dict) -> ReorderResult:
+    def _run(self, key: CacheKey, mat: CSRMatrix, kwargs: dict,
+             ctx=None) -> ReorderResult:
         tel = telemetry.get()
-        with tel.span(
-            "service.request", category="service",
-            algorithm=kwargs["algorithm"], method=kwargs["method"], n=mat.n,
-        ):
-            self._count("computed")
-            result = self._execute(mat, kwargs)
-            # cache before the future resolves so a waiter that arrives
-            # after coalescing cleanup finds the entry, never a stale gap
-            self.cache.put(key, result)
-            return result
+        with tctx.activate(ctx):
+            with tel.span(
+                "service.request", category="service",
+                algorithm=kwargs["algorithm"], method=kwargs["method"],
+                n=mat.n,
+                request_id=ctx.request_id if ctx is not None else None,
+            ):
+                self._count("computed")
+                result = self._execute(mat, kwargs)
+                # cache before the future resolves so a waiter that
+                # arrives after coalescing cleanup finds the entry, never
+                # a stale gap
+                self.cache.put(key, result)
+                return result
 
     def _execute(self, mat: CSRMatrix, kwargs: dict) -> ReorderResult:
         if not self.config.fallback:

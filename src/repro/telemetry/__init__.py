@@ -11,7 +11,14 @@ public API pipeline, the solver and the benchmark drivers.  It bundles:
   histograms generalizing :class:`~repro.machine.stats.RunStats`;
 * :mod:`repro.telemetry.events` — structured JSONL sink and reader;
 * :mod:`repro.telemetry.export` — renders real spans in the simulator's
-  ASCII-Gantt and Chrome-tracing/Perfetto formats.
+  ASCII-Gantt and Chrome-tracing/Perfetto formats;
+* :mod:`repro.telemetry.context` — per-request :class:`TraceContext`
+  propagated across threads and worker processes, with span/metric
+  merging so one request yields one coherent trace;
+* :mod:`repro.telemetry.prometheus` — text exposition + embedded
+  ``/metrics`` endpoint for ``repro serve --listen``;
+* :mod:`repro.telemetry.flight` — cost-model flight recorder and the
+  ``repro telemetry calibrate`` predicted-vs-actual analysis.
 
 Usage — everything hangs off one process-wide :class:`Telemetry` instance::
 
@@ -35,10 +42,25 @@ from repro.telemetry.spans import SpanRecord, Tracer, NULL_SPAN
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.events import (
     JsonlSink,
+    git_sha,
     host_info,
     read_jsonl,
     write_events,
     SCHEMA,
+)
+from repro.telemetry.context import (
+    TraceContext,
+    WorkerReport,
+    activate,
+    current_trace,
+    ensure_context,
+    merge_worker_report,
+    new_trace_context,
+)
+from repro.telemetry.prometheus import (
+    MetricsServer,
+    metric_inventory_table,
+    render_prometheus,
 )
 from repro.telemetry.export import (
     lane_assignment,
@@ -65,10 +87,21 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "JsonlSink",
+    "git_sha",
     "host_info",
     "read_jsonl",
     "write_events",
     "SCHEMA",
+    "TraceContext",
+    "WorkerReport",
+    "activate",
+    "current_trace",
+    "ensure_context",
+    "merge_worker_report",
+    "new_trace_context",
+    "MetricsServer",
+    "metric_inventory_table",
+    "render_prometheus",
     "lane_assignment",
     "phase_totals_ms",
     "spans_gantt",

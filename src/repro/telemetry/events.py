@@ -18,7 +18,8 @@ import time
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
-__all__ = ["JsonlSink", "host_info", "write_events", "read_jsonl", "SCHEMA"]
+__all__ = ["JsonlSink", "host_info", "git_sha", "write_events",
+           "read_jsonl", "SCHEMA"]
 
 #: schema tag stamped into every ``meta`` event
 SCHEMA = "repro-telemetry/v1"
@@ -33,6 +34,27 @@ def host_info() -> dict:
         "implementation": platform.python_implementation(),
         "cpus": os.cpu_count() or 1,
     }
+
+
+def git_sha(default: str = "unknown") -> str:
+    """The repository HEAD commit, for stamping benchmark artifacts.
+
+    Falls back to ``default`` outside a work tree (installed wheels, CI
+    tarballs) rather than raising — artifact writers must never fail on
+    provenance metadata.
+    """
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return default
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else default
 
 
 class JsonlSink:
@@ -106,12 +128,31 @@ def write_events(
     return n
 
 
-def read_jsonl(path: Union[str, Path]) -> List[dict]:
-    """Parse a JSONL file back into a list of event dicts."""
+def read_jsonl(path: Union[str, Path], *, strict: bool = False) -> List[dict]:
+    """Parse a JSONL file back into a list of event dicts.
+
+    Corrupt or truncated lines — the tail a crashed writer leaves behind —
+    are skipped and counted on the ``telemetry.jsonl.skipped`` counter so
+    one bad run cannot poison later analysis; pass ``strict=True`` to get
+    the old raising behaviour.
+    """
     out: List[dict] = []
+    skipped = 0
     with Path(path).open() as fh:
         for line in fh:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 out.append(json.loads(line))
+            except json.JSONDecodeError:
+                if strict:
+                    raise
+                skipped += 1
+    if skipped:
+        # analysis path, not a hot loop: count even while telemetry is
+        # disabled so the skip is never silent
+        from repro import telemetry
+
+        telemetry.get().counter("telemetry.jsonl.skipped").add(skipped)
     return out

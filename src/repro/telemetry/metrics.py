@@ -12,10 +12,19 @@ mapping.
 
 from __future__ import annotations
 
+import bisect
 import threading
-from typing import Dict, Union
+from typing import Dict, Optional, Sequence, Union
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS"]
+
+#: default histogram bucket upper bounds (milliseconds-flavoured, but
+#: unit-agnostic); the implicit ``+Inf`` bucket is always appended
+DEFAULT_BUCKETS = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
 
 
 class Counter:
@@ -63,16 +72,30 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary (count / sum / min / max) of observed samples."""
+    """Streaming summary (count / sum / min / max) plus fixed buckets.
 
-    __slots__ = ("name", "count", "sum", "min", "max", "_lock")
+    Buckets are Prometheus-style upper bounds (an implicit ``+Inf`` bucket
+    always catches the tail), stored non-cumulative internally; the
+    Prometheus renderer cumulates on export.  :meth:`quantile` estimates
+    percentiles from the bucket counts and is total: an empty histogram
+    answers ``0.0`` and a single sample answers itself for every ``q``
+    (no raised edge cases — regression-fenced in ``test_telemetry.py``).
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "count", "sum", "min", "max", "buckets",
+                 "bucket_counts", "_lock")
+
+    def __init__(self, name: str,
+                 buckets: Optional[Sequence[float]] = None) -> None:
         self.name = name
         self.count = 0
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.buckets = tuple(sorted(buckets if buckets is not None
+                                    else DEFAULT_BUCKETS))
+        # one slot per finite bound + the +Inf tail
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
         self._lock = threading.Lock()
 
     def observe(self, value: Union[int, float]) -> None:
@@ -85,17 +108,63 @@ class Histogram:
                 self.min = v
             if v > self.max:
                 self.max = v
+            self.bucket_counts[bisect.bisect_left(self.buckets, v)] += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Defined for every state: ``0.0`` when empty, the exact sample when
+        only one was observed, and a bucket-midpoint estimate clamped to
+        the observed ``[min, max]`` otherwise.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]; got {q!r}")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            if self.count == 1:
+                return self.min
+            rank = q * (self.count - 1)
+            seen = 0
+            for i, n in enumerate(self.bucket_counts):
+                seen += n
+                if seen > rank:
+                    lo = self.buckets[i - 1] if i > 0 else self.min
+                    hi = self.buckets[i] if i < len(self.buckets) else self.max
+                    est = (lo + hi) / 2.0
+                    return min(max(est, self.min), self.max)
+            return self.max
+
+    def merge_dict(self, other: dict) -> None:
+        """Fold another histogram's :meth:`to_dict` snapshot into this one
+        (cross-process metric merging; bucket layouts must match)."""
+        if not other.get("count"):
+            return
+        with self._lock:
+            self.count += other["count"]
+            self.sum += other["sum"]
+            self.min = min(self.min, other["min"])
+            self.max = max(self.max, other["max"])
+            for le, n in (other.get("buckets") or {}).items():
+                bound = float(le)
+                idx = (len(self.buckets) if bound == float("inf")
+                       else bisect.bisect_left(self.buckets, bound))
+                self.bucket_counts[idx] += n
 
     def to_dict(self) -> dict:
-        """Summary snapshot (``mean`` included when non-empty)."""
+        """Summary snapshot (``mean``/``buckets`` included when non-empty)."""
         if not self.count:
             return {"count": 0, "sum": 0.0}
+        bounds = [str(b) for b in self.buckets] + ["inf"]
         return {
             "count": self.count,
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
             "mean": self.sum / self.count,
+            "buckets": {
+                le: n for le, n in zip(bounds, self.bucket_counts) if n
+            },
         }
 
 
@@ -124,12 +193,17 @@ class MetricsRegistry:
                 inst = self._gauges[name] = Gauge(name)
             return inst
 
-    def histogram(self, name: str) -> Histogram:
-        """The histogram called ``name``, created if missing."""
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """The histogram called ``name``, created if missing.
+
+        ``buckets`` only takes effect at creation; later callers get the
+        existing instrument unchanged.
+        """
         with self._lock:
             inst = self._histograms.get(name)
             if inst is None:
-                inst = self._histograms[name] = Histogram(name)
+                inst = self._histograms[name] = Histogram(name, buckets)
             return inst
 
     def clear(self) -> None:
@@ -149,6 +223,22 @@ class MetricsRegistry:
                     n: h.to_dict() for n, h in sorted(self._histograms.items())
                 },
             }
+
+    # ------------------------------------------------------------------
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`to_dict` snapshot from another registry into this
+        one: counters add, gauges last-write-win, histograms merge.
+
+        This is the parent side of cross-process telemetry: worker
+        processes ship their registry snapshot back with each result and
+        the parent accumulates them (see :mod:`repro.telemetry.context`).
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).add(value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).set(value)
+        for name, summary in (snapshot.get("histograms") or {}).items():
+            self.histogram(name).merge_dict(summary)
 
     # ------------------------------------------------------------------
     def absorb_run_stats(self, stats, prefix: str = "sim.") -> None:

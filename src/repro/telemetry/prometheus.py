@@ -1,0 +1,265 @@
+"""Prometheus text exposition and the embedded ``/metrics`` endpoint.
+
+Turns a :class:`~repro.telemetry.metrics.MetricsRegistry` into the
+Prometheus text format (version ``0.0.4``) and serves it from a stdlib
+``http.server`` so a long-running ``repro serve --listen PORT`` workload is
+scrapeable while it runs.  No third-party client library: the format is
+four line shapes (``# HELP``, ``# TYPE``, samples, cumulative histogram
+buckets) and writing them directly keeps the dependency budget at zero.
+
+Naming: dotted instrument names (``service.cache.hits``) become legal
+Prometheus series by swapping separators for ``_``
+(``service_cache_hits_total`` — counters get the conventional ``_total``
+suffix).  :data:`METRIC_INVENTORY` is the curated catalogue of the
+families the system emits; ``docs/observability.md`` embeds its rendered
+table verbatim and ``test_doc_drift.py`` keeps the two in lock-step.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "CONTENT_TYPE",
+    "METRIC_INVENTORY",
+    "MetricsServer",
+    "metric_inventory_table",
+    "prometheus_name",
+    "render_prometheus",
+]
+
+#: exposition Content-Type mandated by the text format spec
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str, *, suffix: str = "") -> str:
+    """A dotted instrument name as a legal Prometheus metric name.
+
+    Dots (and any other illegal characters) become ``_``; a leading digit
+    is guarded with ``_``.  ``suffix`` is appended as-is (``_total``, ...).
+    """
+    out = _INVALID.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out + suffix
+
+
+def _fmt(value) -> str:
+    """A sample value in exposition syntax (ints stay integral)."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+def render_prometheus(registry) -> str:
+    """Render every instrument of ``registry`` as text exposition.
+
+    Counters gain ``_total``; histograms expand to the conventional
+    cumulative ``_bucket{le="..."}`` series plus ``_sum`` and ``_count``.
+    Families are sorted by name so scrapes diff cleanly.
+    """
+    snap = registry.to_dict()
+    lines: List[str] = []
+
+    for name, value in snap.get("counters", {}).items():
+        pname = prometheus_name(name, suffix="_total")
+        lines.append(f"# HELP {pname} repro counter {name}")
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {_fmt(value)}")
+
+    for name, value in snap.get("gauges", {}).items():
+        pname = prometheus_name(name)
+        lines.append(f"# HELP {pname} repro gauge {name}")
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_fmt(value)}")
+
+    for name, summary in snap.get("histograms", {}).items():
+        pname = prometheus_name(name)
+        lines.append(f"# HELP {pname} repro histogram {name}")
+        lines.append(f"# TYPE {pname} histogram")
+        cumulative = 0
+        buckets = summary.get("buckets") or {}
+        # to_dict keeps bounds as strings in ascending order ("inf" last)
+        for le, n in buckets.items():
+            cumulative += n
+            bound = "+Inf" if le == "inf" else le
+            lines.append(f'{pname}_bucket{{le="{bound}"}} {cumulative}')
+        if "inf" not in buckets:
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {summary["count"]}')
+        lines.append(f"{pname}_sum {_fmt(summary.get('sum', 0.0))}")
+        lines.append(f"{pname}_count {summary['count']}")
+
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# metric catalogue (docs drift-guard source of truth)
+# ----------------------------------------------------------------------
+#: (instrument family, kind, what it measures) — dotted names; ``*``
+#: marks a reason/stage label folded into the name at emission time
+METRIC_INVENTORY: Tuple[Tuple[str, str, str], ...] = (
+    ("service.requests", "counter", "requests admitted by `ReorderService.submit`"),
+    ("service.computed", "counter", "requests computed (cache/coalesce misses)"),
+    ("service.coalesced", "counter", "requests piggybacked on an in-flight twin"),
+    ("service.rejected", "counter", "requests refused by backpressure"),
+    ("service.timeouts", "counter", "requests that hit their deadline"),
+    ("service.fallbacks.*", "counter", "degradations taken, by landing method"),
+    ("service.cache.hits", "counter", "memory-cache hits"),
+    ("service.cache.misses", "counter", "memory-cache misses"),
+    ("service.cache.disk_hits", "counter", "disk-cache hits"),
+    ("service.cache.evictions", "counter", "LRU evictions"),
+    ("service.cache.size", "gauge", "entries currently cached"),
+    ("service.queue.depth", "gauge", "requests waiting for a slot"),
+    ("parallel.tasks", "counter", "component tasks dispatched to the pool"),
+    ("parallel.matrices", "counter", "matrices processed by `map_matrices`"),
+    ("parallel.chunks", "counter", "matrix chunks shipped to the pool"),
+    ("parallel.fallbacks.*", "counter", "in-process fallbacks, by reason"),
+    ("threads.batches.*", "counter", "speculative batch lifecycle (generated/dequeued/executed/empty)"),
+    ("threads.speculation.*", "counter", "speculation economy (discovered/dropped/rediscovery_passes/sorted_elements)"),
+    ("threads.overhangs.*", "counter", "overhang forwarding (forwarded/nodes)"),
+    ("threads.n_workers", "gauge", "worker threads serving the run"),
+    ("vectorized.levels", "counter", "BFS levels swept by the vectorized kernel"),
+    ("vectorized.edges_gathered", "counter", "CSR edges gathered"),
+    ("vectorized.nodes_ordered", "counter", "nodes placed in the permutation"),
+    ("cg.iterations", "counter", "conjugate-gradient iterations"),
+    ("cg.spmv", "counter", "sparse matrix-vector products"),
+    ("cg.final_relative_residual", "histogram", "relative residual at convergence"),
+    ("telemetry.jsonl.skipped", "counter", "corrupt JSONL lines skipped by `read_jsonl`"),
+    ("sim.*", "counter/gauge", "simulated-machine stats absorbed via `absorb_run_stats`"),
+)
+
+
+def metric_inventory_table() -> str:
+    """The catalogue as a markdown table with exposition names.
+
+    Embedded verbatim in ``docs/observability.md``; regenerate with
+    ``repro telemetry inventory`` whenever a family is added.
+    """
+    lines = [
+        "| instrument | kind | Prometheus series | measures |",
+        "|---|---|---|---|",
+    ]
+    for family, kind, desc in METRIC_INVENTORY:
+        wildcard = family.endswith(".*")
+        base = family[:-2] if wildcard else family
+        series = prometheus_name(base)
+        if wildcard:
+            series += "_*"
+        if kind == "counter":
+            series += "_total"
+        lines.append(f"| `{family}` | {kind} | `{series}` | {desc} |")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# embedded HTTP endpoint
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    """Routes ``/metrics`` / ``/healthz`` / ``/statusz``; 404 otherwise."""
+
+    server_version = "repro-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        srv: "MetricsServer" = self.server.metrics_server  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(srv.registry).encode()
+            self._reply(200, CONTENT_TYPE, body)
+        elif path == "/healthz":
+            self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+        elif path == "/statusz":
+            body = (json.dumps(srv.status(), indent=2, sort_keys=True)
+                    + "\n").encode()
+            self._reply(200, "application/json", body)
+        else:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _reply(self, code: int, ctype: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args) -> None:
+        """Silence per-request stderr chatter (scrapes are periodic)."""
+
+
+class MetricsServer:
+    """Background ``/metrics`` + ``/healthz`` + ``/statusz`` endpoint.
+
+    Binds ``127.0.0.1:port`` (``port=0`` lets the OS pick — tests use
+    this), serves from a daemon thread, and reads a live
+    :class:`MetricsRegistry` on every scrape, so it can be started before
+    the workload and left up for its lifetime.  ``status_fn`` lets the
+    owner (the CLI serve loop) splice live service stats into ``/statusz``.
+    """
+
+    def __init__(self, registry, port: int = 0, host: str = "127.0.0.1",
+                 status_fn: Optional[Callable[[], dict]] = None) -> None:
+        self.registry = registry
+        self._status_fn = status_fn
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.metrics_server = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint."""
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def status(self) -> dict:
+        """The ``/statusz`` document: instrument totals + owner stats."""
+        snap = self.registry.to_dict()
+        doc: Dict[str, object] = {
+            "counters": snap.get("counters", {}),
+            "gauges": snap.get("gauges", {}),
+        }
+        if self._status_fn is not None:
+            try:
+                doc["service"] = self._status_fn()
+            except Exception as exc:  # pragma: no cover - defensive
+                doc["service"] = {"error": repr(exc)}
+        return doc
+
+    def start(self) -> "MetricsServer":
+        """Begin serving on a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics-server", daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the endpoint down and join the serving thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False

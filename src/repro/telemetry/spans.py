@@ -14,12 +14,23 @@ permanently.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 __all__ = ["SpanRecord", "Tracer", "NULL_SPAN"]
+
+#: thread-local holder of the active :class:`~repro.telemetry.context.TraceContext`
+#: (managed by :mod:`repro.telemetry.context`; kept here so the span hot path
+#: reads it without an import cycle)
+_CONTEXT = threading.local()
+
+
+def current_trace():
+    """The :class:`TraceContext` active on this thread, or ``None``."""
+    return getattr(_CONTEXT, "value", None)
 
 
 @dataclass
@@ -36,6 +47,10 @@ class SpanRecord:
     #: logical worker lane (thread backend); ``None`` = main/pipeline code
     worker: Optional[int] = None
     attrs: Dict[str, Any] = field(default_factory=dict)
+    #: request trace id stamped from the active :class:`TraceContext`
+    trace_id: Optional[str] = None
+    #: OS process that recorded the span (cross-process attribution)
+    pid: Optional[int] = None
 
     @property
     def end_ns(self) -> int:
@@ -55,7 +70,26 @@ class SpanRecord:
             "tid": self.thread_id,
             "worker": self.worker,
             "attrs": self.attrs,
+            "trace_id": self.trace_id,
+            "pid": self.pid,
         }
+
+    @classmethod
+    def from_event(cls, event: dict) -> "SpanRecord":
+        """Rebuild a record from its :meth:`to_event` dict (merge path)."""
+        return cls(
+            span_id=event["id"],
+            parent_id=event.get("parent"),
+            name=event["name"],
+            category=event.get("cat", "phase"),
+            start_ns=event["start_ns"],
+            duration_ns=event["dur_ns"],
+            thread_id=event.get("tid", 0),
+            worker=event.get("worker"),
+            attrs=dict(event.get("attrs") or {}),
+            trace_id=event.get("trace_id"),
+            pid=event.get("pid"),
+        )
 
 
 class _NullSpan:
@@ -71,6 +105,11 @@ class _NullSpan:
 
     def set(self, **attrs) -> None:
         """Ignore attributes (disabled mode)."""
+
+    @property
+    def span_id(self) -> None:
+        """No id while disabled (keeps caller code branch-free)."""
+        return None
 
 
 NULL_SPAN = _NullSpan()
@@ -94,6 +133,11 @@ class _ActiveSpan:
         """Attach extra attributes to the span before it closes."""
         self._attrs.update(attrs)
 
+    @property
+    def span_id(self) -> int:
+        """The id assigned at ``__enter__`` (parent for merged sub-traces)."""
+        return self._span_id
+
     def __enter__(self) -> "_ActiveSpan":
         tr = self._tracer
         stack = tr._stack()
@@ -109,6 +153,7 @@ class _ActiveSpan:
         stack = tr._stack()
         if stack and stack[-1] == self._span_id:
             stack.pop()
+        ctx = getattr(_CONTEXT, "value", None)
         rec = SpanRecord(
             span_id=self._span_id,
             parent_id=self._parent_id,
@@ -119,6 +164,8 @@ class _ActiveSpan:
             thread_id=threading.get_ident(),
             worker=self._worker,
             attrs=self._attrs,
+            trace_id=ctx.trace_id if ctx is not None else None,
+            pid=os.getpid(),
         )
         with tr._lock:
             tr._records.append(rec)

@@ -144,6 +144,18 @@ class TestProseDocs:
         assert anchor in (REPO / "README.md").read_text()
         assert anchor in (DOCS / "service.md").read_text()
 
+    def test_observability_md_embeds_generated_metric_inventory(self):
+        # the inventory table in docs/observability.md is the verbatim
+        # output of `python -m repro telemetry inventory`; regenerate it
+        # whenever a metric family is added to METRIC_INVENTORY
+        from repro.telemetry.prometheus import metric_inventory_table
+
+        text = (DOCS / "observability.md").read_text()
+        assert metric_inventory_table() in text, (
+            "docs/observability.md metric inventory is stale; replace it "
+            "with the output of `python -m repro telemetry inventory`"
+        )
+
     def test_service_doc_exists_and_mentions_counters(self):
         text = (DOCS / "service.md").read_text()
         for counter in (

@@ -418,3 +418,105 @@ class TestCli:
         assert code == 0
         assert "telemetry events" in capsys.readouterr().out
         assert read_jsonl(path)[0]["schema"] == SCHEMA
+
+
+class TestRobustReadJsonl:
+    """Satellite: crash-left tails must not poison later analysis."""
+
+    def _write_with_garbage(self, path):
+        with path.open("w") as fh:
+            fh.write('{"type": "meta", "ok": 1}\n')
+            fh.write("{not json at all\n")
+            fh.write('{"type": "span", "ok": 2}\n')
+            fh.write('{"type": "metrics", "truncat')  # torn tail, no newline
+
+    def test_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self._write_with_garbage(path)
+        events = read_jsonl(path)
+        assert [e["ok"] for e in events] == [1, 2]
+
+    def test_skip_bumps_counter_even_while_disabled(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self._write_with_garbage(path)
+        assert not telemetry.get().enabled
+        read_jsonl(path)
+        counters = telemetry.get().snapshot()["counters"]
+        assert counters["telemetry.jsonl.skipped"] == 2
+
+    def test_clean_file_leaves_counter_untouched(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')  # blank line is fine
+        assert len(read_jsonl(path)) == 2
+        counters = telemetry.get().snapshot()["counters"]
+        assert "telemetry.jsonl.skipped" not in counters
+
+    def test_strict_mode_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self._write_with_garbage(path)
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path, strict=True)
+
+
+class TestHistogramQuantiles:
+    """Satellite: quantiles are total functions over every histogram state."""
+
+    def test_empty_histogram_quantiles_are_zero(self):
+        h = MetricsRegistry().histogram("h")
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 0.0
+
+    def test_single_sample_is_every_quantile(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(42.5)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 42.5
+
+    def test_quantile_rejects_out_of_range(self):
+        h = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            h.quantile(-0.01)
+        with pytest.raises(ValueError):
+            h.quantile(1.01)
+
+    def test_estimates_clamped_to_observed_range(self):
+        h = MetricsRegistry().histogram("h", buckets=(10.0, 100.0))
+        for v in (3.0, 4.0, 5.0):
+            h.observe(v)
+        # bucket midpoint would be 5.0+, never below min or above max
+        for q in (0.0, 0.5, 1.0):
+            assert 3.0 <= h.quantile(q) <= 5.0
+
+    def test_median_lands_in_the_right_bucket(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 5.0, 5.0, 50.0):
+            h.observe(v)
+        assert 1.0 <= h.quantile(0.5) <= 10.0
+
+
+class TestDisabledAllocatesNothing:
+    """Satellite: the disabled path must not build SpanRecord objects."""
+
+    def test_disabled_span_is_the_shared_null_span(self):
+        tel = telemetry.get()
+        assert not tel.enabled
+        assert tel.span("anything") is NULL_SPAN
+        assert tel.span("other", worker=1, attr=2) is NULL_SPAN
+
+    def test_disabled_threads_run_allocates_no_span_records(
+        self, medium_grid, monkeypatch
+    ):
+        from repro.core import threads as threads_mod
+        from repro.core.serial import rcm_serial
+        from repro.telemetry import spans as spans_mod
+
+        def _boom(*a, **k):
+            raise AssertionError(
+                "SpanRecord allocated while telemetry is disabled"
+            )
+
+        monkeypatch.setattr(spans_mod, "SpanRecord", _boom)
+        assert not telemetry.get().enabled
+        perm = threads_mod.rcm_threads(medium_grid, 0, n_threads=2)
+        assert np.array_equal(perm, rcm_serial(medium_grid, 0))
+        assert telemetry.get().tracer.records() == []
