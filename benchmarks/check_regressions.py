@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Benchmark regression gate: compare fresh ``BENCH_*.json`` to baselines.
+"""Benchmark regression gate: statistical verdicts over the run history.
 
 Usage (after ``pytest benchmarks/ --benchmark-only`` refreshed
 ``benchmarks/results/``)::
@@ -8,13 +8,20 @@ Usage (after ``pytest benchmarks/ --benchmark-only`` refreshed
     python benchmarks/check_regressions.py --warn-only  # report, always exit 0
     python benchmarks/check_regressions.py --update     # rewrite baselines.json
 
-Each artifact's ``wall_ms`` is compared to the committed entry in
-``benchmarks/baselines.json``; a benchmark regresses when it is more than
-``--tolerance`` (default 0.75 = 75%) slower than its baseline.  Wall time on
-shared CI runners is noisy, so most benches run ``--warn-only`` in CI — but
-benches matching an ``--enforce`` glob (default ``kernel_*``: single-kernel
-microbenches, the least noise-sensitive artifacts) fail the build even under
-``--warn-only``.  Pass ``--enforce ''`` to disable enforcement entirely.
+When the history store (``benchmarks/results/history.jsonl``, maintained by
+``repro telemetry ingest``) holds at least ``--min-samples`` prior runs for
+a benchmark, its fresh ``wall_ms`` is judged by the noise-aware engine in
+:mod:`repro.telemetry.history`: a robust z-score against the median/MAD of
+the last ``--window`` runs, failing only when the excursion is both
+statistically extreme *and* materially slower (ratio guard).  Benchmarks
+without enough history fall back to the static comparison against the
+committed entry in ``benchmarks/baselines.json``: a benchmark regresses
+when it is more than ``--tolerance`` (default 0.75 = 75%) slower than its
+baseline.  Wall time on shared CI runners is noisy, so most benches run
+``--warn-only`` in CI — but benches matching an ``--enforce`` glob (default
+``kernel_*``: single-kernel microbenches, the least noise-sensitive
+artifacts) fail the build even under ``--warn-only``.  Pass ``--enforce ''``
+to disable enforcement entirely.
 
 Two *ratio* checks are noise-immune and therefore always enforced:
 
@@ -60,20 +67,60 @@ def load_results(results_dir: Path) -> dict:
     return out
 
 
-def compare(results: dict, baselines: dict, tolerance: float) -> list:
-    """One row per benchmark: (name, baseline_ms, current_ms, ratio, status)."""
+def load_history(history_path: Path) -> list:
+    """Prior run records from the history store (empty without repro)."""
+    if not history_path.exists():
+        return []
+    try:
+        from repro.telemetry import history
+    except ImportError:
+        print(f"warning: {history_path} present but repro is not importable; "
+              "falling back to static baselines")
+        return []
+    return history.read_history(history_path)
+
+
+def compare(results: dict, baselines: dict, tolerance: float,
+            runs: list = (), window: int = 20, min_samples: int = 5) -> list:
+    """One row per benchmark:
+    ``(name, reference_ms, current_ms, ratio, status, source)``.
+
+    ``source`` is ``history`` when the statistical engine judged the bench
+    (reference = rolling-window median) and ``static`` when the committed
+    baseline did (reference = baseline ``wall_ms``).  A statistical ``FAIL``
+    is reported as ``REGRESSION`` so downstream handling is uniform;
+    ``WARN`` / ``IMPROVED`` / ``PASS`` pass the gate.
+    """
+    engine = None
+    if runs:
+        try:
+            from repro.telemetry import history as engine
+        except ImportError:
+            engine = None
     rows = []
     for name in sorted(set(results) | set(baselines)):
         base = baselines.get(name, {}).get("wall_ms")
         cur = results.get(name, {}).get("wall_ms")
         if cur is None:
-            rows.append((name, base, None, None, "MISSING"))
-        elif base is None:
-            rows.append((name, None, cur, None, "NEW"))
+            rows.append((name, base, None, None, "MISSING", "static"))
+            continue
+        if engine is not None:
+            series = engine.metric_series(runs, name)[-window:]
+            if len(series) >= min_samples:
+                v = engine.robust_verdict(
+                    float(cur), series, min_samples=min_samples
+                )
+                status = "REGRESSION" if v["status"] == "FAIL" else v["status"]
+                rows.append(
+                    (name, v["median"], cur, v["ratio"], status, "history")
+                )
+                continue
+        if base is None:
+            rows.append((name, None, cur, None, "NEW", "static"))
         else:
             ratio = cur / base if base else float("inf")
             status = "REGRESSION" if ratio > 1.0 + tolerance else "OK"
-            rows.append((name, base, cur, ratio, status))
+            rows.append((name, base, cur, ratio, status, "static"))
     return rows
 
 
@@ -153,14 +200,15 @@ def check_flight_mispick(flight_path: Path, max_rate: float) -> list:
 
 
 def render(rows: list) -> str:
-    lines = [f"{'benchmark':40s} {'baseline ms':>12s} {'current ms':>12s} "
-             f"{'ratio':>7s}  status"]
-    for name, base, cur, ratio, status in rows:
+    lines = [f"{'benchmark':40s} {'reference ms':>12s} {'current ms':>12s} "
+             f"{'ratio':>7s} {'source':>8s}  status"]
+    for name, base, cur, ratio, status, source in rows:
         lines.append(
             f"{name:40s} "
             f"{'-' if base is None else format(base, '12.2f'):>12s} "
             f"{'-' if cur is None else format(cur, '12.2f'):>12s} "
-            f"{'-' if ratio is None else format(ratio, '7.2f'):>7s}  {status}"
+            f"{'-' if ratio is None else format(ratio, '7.2f'):>7s} "
+            f"{source:>8s}  {status}"
         )
     return "\n".join(lines)
 
@@ -170,7 +218,18 @@ def main(argv=None) -> int:
     parser.add_argument("--results-dir", type=Path, default=DEFAULT_RESULTS)
     parser.add_argument("--baselines", type=Path, default=DEFAULT_BASELINES)
     parser.add_argument("--tolerance", type=float, default=0.75,
-                        help="allowed slowdown fraction before failing")
+                        help="allowed slowdown fraction before failing "
+                             "(static-baseline fallback path)")
+    parser.add_argument("--history", type=Path, default=None,
+                        metavar="HISTORY.jsonl",
+                        help="run-history store for statistical verdicts "
+                             "(default: <results-dir>/history.jsonl)")
+    parser.add_argument("--window", type=int, default=20,
+                        help="rolling window of prior runs per verdict")
+    parser.add_argument("--min-samples", type=int, default=5,
+                        help="prior history samples required before the "
+                             "statistical engine replaces the static "
+                             "baseline for a bench")
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="required vectorized-vs-serial speedup ratio")
     parser.add_argument("--min-hit-speedup", type=float, default=10.0,
@@ -222,15 +281,23 @@ def main(argv=None) -> int:
         print(f"note: no baselines file at {args.baselines}; "
               "all benchmarks reported as NEW")
 
-    rows = compare(results, baselines, args.tolerance)
+    history_path = args.history or (args.results_dir / "history.jsonl")
+    runs = load_history(history_path)
+    if runs:
+        print(f"history: {len(runs)} prior runs in {history_path}\n")
+    rows = compare(results, baselines, args.tolerance,
+                   runs=runs, window=args.window,
+                   min_samples=args.min_samples)
     print(render(rows))
 
     enforce = args.enforce if args.enforce is not None else ["kernel_*"]
     warnings, enforced = [], []
-    for name, _, _, ratio, status in rows:
+    for name, _, _, ratio, status, source in rows:
         if status != "REGRESSION":
             continue
-        msg = f"{name}: {ratio:.2f}x slower than baseline"
+        ref = ("rolling-window median" if source == "history"
+               else "baseline")
+        msg = f"{name}: {ratio:.2f}x slower than {ref}"
         (enforced if is_enforced(name, enforce) else warnings).append(msg)
     # ratio invariants are noise-immune: always enforced
     enforced += check_speedup_invariant(results, args.min_speedup)

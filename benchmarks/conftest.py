@@ -7,19 +7,22 @@ run reproduces the paper's evaluation artifacts.  CSVs land in
 ``benchmarks/results/``.
 
 Every benchmark additionally emits a standardized ``BENCH_<name>.json``
-next to the CSVs *and* at the repository root (the root copy is the
-machine-readable perf trajectory that future optimization PRs are judged
-against, so it is written unconditionally — even when the benchmark body
-raises): matrix/method (when parametrized), wall milliseconds, wall-clock
-phase breakdown and the full telemetry counter snapshot, plus host info
-and the git SHA.  A session-scoped flight recorder captures every
-``method="auto"`` resolution to ``benchmarks/results/flight.jsonl`` for
-``repro telemetry calibrate``.
+into ``benchmarks/results/`` — the single machine-readable perf artifact
+that ``repro telemetry ingest`` folds into the run-history store and that
+``check_regressions.py`` gates on, so it is written unconditionally — even
+when the benchmark body raises: matrix/method (when parametrized), wall
+milliseconds, wall-clock phase breakdown and the full telemetry counter
+snapshot, plus provenance (``schema_version``, ISO ``timestamp``,
+``hostname``, host info, git SHA).  A session-scoped flight recorder
+captures every ``method="auto"`` resolution to
+``benchmarks/results/flight.jsonl`` for ``repro telemetry calibrate``.
 """
 
 from __future__ import annotations
 
+import datetime
 import json
+import platform
 import re
 import time
 from pathlib import Path
@@ -31,7 +34,9 @@ from repro.telemetry import flight
 from repro.telemetry.events import SCHEMA, git_sha, host_info
 
 RESULTS_DIR = Path(__file__).parent / "results"
-REPO_ROOT = Path(__file__).parent.parent
+
+#: bumped whenever the BENCH_*.json payload layout changes incompatibly
+BENCH_SCHEMA_VERSION = 1
 
 #: matrices used by per-matrix kernel benchmarks — one per structural regime
 BENCH_MATRICES = ["bcspwr10", "benzene", "gupta3", "ecology1", "mycielskian18", "nlpkkt160"]
@@ -84,8 +89,10 @@ def bench_record(request, results_dir):
         matrix = params.get("name") or params.get("matrix")
         method = next((params[k] for k in _METHOD_KEYS if k in params), None)
         snap = tel.snapshot()
+        now = time.time()
         payload = {
             "schema": SCHEMA,
+            "schema_version": BENCH_SCHEMA_VERSION,
             "bench": _bench_name(request.node.nodeid),
             "matrix": matrix,
             "method": method,
@@ -97,10 +104,13 @@ def bench_record(request, results_dir):
             "counters": snap["counters"],
             "gauges": snap["gauges"],
             "host": host_info(),
+            "hostname": platform.node() or "unknown",
             "git_sha": git_sha(),
-            "unix_time": time.time(),
+            "unix_time": now,
+            "timestamp": datetime.datetime.fromtimestamp(
+                now, tz=datetime.timezone.utc
+            ).isoformat(timespec="seconds"),
         }
         text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
         fname = f"BENCH_{payload['bench']}.json"
         (results_dir / fname).write_text(text)
-        (REPO_ROOT / fname).write_text(text)

@@ -293,8 +293,14 @@ def cmd_serve(args) -> int:
     served from the content-hash cache and concurrent duplicates coalesce
     onto one computation.  Prints per-request outcomes and the service
     counters; see ``docs/service.md``.
+
+    SIGTERM/SIGINT trigger a graceful shutdown: the ``/statusz`` state
+    flips to ``shutting-down``, result gathering stops, final telemetry is
+    flushed, and the process exits ``128 + signum``.
     """
     import json
+    import signal
+    import threading
     import time
 
     from repro import telemetry
@@ -331,47 +337,81 @@ def cmd_serve(args) -> int:
     )
     rows = []
     server = None
-    t_total = time.perf_counter()
-    with ReorderService(cfg) as svc:
-        if getattr(args, "listen", None) is not None:
-            from repro.telemetry.prometheus import MetricsServer
+    # graceful-shutdown plumbing: a signal flips the event (and the
+    # /statusz state), the gather/linger loops observe it and unwind
+    stop_event = threading.Event()
+    caught: dict = {}
 
-            server = MetricsServer(
-                telemetry.get().metrics, port=args.listen,
-                status_fn=svc.stats,
-            ).start()
-            print(f"metrics endpoint listening on {server.url}",
-                  file=sys.stderr)
-        # submit everything up front so identical in-flight specs coalesce,
-        # then gather in order
-        loaded = [(spec, _load_spec(spec)) for spec in specs]
-        futures = [
-            (spec, mat, svc.submit(
-                mat, algorithm=args.algorithm, method=args.method,
-            ))
-            for spec, mat in loaded
-        ]
-        for spec, mat, fut in futures:
-            t0 = time.perf_counter()
-            res = fut.result(args.timeout)
-            ms = (time.perf_counter() - t0) * 1e3
-            rows.append({
-                "matrix": spec,
-                "n": mat.n,
-                "nnz": mat.nnz,
-                "method": res.method,
-                "initial_bandwidth": res.initial_bandwidth,
-                "reordered_bandwidth": res.reordered_bandwidth,
-                "wait_ms": ms,
-            })
-        total_s = time.perf_counter() - t_total
-        if server is not None and getattr(args, "linger", 0) > 0:
-            # keep the endpoint scrapeable after the workload drains
-            # (CI smoke tests, manual curl sessions)
-            time.sleep(args.linger)
-        stats = svc.stats()
-    if server is not None:
-        server.stop()
+    def _on_signal(signum, frame):
+        caught["signum"] = signum
+        if server is not None:
+            server.mark_shutdown()
+        stop_event.set()
+
+    old_handlers = {}
+    if threading.current_thread() is threading.main_thread():
+        # signal.signal only works from the main thread; in-process callers
+        # (tests driving main() from a worker thread) just skip the hooks
+        for s in (signal.SIGTERM, signal.SIGINT):
+            old_handlers[s] = signal.signal(s, _on_signal)
+
+    t_total = time.perf_counter()
+    try:
+        with ReorderService(cfg) as svc:
+            if getattr(args, "listen", None) is not None:
+                from repro.telemetry.prometheus import MetricsServer
+
+                calibration_fn = None
+                if getattr(args, "flight", None):
+                    from repro.telemetry import flight as _flight
+
+                    def calibration_fn(path=args.flight):
+                        records = _flight.read_records(path)
+                        return _flight.calibrate(records) if records else None
+
+                server = MetricsServer(
+                    telemetry.get().metrics, port=args.listen,
+                    status_fn=svc.stats, calibration_fn=calibration_fn,
+                ).start()
+                print(f"metrics endpoint listening on {server.url}",
+                      file=sys.stderr)
+            # submit everything up front so identical in-flight specs
+            # coalesce, then gather in order
+            loaded = [(spec, _load_spec(spec)) for spec in specs]
+            futures = [
+                (spec, mat, svc.submit(
+                    mat, algorithm=args.algorithm, method=args.method,
+                ))
+                for spec, mat in loaded
+            ]
+            for spec, mat, fut in futures:
+                if stop_event.is_set():
+                    break
+                t0 = time.perf_counter()
+                res = fut.result(args.timeout)
+                ms = (time.perf_counter() - t0) * 1e3
+                rows.append({
+                    "matrix": spec,
+                    "n": mat.n,
+                    "nnz": mat.nnz,
+                    "method": res.method,
+                    "initial_bandwidth": res.initial_bandwidth,
+                    "reordered_bandwidth": res.reordered_bandwidth,
+                    "wait_ms": ms,
+                })
+            total_s = time.perf_counter() - t_total
+            if (server is not None and getattr(args, "linger", 0) > 0
+                    and not stop_event.is_set()):
+                # keep the endpoint scrapeable after the workload drains
+                # (CI smoke tests, manual curl sessions); a signal cuts
+                # the linger short
+                stop_event.wait(args.linger)
+            stats = svc.stats()
+    finally:
+        if server is not None:
+            server.stop()
+        for s, h in old_handlers.items():
+            signal.signal(s, h)
 
     if args.json:
         print(json.dumps(
@@ -394,18 +434,28 @@ def cmd_serve(args) -> int:
               f"evictions={cache['evictions']}  "
               f"coalesced={stats['service.coalesced']}")
     if getattr(args, "telemetry", None):
+        # the final flush runs on every exit path, signal-driven included
         n = telemetry.get().write_jsonl(
             args.telemetry, meta={"command": "serve", "requests": len(rows)}
         )
         print(f"wrote {n} telemetry events to {args.telemetry}",
               file=sys.stderr if args.json else sys.stdout)
+    if caught:
+        signum = caught["signum"]
+        print(f"serve: shut down on {signal.Signals(signum).name} "
+              f"after {len(rows)}/{len(specs)} requests", file=sys.stderr)
+        return 128 + signum
     return 0
 
 
 def cmd_telemetry(args) -> int:
-    """``telemetry``: flight-recorder analysis and metric inventory.
+    """``telemetry``: trajectory, flight-recorder and inventory analysis.
 
-    ``calibrate FLIGHT.jsonl`` aggregates recorded ``method="auto"``
+    ``ingest`` appends one provenance-stamped run record (every
+    ``BENCH_*.json`` + the flight calibration summary) to the history
+    store; ``trend`` renders noise-aware per-benchmark verdicts over the
+    rolling history window (``--check`` exits non-zero on a statistical
+    FAIL); ``calibrate FLIGHT.jsonl`` aggregates recorded ``method="auto"``
     resolutions into a predicted-vs-actual report with a per-backend
     mispick rate; ``inventory`` prints the generated Prometheus metric
     table embedded in ``docs/observability.md``.
@@ -416,6 +466,69 @@ def cmd_telemetry(args) -> int:
         from repro.telemetry.prometheus import metric_inventory_table
 
         print(metric_inventory_table())
+        return 0
+
+    if args.telemetry_command == "ingest":
+        from repro.telemetry import history
+
+        results_dir = Path(args.results_dir)
+        if not results_dir.is_dir():
+            print(f"ingest: no results directory at {results_dir}",
+                  file=sys.stderr)
+            return 2
+        record = history.build_run_record(
+            results_dir, flight_path=args.flight
+        )
+        if not record["benches"]:
+            print(f"ingest: no BENCH_*.json artifacts in {results_dir}",
+                  file=sys.stderr)
+            return 2
+        store = history.HistoryStore(args.history)
+        store.append(record)
+        print(
+            f"appended run {record['git_sha'][:12]} "
+            f"({len(record['benches'])} benches, "
+            f"calibration={'yes' if record['calibration'] else 'no'}) "
+            f"to {store.path} ({len(store)} runs)"
+        )
+        return 0
+
+    if args.telemetry_command == "trend":
+        from repro.telemetry import history
+
+        path = Path(args.history)
+        runs = history.read_history(path) if path.exists() else []
+        if args.since:
+            runs = history.runs_since(runs, args.since)
+        if not runs:
+            print(f"trend: no history runs in {path}", file=sys.stderr)
+            return 0 if args.warn_only else 2
+        verdicts = history.evaluate_trends(
+            runs, window=args.window, min_samples=args.min_samples,
+        )
+        doc = history.verdict_document(verdicts, history_path=path)
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(f"{len(runs)} runs in {path} "
+                  f"(window {args.window}, min samples {args.min_samples})")
+            print(history.render_trends(verdicts))
+            summary = ", ".join(
+                f"{n} {s}" for s, n in sorted(doc["by_status"].items())
+            )
+            print(f"\nverdicts: {summary}")
+        if args.verdict_out:
+            Path(args.verdict_out).write_text(
+                json.dumps(doc, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"wrote verdict document to {args.verdict_out}",
+                  file=sys.stderr if args.json else sys.stdout)
+        if args.check and doc["failed"]:
+            print(
+                f"trend: statistical regression in {doc['failed']}",
+                file=sys.stderr,
+            )
+            return 0 if args.warn_only else 1
         return 0
 
     # calibrate
@@ -442,6 +555,133 @@ def cmd_telemetry(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    """``inspect``: per-request speculation/quality report for one matrix.
+
+    Runs one fully-instrumented reorder and prints what the run *did*:
+    the level-structure shape (the parallelism ceiling of any
+    level-synchronous execution), the speculation economy (discovered vs
+    dropped work, rediscovery passes, net efficiency), per-worker busy-time
+    load imbalance, and the quality deltas the request actually bought.
+    """
+    import json
+
+    from repro import reorder, telemetry
+    from repro.sparse.bandwidth import envelope_after, envelope_size
+    from repro.sparse.graph import bfs_levels
+
+    tel = telemetry.get()
+    tel.reset()
+    telemetry.enable()
+    mat = _get_input(args)
+    start = "peripheral" if args.peripheral else "min-valence"
+    res = reorder(
+        mat, method=args.method, start=start, n_workers=args.workers
+    )
+
+    # level structure from the first component's chosen start: its width
+    # profile bounds the exploitable parallelism of this request
+    seed = res.start_nodes[0] if res.start_nodes else 0
+    levels = bfs_levels(mat, seed)
+    reached = levels >= 0
+    widths = (
+        np.bincount(levels[reached])
+        if bool(reached.any()) else np.zeros(1, dtype=np.int64)
+    )
+
+    snap = tel.snapshot()
+    counters = snap["counters"]
+    disc = int(counters.get("threads.speculation.discovered", 0))
+    drop = int(counters.get("threads.speculation.dropped", 0))
+    redisc = int(counters.get("threads.speculation.rediscovery_passes", 0))
+    efficiency = snap["gauges"].get("threads.speculation.efficiency")
+    if efficiency is None and disc > 0:
+        efficiency = (disc - drop) / disc
+
+    # per-worker busy nanoseconds over non-Stall spans; max/mean is the
+    # headroom a better steal/assignment policy could still recover
+    busy: dict = {}
+    for r in tel.tracer.records():
+        if r.worker is not None and r.name != "Stall":
+            busy[r.worker] = busy.get(r.worker, 0) + r.duration_ns
+    imbalance = None
+    if busy:
+        mean_ns = sum(busy.values()) / len(busy)
+        imbalance = max(busy.values()) / mean_ns if mean_ns else None
+
+    init_env = envelope_size(mat)
+    reord_env = int(envelope_after(mat, res.permutation))
+    report = {
+        "matrix": args.matrix or args.matrix_file,
+        "n": mat.n,
+        "nnz": mat.nnz,
+        "method": res.method,
+        "workers": args.workers,
+        "wall_ms": res.wall_ms,
+        "levels": {
+            "depth": int(widths.size),
+            "max_width": int(widths.max()) if widths.size else 0,
+            "avg_width": float(widths.mean()) if widths.size else 0.0,
+        },
+        "speculation": {
+            "discovered": disc,
+            "dropped": drop,
+            "rediscovery_passes": redisc,
+            "efficiency": efficiency,
+        },
+        "workers_busy_ms": {
+            str(w): ns / 1e6 for w, ns in sorted(busy.items())
+        },
+        "load_imbalance": imbalance,
+        "quality": {
+            "bandwidth_before": res.initial_bandwidth,
+            "bandwidth_after": res.reordered_bandwidth,
+            "bandwidth_reduction": (
+                1.0 - res.reordered_bandwidth / res.initial_bandwidth
+                if res.initial_bandwidth else None
+            ),
+            "envelope_before": init_env,
+            "envelope_after": reord_env,
+            "envelope_reduction": (
+                1.0 - reord_env / init_env if init_env else None
+            ),
+        },
+    }
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+
+    print(f"matrix={report['matrix']}  n={mat.n}  nnz={mat.nnz}  "
+          f"method={res.method}  workers={args.workers}  "
+          f"wall={res.wall_ms:.3f} ms")
+    lv = report["levels"]
+    print(f"level structure: depth={lv['depth']}  "
+          f"max width={lv['max_width']}  avg width={lv['avg_width']:.1f}")
+    if disc > 0:
+        drop_pct = drop / disc * 100.0
+        print(f"speculation: discovered={disc}  dropped={drop} "
+              f"({drop_pct:.1f}%)  rediscovery passes={redisc}  "
+              f"efficiency={efficiency:.3f}")
+    else:
+        print(f"speculation: none recorded (method={res.method} is not "
+              f"speculative or the run was trivial)")
+    if busy:
+        per_worker = "  ".join(
+            f"w{w}={ms:.2f}ms" for w, ms in
+            ((w, ns / 1e6) for w, ns in sorted(busy.items()))
+        )
+        print(f"worker busy time: {per_worker}")
+        print(f"load imbalance (max/mean busy): {imbalance:.2f}")
+    q = report["quality"]
+    bw_red = q["bandwidth_reduction"]
+    env_red = q["envelope_reduction"]
+    print(f"bandwidth: {q['bandwidth_before']} -> {q['bandwidth_after']}"
+          + (f"  ({bw_red:.1%} reduction)" if bw_red is not None else ""))
+    print(f"envelope:  {q['envelope_before']} -> {q['envelope_after']}"
+          + (f"  ({env_red:.1%} reduction)" if env_red is not None else ""))
     return 0
 
 
@@ -658,9 +898,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "telemetry",
-        help="flight-recorder calibration and metric inventory",
+        help="run history, trends, flight-recorder calibration, inventory",
     )
     tsub = p.add_subparsers(dest="telemetry_command", required=True)
+    tp = tsub.add_parser(
+        "ingest",
+        help="append one provenance-stamped run record to the history store",
+    )
+    tp.add_argument("--results-dir", default="benchmarks/results",
+                    help="directory holding BENCH_*.json artifacts "
+                         "(default: benchmarks/results)")
+    tp.add_argument("--history", default="benchmarks/results/history.jsonl",
+                    help="history store path (append-only JSONL)")
+    tp.add_argument("--flight", default=None, metavar="PATH.jsonl",
+                    help="fold this flight-recorder file's calibration "
+                         "summary into the run record")
+    tp.set_defaults(func=cmd_telemetry)
+    tp = tsub.add_parser(
+        "trend",
+        help="noise-aware per-benchmark trend verdicts over the history",
+    )
+    tp.add_argument("--history", default="benchmarks/results/history.jsonl",
+                    help="history store path (append-only JSONL)")
+    tp.add_argument("--check", action="store_true",
+                    help="exit 1 when any benchmark's verdict is FAIL")
+    tp.add_argument("--since", default=None, metavar="SHA",
+                    help="only consider runs at or after this git sha prefix")
+    tp.add_argument("--window", type=int, default=20,
+                    help="rolling window of prior runs per verdict "
+                         "(default: 20)")
+    tp.add_argument("--min-samples", type=int, default=5,
+                    help="prior samples required before verdicts are "
+                         "statistical; fewer yields SKIP (default: 5)")
+    tp.add_argument("--warn-only", action="store_true",
+                    help="report FAILs but always exit 0 (PR-CI mode)")
+    tp.add_argument("--json", action="store_true",
+                    help="print the machine-readable verdict document")
+    tp.add_argument("--verdict-out", default=None, metavar="PATH.json",
+                    help="also write the verdict document to a file")
+    tp.set_defaults(func=cmd_telemetry)
     tp = tsub.add_parser(
         "calibrate",
         help="predicted-vs-actual report over a flight-recorder file",
@@ -680,6 +956,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the generated Prometheus metric inventory table",
     )
     tp.set_defaults(func=cmd_telemetry)
+
+    p = sub.add_parser(
+        "inspect",
+        help="per-request speculation/quality report for one matrix",
+    )
+    _add_input(p)
+    p.add_argument("--method", default="threads", choices=methods,
+                   help="RCM execution strategy (default: threads — the "
+                        "speculative backend the report is about)")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--peripheral", action="store_true",
+                   help="pseudo-peripheral start node")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.set_defaults(func=cmd_inspect)
 
     p = sub.add_parser(
         "cache", help="inspect or invalidate a disk permutation cache"

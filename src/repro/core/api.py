@@ -32,7 +32,12 @@ from repro import backends
 from repro.backends import resolve_auto_method  # noqa: F401  (re-export)
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.graph import bfs_levels
-from repro.sparse.bandwidth import bandwidth, bandwidth_after
+from repro.sparse.bandwidth import (
+    bandwidth,
+    bandwidth_after,
+    envelope_after,
+    envelope_size,
+)
 from repro.sparse.validate import validate_csr, is_structurally_symmetric
 from repro.core.batches import BatchConfig
 from repro.core.peripheral import find_pseudo_peripheral
@@ -62,6 +67,10 @@ PHASES = (
 #: registered RCM execution methods, snapshotted at import for backward
 #: compatibility — new code should call :func:`repro.backends.names`
 METHODS = backends.names()
+
+#: relative-reduction histogram buckets (reductions live in [0, 1]; a
+#: scramble-regression can go negative, caught by the implicit +Inf tail)
+_REDUCTION_BUCKETS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
 
 
 @dataclass
@@ -250,6 +259,18 @@ def _reorder_rcm(
         )
         init_bw = bandwidth(mat)
         reord_bw = bandwidth_after(mat, perm)
+        if tel.enabled:
+            # per-request quality deltas: how much this request actually
+            # bought (longitudinal signal for the history store / SLOs)
+            if init_bw > 0:
+                tel.histogram(
+                    "request.bandwidth_reduction", buckets=_REDUCTION_BUCKETS
+                ).observe(1.0 - reord_bw / init_bw)
+            init_env = envelope_size(mat)
+            if init_env > 0:
+                tel.histogram(
+                    "request.envelope_reduction", buckets=_REDUCTION_BUCKETS
+                ).observe(1.0 - envelope_after(mat, perm) / init_env)
     phase_ns["assembly"] = time.perf_counter_ns() - t_phase
 
     return ReorderResult(

@@ -219,6 +219,7 @@ def _process_batch(
     vals = state.valence[nodes]
     if tel.enabled:
         tel.counter("threads.speculation.discovered").add(int(nodes.size))
+        tel.histogram("threads.batch.discovered").observe(int(nodes.size))
     s_mid = state.incoming_state(idx)
 
     def redisc():
@@ -227,10 +228,10 @@ def _process_batch(
             with state.mark_lock:
                 alive = state.marks[nodes] >= idx
             if tel.enabled:
+                dropped = int(nodes.size - alive.sum())
                 tel.counter("threads.speculation.rediscovery_passes").add(1)
-                tel.counter("threads.speculation.dropped").add(
-                    int(nodes.size - alive.sum())
-                )
+                tel.counter("threads.speculation.dropped").add(dropped)
+                tel.histogram("threads.batch.dropped").observe(dropped)
             nodes, ppos, vals = nodes[alive], ppos[alive], vals[alive]
 
     def signal_count() -> Optional[dict]:
@@ -371,9 +372,12 @@ def rcm_threads(
     cfg = config or BatchConfig(multibatch=1)
     state = _SharedState(mat, start, total)
     tel = telemetry.get()
+    disc_before = dropped_before = 0
     if tel.enabled:
         tel.gauge("threads.n_workers").set(max(n_threads, 1))
         tel.counter("threads.batches.generated").add(1)  # bootstrap slot
+        disc_before = tel.counter("threads.speculation.discovered").value
+        dropped_before = tel.counter("threads.speculation.dropped").value
     run_span = tel.span(
         "rcm_threads", category="threads", n=mat.n, total=total,
         n_threads=max(n_threads, 1),
@@ -396,6 +400,17 @@ def rcm_threads(
                 raise TimeoutError("threaded RCM worker did not finish")
     finally:
         run_span.__exit__(None, None, None)
+        if tel.enabled:
+            # speculation efficiency of *this* run: the kept fraction of
+            # everything speculatively discovered (1.0 = no wasted work)
+            disc = tel.counter("threads.speculation.discovered").value
+            drop = tel.counter("threads.speculation.dropped").value
+            run_disc = disc - disc_before
+            run_drop = drop - dropped_before
+            if run_disc > 0:
+                tel.gauge("threads.speculation.efficiency").set(
+                    (run_disc - run_drop) / run_disc
+                )
     if state.failure is not None:
         raise RuntimeError("threaded RCM failed") from state.failure
     if state.written != state.total:

@@ -33,6 +33,9 @@ from repro import telemetry
 
 __all__ = ["cuthill_mckee_vectorized", "rcm_vectorized", "vectorized_cycles"]
 
+#: power-of-two frontier-width buckets (frontiers span 1 .. ~1e5 nodes)
+_FRONTIER_BUCKETS = tuple(float(2 ** k) for k in range(18))
+
 
 def cuthill_mckee_vectorized(mat: CSRMatrix, start: int) -> np.ndarray:
     """Cuthill-McKee order of the component reachable from ``start``.
@@ -59,6 +62,7 @@ def cuthill_mckee_vectorized(mat: CSRMatrix, start: int) -> np.ndarray:
 
     n_levels = 0
     n_gathered = 0
+    widths = []
 
     while frontier.size:
         row_start = indptr[frontier]
@@ -98,12 +102,18 @@ def cuthill_mckee_vectorized(mat: CSRMatrix, start: int) -> np.ndarray:
         frontier = nxt
         n_levels += 1
         n_gathered += total
+        widths.append(int(nxt.size))
 
     tel = telemetry.get()
     if tel.enabled:
         tel.counter("vectorized.levels").add(n_levels)
         tel.counter("vectorized.edges_gathered").add(n_gathered)
         tel.counter("vectorized.nodes_ordered").add(tail)
+        # per-level frontier widths: the level-structure shape is what
+        # decides whether a level-synchronous kernel amortizes dispatch
+        hist = tel.histogram("vectorized.frontier", buckets=_FRONTIER_BUCKETS)
+        for w in widths:
+            hist.observe(w)
     return order[:tail].copy()
 
 

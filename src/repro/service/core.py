@@ -38,6 +38,7 @@ the ``service.queue.depth`` gauge.  See ``docs/service.md``.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
@@ -67,6 +68,12 @@ _UNSET = object()
 #: environmental failures that trigger the method fallback chain;
 #: ``ValueError``/``TypeError`` (bad requests) always propagate
 _FALLBACK_EXCEPTIONS = (RuntimeError, OSError, MemoryError)
+
+#: warm-hit latency buckets (sub-millisecond fidelity; hits are lookups,
+#: not computations, so the default ms-flavoured buckets are far too coarse)
+_HIT_LATENCY_BUCKETS = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+)
 
 
 class ServiceError(RuntimeError):
@@ -205,8 +212,15 @@ class ReorderService:
         )
         self._count("requests")
 
+        t_lookup = time.perf_counter_ns()
         hit = self.cache.get(key)
         if hit is not None:
+            tel = telemetry.get()
+            if tel.enabled:
+                # warm-hit latency: the cache lookup *is* the request
+                tel.histogram(
+                    "service.hit_latency_ms", buckets=_HIT_LATENCY_BUCKETS
+                ).observe((time.perf_counter_ns() - t_lookup) / 1e6)
             fut: "Future[ReorderResult]" = Future()
             fut.set_result(hit)
             return fut

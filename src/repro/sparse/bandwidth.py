@@ -23,6 +23,7 @@ __all__ = [
     "max_wavefront",
     "rms_wavefront",
     "bandwidth_after",
+    "envelope_after",
 ]
 
 
@@ -116,3 +117,20 @@ def bandwidth_after(mat: CSRMatrix, perm: np.ndarray) -> int:
     if mat.nnz == 0:
         return 0
     return int(np.max(np.abs(inv[_row_of(mat)] - inv[mat.indices])))
+
+
+def envelope_after(mat: CSRMatrix, perm: np.ndarray) -> int:
+    """Envelope size of ``P A P^T`` without materializing the permuted
+    matrix — the O(nnz) analogue of :func:`bandwidth_after`."""
+    perm = np.asarray(perm, dtype=np.int64)
+    if perm.size != mat.n:
+        raise ValueError("permutation length must equal n")
+    if mat.nnz == 0:
+        return 0
+    inv = np.empty(mat.n, dtype=np.int64)
+    inv[perm] = np.arange(mat.n, dtype=np.int64)
+    new_row = inv[_row_of(mat)]
+    width = np.maximum(new_row - inv[mat.indices], 0)
+    out = np.zeros(mat.n, dtype=np.int64)
+    np.maximum.at(out, new_row, width)
+    return int(out.sum())

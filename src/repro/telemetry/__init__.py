@@ -18,7 +18,12 @@ public API pipeline, the solver and the benchmark drivers.  It bundles:
 * :mod:`repro.telemetry.prometheus` — text exposition + embedded
   ``/metrics`` endpoint for ``repro serve --listen``;
 * :mod:`repro.telemetry.flight` — cost-model flight recorder and the
-  ``repro telemetry calibrate`` predicted-vs-actual analysis.
+  ``repro telemetry calibrate`` predicted-vs-actual analysis;
+* :mod:`repro.telemetry.history` — append-only run-history store and the
+  noise-aware trend verdicts behind ``repro telemetry trend``;
+* :mod:`repro.telemetry.slo` — declarative service-level objectives
+  evaluated live (``/statusz`` health score, ``slo.*`` gauges) and
+  offline against the history store.
 
 Usage — everything hangs off one process-wide :class:`Telemetry` instance::
 
@@ -148,9 +153,12 @@ class Telemetry:
         """The named gauge from the bundled registry."""
         return self.metrics.gauge(name)
 
-    def histogram(self, name: str) -> Histogram:
-        """The named histogram from the bundled registry."""
-        return self.metrics.histogram(name)
+    def histogram(self, name: str, buckets=None) -> Histogram:
+        """The named histogram from the bundled registry.
+
+        ``buckets`` only takes effect at creation (registry semantics).
+        """
+        return self.metrics.histogram(name, buckets)
 
     # -- export ---------------------------------------------------------
     def snapshot(self) -> dict:

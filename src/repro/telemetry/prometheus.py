@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -27,6 +28,7 @@ __all__ = [
     "CONTENT_TYPE",
     "METRIC_INVENTORY",
     "MetricsServer",
+    "escape_label_value",
     "metric_inventory_table",
     "prometheus_name",
     "render_prometheus",
@@ -48,6 +50,21 @@ def prometheus_name(name: str, *, suffix: str = "") -> str:
     if out and out[0].isdigit():
         out = "_" + out
     return out + suffix
+
+
+def escape_label_value(value: str) -> str:
+    """A label value escaped per the text-exposition spec.
+
+    Backslash, double-quote and newline are the three characters the
+    format requires escaping inside ``label="..."`` — in that order, so an
+    already-present backslash never double-escapes the quote that follows.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 def _fmt(value) -> str:
@@ -92,7 +109,7 @@ def render_prometheus(registry) -> str:
         # to_dict keeps bounds as strings in ascending order ("inf" last)
         for le, n in buckets.items():
             cumulative += n
-            bound = "+Inf" if le == "inf" else le
+            bound = "+Inf" if le == "inf" else escape_label_value(le)
             lines.append(f'{pname}_bucket{{le="{bound}"}} {cumulative}')
         if "inf" not in buckets:
             lines.append(f'{pname}_bucket{{le="+Inf"}} {summary["count"]}')
@@ -120,6 +137,7 @@ METRIC_INVENTORY: Tuple[Tuple[str, str, str], ...] = (
     ("service.cache.evictions", "counter", "LRU evictions"),
     ("service.cache.size", "gauge", "entries currently cached"),
     ("service.queue.depth", "gauge", "requests waiting for a slot"),
+    ("service.hit_latency_ms", "histogram", "wall ms to serve a warm cache hit"),
     ("parallel.tasks", "counter", "component tasks dispatched to the pool"),
     ("parallel.matrices", "counter", "matrices processed by `map_matrices`"),
     ("parallel.chunks", "counter", "matrix chunks shipped to the pool"),
@@ -128,9 +146,17 @@ METRIC_INVENTORY: Tuple[Tuple[str, str, str], ...] = (
     ("threads.speculation.*", "counter", "speculation economy (discovered/dropped/rediscovery_passes/sorted_elements)"),
     ("threads.overhangs.*", "counter", "overhang forwarding (forwarded/nodes)"),
     ("threads.n_workers", "gauge", "worker threads serving the run"),
+    ("threads.batch.discovered", "histogram", "speculatively discovered nodes per batch"),
+    ("threads.batch.dropped", "histogram", "nodes dropped per rediscovery pass"),
+    ("threads.speculation.efficiency", "gauge", "kept fraction of speculatively discovered nodes (last run)"),
     ("vectorized.levels", "counter", "BFS levels swept by the vectorized kernel"),
     ("vectorized.edges_gathered", "counter", "CSR edges gathered"),
     ("vectorized.nodes_ordered", "counter", "nodes placed in the permutation"),
+    ("vectorized.frontier", "histogram", "BFS frontier width per level"),
+    ("request.bandwidth_reduction", "histogram", "per-request relative bandwidth reduction (1 - after/before)"),
+    ("request.envelope_reduction", "histogram", "per-request relative envelope (profile) reduction"),
+    ("slo.health_score", "gauge", "fraction of evaluable SLOs currently met"),
+    ("slo.*", "gauge", "per-SLO burn (1.0 = at objective) and ok flag"),
     ("cg.iterations", "counter", "conjugate-gradient iterations"),
     ("cg.spmv", "counter", "sparse matrix-vector products"),
     ("cg.final_relative_residual", "histogram", "relative residual at convergence"),
@@ -173,6 +199,7 @@ class _Handler(BaseHTTPRequestHandler):
         srv: "MetricsServer" = self.server.metrics_server  # type: ignore[attr-defined]
         path = self.path.split("?", 1)[0]
         if path == "/metrics":
+            srv.refresh_slo()
             body = render_prometheus(srv.registry).encode()
             self._reply(200, CONTENT_TYPE, body)
         elif path == "/healthz":
@@ -203,16 +230,27 @@ class MetricsServer:
     :class:`MetricsRegistry` on every scrape, so it can be started before
     the workload and left up for its lifetime.  ``status_fn`` lets the
     owner (the CLI serve loop) splice live service stats into ``/statusz``.
+
+    Every ``/metrics`` scrape and ``/statusz`` read re-evaluates the
+    declarative SLO spec (:mod:`repro.telemetry.slo`) against the live
+    registry, exporting ``slo.*`` gauges and a health score; ``/statusz``
+    additionally reports endpoint ``uptime_s`` and lifecycle ``state``
+    (``serving`` / ``shutting-down`` once :meth:`mark_shutdown` ran).
     """
 
     def __init__(self, registry, port: int = 0, host: str = "127.0.0.1",
-                 status_fn: Optional[Callable[[], dict]] = None) -> None:
+                 status_fn: Optional[Callable[[], dict]] = None,
+                 calibration_fn: Optional[Callable[[], Optional[dict]]] = None,
+                 ) -> None:
         self.registry = registry
         self._status_fn = status_fn
+        self._calibration_fn = calibration_fn
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.metrics_server = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        self._started_unix = time.time()
+        self._shutting_down = False
 
     @property
     def port(self) -> int:
@@ -225,12 +263,45 @@ class MetricsServer:
         host, port = self._httpd.server_address[:2]
         return f"http://{host}:{port}"
 
+    def _calibration(self) -> Optional[dict]:
+        if self._calibration_fn is None:
+            return None
+        try:
+            return self._calibration_fn()
+        except Exception:  # pragma: no cover - defensive
+            return None
+
+    def evaluate_slo(self) -> dict:
+        """The live SLO evaluation over the served registry."""
+        from repro.telemetry import slo
+
+        return slo.evaluate(
+            self.registry.to_dict(), calibration=self._calibration()
+        )
+
+    def refresh_slo(self) -> dict:
+        """Re-evaluate the SLO spec and mirror it onto ``slo.*`` gauges."""
+        from repro.telemetry import slo
+
+        evaluation = self.evaluate_slo()
+        slo.export_gauges(self.registry, evaluation)
+        return evaluation
+
+    def mark_shutdown(self) -> None:
+        """Flip ``/statusz`` state to ``shutting-down`` (graceful drain)."""
+        self._shutting_down = True
+
     def status(self) -> dict:
-        """The ``/statusz`` document: instrument totals + owner stats."""
+        """The ``/statusz`` document: instrument totals + owner stats +
+        SLO health + endpoint lifecycle (uptime, serving/shutting-down)."""
+        evaluation = self.refresh_slo()
         snap = self.registry.to_dict()
         doc: Dict[str, object] = {
             "counters": snap.get("counters", {}),
             "gauges": snap.get("gauges", {}),
+            "slo": evaluation,
+            "uptime_s": time.time() - self._started_unix,
+            "state": "shutting-down" if self._shutting_down else "serving",
         }
         if self._status_fn is not None:
             try:

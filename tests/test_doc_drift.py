@@ -156,6 +156,31 @@ class TestProseDocs:
             "with the output of `python -m repro telemetry inventory`"
         )
 
+    def test_observability_md_documents_the_trajectory_layer(self):
+        # the trajectory/SLO/introspection surfaces shipped together; the
+        # doc must name each command and the history store location
+        text = (DOCS / "observability.md").read_text()
+        for needle in (
+            "repro telemetry trend",
+            "repro telemetry ingest",
+            "repro inspect",
+            "history.jsonl",
+            "repro-history/v1",
+        ):
+            assert needle in text, (
+                f"docs/observability.md missing {needle!r}; see the "
+                "'Trajectory & trends' / 'SLOs' sections"
+            )
+
+    def test_observability_md_names_every_default_slo(self):
+        from repro.telemetry.slo import DEFAULT_SLOS
+
+        text = (DOCS / "observability.md").read_text()
+        for slo in DEFAULT_SLOS:
+            assert slo.name in text, (
+                f"docs/observability.md does not document SLO {slo.name!r}"
+            )
+
     def test_service_doc_exists_and_mentions_counters(self):
         text = (DOCS / "service.md").read_text()
         for counter in (

@@ -61,6 +61,38 @@ class TestRingFile:
         with pytest.raises(ValueError):
             flight.FlightRecorder(tmp_path / "f.jsonl", limit=0)
 
+    def test_concurrent_writers_never_corrupt_the_ring(self, tmp_path):
+        # 8 threads hammering one recorder: every surviving line must
+        # strict-parse and the ring bound must hold throughout
+        import threading
+
+        path = tmp_path / "f.jsonl"
+        limit = 50
+        rec = flight.FlightRecorder(path, limit=limit)
+        n_threads, per_thread = 8, 100
+
+        def writer(tid):
+            for i in range(per_thread):
+                _record(rec, n=tid * per_thread + i)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        lines = path.read_text().strip().splitlines()
+        assert lines, "no records survived"
+        assert len(lines) <= 2 * limit
+        for line in lines:
+            parsed = json.loads(line)  # raises on a torn/interleaved write
+            assert parsed["schema"] == flight.RECORD_SCHEMA
+        records = flight.read_records(path)
+        assert len(records) == len(lines)
+
     def test_read_records_skips_foreign_lines(self, tmp_path):
         path = tmp_path / "f.jsonl"
         rec = flight.FlightRecorder(path)

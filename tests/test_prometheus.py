@@ -17,6 +17,7 @@ from repro.telemetry.prometheus import (
     CONTENT_TYPE,
     METRIC_INVENTORY,
     MetricsServer,
+    escape_label_value,
     metric_inventory_table,
     prometheus_name,
     render_prometheus,
@@ -47,6 +48,35 @@ class TestNaming:
 
     def test_leading_digit_guarded(self):
         assert prometheus_name("2fast") == "_2fast"
+
+
+class TestLabelEscaping:
+    def test_plain_value_untouched(self):
+        assert escape_label_value("0.25") == "0.25"
+
+    def test_backslash_escaped(self):
+        assert escape_label_value(r"C:\path") == "C:\\\\path"
+
+    def test_quote_escaped(self):
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+
+    def test_newline_escaped(self):
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_order_backslash_first(self):
+        # a pre-existing backslash-quote pair must not double-escape: the
+        # backslash pass runs before the quote pass
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_non_string_coerced(self):
+        assert escape_label_value(2.5) == "2.5"
+
+    def test_rendered_bucket_labels_stay_parseable(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(0.5, 1.0)).observe(0.2)
+        for line in render_prometheus(reg).splitlines():
+            if "_bucket" in line:
+                assert line.count('"') % 2 == 0
 
 
 class TestRender:
