@@ -1,11 +1,17 @@
-"""Service-layer throughput: cold compute vs warm cache serving.
+"""Service-layer throughput: cold compute, warm cache serving, batching.
 
 Writes the canonical ``BENCH_service_throughput.json`` artifact (consumed
-by ``check_regressions.py``'s hit-speedup invariant) with the cold
-computation time, the per-request warm cache-hit time and their ratio.
-The acceptance bar: serving a warm hit must be at least **10x** faster
-than the cold compute — the whole point of content-hash caching is that a
-repeated pattern costs a digest plus an array copy, not a BFS.
+by ``check_regressions.py``'s ratio invariants) with:
+
+* the cold computation time, the per-request warm cache-hit time and
+  their ratio — serving a warm hit must be at least **10x** faster than
+  the cold compute (content-hash caching's acceptance bar);
+* the batched-admission rate vs the per-request dispatch rate over the
+  same concurrent workload of distinct patterns — batching must win
+  (``batch_speedup``), because grouped dispatch amortizes the validate
+  phase across the whole batch and collapses N pool hops into one;
+* the wall time of one shared-memory ``map_matrices`` dispatch
+  (``shm_dispatch_ms``, ``None`` where shm is unavailable).
 
 The test is intentionally *not* named ``test_service_throughput``: the
 autouse ``bench_record`` fixture derives its own ``BENCH_<name>.json``
@@ -19,12 +25,61 @@ import json
 import time
 
 from repro.matrices import get_matrix
+from repro.matrices.generators import delaunay_mesh
 from repro.service import ReorderService, ServiceConfig
 from repro.telemetry.events import SCHEMA, host_info
 
 MATRIX = "bcspwr10"
 WARM_ROUNDS = 30
 MIN_HIT_SPEEDUP = 10.0
+
+#: batched-admission workload: distinct small patterns (no cache hits, no
+#: coalescing — every request really computes)
+BATCH_N = 96
+BATCH_WINDOW_MS = 10.0
+BATCH_ROUNDS = 3
+#: bench-level sanity floor; check_regressions.py enforces its own
+MIN_BATCH_SPEEDUP = 1.2
+
+
+def _batch_workload():
+    return [delaunay_mesh(20, seed=i) for i in range(BATCH_N)]
+
+
+def _concurrent_requests_per_s(mats, window_ms, max_batch):
+    """Best-of-rounds rate for the same concurrent submit-all workload,
+    per-request dispatch (``window_ms=0``) or batched admission."""
+    best = 0.0
+    for _ in range(BATCH_ROUNDS):
+        cfg = ServiceConfig(
+            n_workers=2, max_pending=2 * len(mats),
+            batch_window_ms=window_ms, max_batch=max_batch,
+        )
+        with ReorderService(cfg) as svc:
+            t0 = time.perf_counter()
+            futs = [svc.submit(m) for m in mats]
+            for f in futs:
+                f.result(timeout=60)
+            best = max(best, len(mats) / (time.perf_counter() - t0))
+    return best
+
+
+def _shm_dispatch_ms(mats):
+    """Wall ms of one forced-pool ``map_matrices`` dispatch over the
+    shared-memory transport (``None`` when shm/fork is unavailable)."""
+    from repro.parallel import ParallelConfig, map_matrices
+    from repro.parallel import shm
+    from repro.parallel.executor import fork_available
+
+    if not (shm.shm_available() and fork_available()):
+        return None
+    cfg = ParallelConfig(n_workers=2, force_processes=True)
+    map_matrices(mats, method="serial", config=cfg)  # fork + warm once
+    t0 = time.perf_counter()
+    out = map_matrices(mats, method="serial", config=cfg)
+    ms = (time.perf_counter() - t0) * 1e3
+    assert len(out) == len(mats)
+    return ms
 
 
 def test_service_cache_serving(benchmark, results_dir):
@@ -34,17 +89,31 @@ def test_service_cache_serving(benchmark, results_dir):
         cold = svc.reorder(mat)
         cold_ms = (time.perf_counter_ns() - t0) / 1e6
 
-        # manual warm timing for the artifact (pedantic reports separately)
-        t0 = time.perf_counter_ns()
-        for _ in range(WARM_ROUNDS):
-            warm = svc.reorder(mat)
-        warm_ms = (time.perf_counter_ns() - t0) / 1e6 / WARM_ROUNDS
+        # manual warm timing for the artifact (pedantic reports separately);
+        # best-of-reps shields the floor check from scheduler noise
+        warm_ms = float("inf")
+        for _ in range(5):
+            t0 = time.perf_counter_ns()
+            for _ in range(WARM_ROUNDS):
+                warm = svc.reorder(mat)
+            warm_ms = min(
+                warm_ms, (time.perf_counter_ns() - t0) / 1e6 / WARM_ROUNDS
+            )
 
         benchmark.pedantic(svc.reorder, args=(mat,), rounds=5, iterations=3)
         stats = svc.stats()
 
     assert warm.permutation.tobytes() == cold.permutation.tobytes()
     hit_speedup = cold_ms / warm_ms if warm_ms > 0 else float("inf")
+
+    # batched admission vs per-request dispatch, same concurrent workload
+    batch_mats = _batch_workload()
+    single_rps = _concurrent_requests_per_s(batch_mats, 0.0, 16)
+    batched_rps = _concurrent_requests_per_s(
+        batch_mats, BATCH_WINDOW_MS, BATCH_N
+    )
+    batch_speedup = batched_rps / single_rps if single_rps > 0 else None
+    shm_ms = _shm_dispatch_ms(batch_mats)
 
     payload = {
         "schema": SCHEMA,
@@ -58,6 +127,12 @@ def test_service_cache_serving(benchmark, results_dir):
         "warm_ms_per_request": warm_ms,
         "hit_speedup": hit_speedup,
         "warm_requests_per_s": 1000.0 / warm_ms if warm_ms > 0 else None,
+        "single_requests_per_s": single_rps,
+        "batched_requests_per_s": batched_rps,
+        "batch_speedup": batch_speedup,
+        "batch_size": BATCH_N,
+        "batch_window_ms": BATCH_WINDOW_MS,
+        "shm_dispatch_ms": shm_ms,
         "service_stats": stats,
         "host": host_info(),
         "unix_time": time.time(),
@@ -65,10 +140,15 @@ def test_service_cache_serving(benchmark, results_dir):
     out = results_dir / "BENCH_service_throughput.json"
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
-    # acceptance invariant, also enforced by check_regressions.py
+    # acceptance invariants, also enforced by check_regressions.py
     assert hit_speedup >= MIN_HIT_SPEEDUP, (
         f"warm cache hit only {hit_speedup:.1f}x faster than cold compute "
         f"(cold {cold_ms:.2f}ms, warm {warm_ms:.4f}ms)"
+    )
+    assert batch_speedup is not None and batch_speedup >= MIN_BATCH_SPEEDUP, (
+        f"batched admission only {batch_speedup:.2f}x the per-request "
+        f"dispatch rate (batched {batched_rps:.0f}/s, single "
+        f"{single_rps:.0f}/s over {BATCH_N} distinct patterns)"
     )
 
 

@@ -23,7 +23,8 @@ baseline.  Wall time on shared CI runners is noisy, so most benches run
 artifacts) fail the build even under ``--warn-only``.  Pass ``--enforce ''``
 to disable enforcement entirely.
 
-Two *ratio* checks are noise-immune and therefore always enforced:
+Several checks are noise-immune (same-machine ratios, or floors with wide
+slack) and therefore always enforced:
 
 * ``speedups_vs_serial["vectorized"]`` in the speedup artifact must stay
   above ``--min-speedup`` (default 1.0) — the vectorized kernel beating the
@@ -31,7 +32,14 @@ Two *ratio* checks are noise-immune and therefore always enforced:
 * ``hit_speedup`` in the service artifact must stay above
   ``--min-hit-speedup`` (default 10.0) — serving a warm cache hit an order
   of magnitude faster than a cold compute is the service layer's acceptance
-  bar (``benchmarks/bench_service.py``).
+  bar (``benchmarks/bench_service.py``);
+* ``batch_speedup`` in the service artifact must stay above
+  ``--min-batch-speedup`` (default 1.3) — batched admission beating
+  per-request dispatch over the same concurrent workload is the batch
+  API's acceptance bar;
+* ``warm_requests_per_s`` must not fall below ``1 - --max-warm-slowdown``
+  (default 0.5) of its committed baseline — a generous floor that catches
+  a wrecked warm path, not runner noise.
 
 When a flight-recorder file is present (``<results-dir>/flight.jsonl`` or
 ``--flight``), the ``method="auto"`` cost model is additionally gated: a
@@ -146,6 +154,52 @@ def check_service_invariant(results: dict, min_hit_speedup: float) -> list:
     return problems
 
 
+def check_batch_invariant(results: dict, min_batch_speedup: float) -> list:
+    """Batched admission must beat per-request dispatch (noise immune:
+    both rates are measured back-to-back on the same machine)."""
+    problems = []
+    payload = results.get("service_throughput")
+    if payload is None:
+        return problems
+    ratio = payload.get("batch_speedup")
+    if ratio is None:
+        problems.append("service_throughput artifact lacks 'batch_speedup'")
+    elif ratio < min_batch_speedup:
+        problems.append(
+            f"batched admission is only {ratio:.2f}x the per-request "
+            f"dispatch rate (must stay >= {min_batch_speedup:.2f}x; "
+            f"batched {payload.get('batched_requests_per_s', 0):.0f}/s, "
+            f"single {payload.get('single_requests_per_s', 0):.0f}/s)"
+        )
+    return problems
+
+
+def check_warm_rate_floor(results: dict, baselines: dict,
+                          max_warm_slowdown: float) -> list:
+    """The warm cache-hit rate must not collapse vs the committed baseline.
+
+    Absolute rates vary across machines, so the floor is generous: fail
+    only when the current rate drops below ``(1 - max_warm_slowdown)`` of
+    the baseline ``warm_requests_per_s`` — catching a wrecked warm path
+    (e.g. admission batching leaking into cache hits), not runner noise.
+    Silently passes when the baseline predates the field.
+    """
+    payload = results.get("service_throughput")
+    base = baselines.get("service_throughput", {}).get("warm_requests_per_s")
+    if payload is None or base is None:
+        return []
+    cur = payload.get("warm_requests_per_s")
+    if cur is None:
+        return ["service_throughput artifact lacks 'warm_requests_per_s'"]
+    floor = base * (1.0 - max_warm_slowdown)
+    if cur < floor:
+        return [
+            f"warm cache-hit rate {cur:.0f}/s fell below {floor:.0f}/s "
+            f"({1.0 - max_warm_slowdown:.0%} of the {base:.0f}/s baseline)"
+        ]
+    return []
+
+
 def check_speedup_invariant(results: dict, min_speedup: float) -> list:
     """The vectorized-beats-serial ratio check (hardware-noise immune)."""
     problems = []
@@ -234,6 +288,12 @@ def main(argv=None) -> int:
                         help="required vectorized-vs-serial speedup ratio")
     parser.add_argument("--min-hit-speedup", type=float, default=10.0,
                         help="required service cache-hit vs cold-compute ratio")
+    parser.add_argument("--min-batch-speedup", type=float, default=1.3,
+                        help="required batched-admission vs per-request "
+                             "dispatch rate ratio")
+    parser.add_argument("--max-warm-slowdown", type=float, default=0.5,
+                        help="allowed fractional drop of warm_requests_per_s "
+                             "below its committed baseline before failing")
     parser.add_argument("--flight", type=Path, default=None,
                         metavar="FLIGHT.jsonl",
                         help="flight-recorder file to gate on (default: "
@@ -264,6 +324,11 @@ def main(argv=None) -> int:
                 "wall_ms": payload.get("wall_ms"),
                 "matrix": payload.get("matrix"),
                 "method": payload.get("method"),
+                **(
+                    {"warm_requests_per_s": payload["warm_requests_per_s"]}
+                    if payload.get("warm_requests_per_s") is not None
+                    else {}
+                ),
             }
             for name, payload in results.items()
             if payload.get("wall_ms") is not None
@@ -302,6 +367,9 @@ def main(argv=None) -> int:
     # ratio invariants are noise-immune: always enforced
     enforced += check_speedup_invariant(results, args.min_speedup)
     enforced += check_service_invariant(results, args.min_hit_speedup)
+    enforced += check_batch_invariant(results, args.min_batch_speedup)
+    enforced += check_warm_rate_floor(results, baselines,
+                                      args.max_warm_slowdown)
     flight_path = args.flight or (args.results_dir / "flight.jsonl")
     mispick_problems = check_flight_mispick(flight_path,
                                             args.max_mispick_rate)

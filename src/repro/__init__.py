@@ -8,7 +8,9 @@ on a deterministic simulated multicore CPU / many-core GPU (plus a
 real-thread backend), together with the paper's baselines, test-set
 analogues and the complete experiment harness — behind one unified entry
 point, :func:`repro.reorder`, whose fast path is a level-synchronous NumPy
-kernel with optional per-component process parallelism.
+kernel with optional per-component process parallelism.  Batches go
+through :func:`repro.reorder_many`: one amortized dispatch over the
+zero-copy shared-memory transport and the persistent process pool.
 
 Quickstart::
 
@@ -20,14 +22,20 @@ Quickstart::
     reordered = mat.permute_symmetric(result.permutation)
     print(result.initial_bandwidth, "->", result.reordered_bandwidth)
 
-``reverse_cuthill_mckee`` remains as a deprecation shim; see ``docs/api.md``
-for the migration guide.
+    results = repro.reorder_many([mat1, mat2, mat3])   # one dispatch
+
+Every intentional failure derives from :class:`repro.errors.ReproError`
+(see :mod:`repro.errors` for the hierarchy).  The pre-facade entry points
+(``reverse_cuthill_mckee``, ``orderings.api.order``) finished their
+deprecation cycle in 1.2 and now raise
+:class:`repro.errors.RemovedAPIError`; see ``docs/api.md`` for the
+migration guide.
 """
 
-from repro import backends
+from repro import backends, errors
 from repro.sparse import CSRMatrix, coo_to_csr, bandwidth
 from repro.core.api import reverse_cuthill_mckee, ReorderResult, METHODS
-from repro.facade import reorder, ALGORITHMS
+from repro.facade import reorder, reorder_many, ALGORITHMS
 from repro.service import PermutationCache, ReorderService, ServiceConfig
 from repro.core import (
     cuthill_mckee,
@@ -40,14 +48,16 @@ from repro.core import (
 )
 from repro.machine.costmodel import CPUCostModel, GPUCostModel
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "backends",
+    "errors",
     "CSRMatrix",
     "coo_to_csr",
     "bandwidth",
     "reorder",
+    "reorder_many",
     "ALGORITHMS",
     "ReorderService",
     "ServiceConfig",

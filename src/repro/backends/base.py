@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.errors import BackendUnavailableError
 from repro.validation import choices_text
 
 __all__ = [
@@ -83,10 +84,15 @@ class Backend:
     flags drive the generated capability table, the degradation chains and
     cache-key documentation.  ``cost_estimate(n, nnz, n_components)``
     returns estimated cycles for the auto-selector; backends without one
-    (``auto_candidate=False``) are never auto-picked.  ``fallback_rank``
-    orders the declarative degradation chain: backends with a rank are
-    appended (ascending) to every chain; ``None`` means the backend never
-    serves as a degradation target.
+    (``auto_candidate=False``) are never auto-picked.  ``setup_cycles``
+    names the one-time dispatch setup portion *inside* that estimate (pool
+    fork + warm-up for the process backend, zero for in-process backends):
+    when a batch of ``k`` requests shares one dispatch, the setup is paid
+    once, so :meth:`estimate` amortizes it to ``setup_cycles / k`` — which
+    is how ``auto`` can pick differently for a 64-matrix batch than for a
+    singleton.  ``fallback_rank`` orders the declarative degradation
+    chain: backends with a rank are appended (ascending) to every chain;
+    ``None`` means the backend never serves as a degradation target.
     """
 
     name: str
@@ -103,6 +109,7 @@ class Backend:
     cost_estimate: Optional[Callable[[int, int, int], float]] = field(
         default=None, repr=False
     )
+    setup_cycles: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -120,12 +127,24 @@ class Backend:
                 f"auto candidate {self.name!r} needs a cost_estimate hook"
             )
 
-    def estimate(self, n: int, nnz: int, n_components: int = 1) -> float:
+    def estimate(
+        self, n: int, nnz: int, n_components: int = 1, batch: int = 1
+    ) -> float:
         """Estimated cycles on an ``(n, nnz, n_components)`` pattern
-        (``inf`` when the backend declares no cost model)."""
+        (``inf`` when the backend declares no cost model).
+
+        ``batch`` is the number of same-shaped requests sharing one
+        dispatch: the ``setup_cycles`` portion of the estimate is charged
+        once per dispatch, so the per-request price becomes
+        ``cost - setup_cycles + setup_cycles / batch``.
+        """
         if self.cost_estimate is None:
             return float("inf")
-        return float(self.cost_estimate(n, nnz, max(n_components, 1)))
+        cost = float(self.cost_estimate(n, nnz, max(n_components, 1)))
+        batch = max(int(batch), 1)
+        if batch > 1 and self.setup_cycles:
+            cost = cost - self.setup_cycles + self.setup_cycles / batch
+        return cost
 
     def capabilities(self) -> dict:
         """JSON-serializable capability row (``repro backends --json``)."""
@@ -181,7 +200,7 @@ def get(name: str) -> Backend:
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise ValueError(
+        raise BackendUnavailableError(
             f"method must be one of {choices_text(method_choices())}; "
             f"got {name!r}"
         ) from None
@@ -203,7 +222,8 @@ def method_choices() -> Tuple[str, ...]:
 
 
 def auto_estimates(
-    n: int, nnz: Optional[int] = None, n_components: int = 1
+    n: int, nnz: Optional[int] = None, n_components: int = 1,
+    batch: int = 1,
 ) -> Dict[str, float]:
     """Every auto candidate's cost estimate for a pattern, by method name.
 
@@ -212,30 +232,39 @@ def auto_estimates(
     the pick against the measured wall time.  Insertion order is
     registration order (the tie-break order).  ``nnz=None`` assumes an
     average valence of 4 — the mesh-like prior of the paper's test set —
-    for callers that only know the node count.
+    for callers that only know the node count.  ``batch`` is the number of
+    requests sharing one dispatch: each backend amortizes its
+    ``setup_cycles`` across the batch (see :meth:`Backend.estimate`), so a
+    batch of 64 can price the process pool below the in-process kernels
+    where a singleton would not.
     """
     if nnz is None:
         nnz = 4 * n
     estimates = {
-        b.name: b.estimate(n, nnz, n_components)
+        b.name: b.estimate(n, nnz, n_components, batch)
         for b in _REGISTRY.values() if b.auto_candidate
     }
     if not estimates:
-        raise ValueError("no auto-candidate backends are registered")
+        raise BackendUnavailableError(
+            "no auto-candidate backends are registered"
+        )
     return estimates
 
 
 def resolve_auto_method(
-    n: int, nnz: Optional[int] = None, n_components: int = 1
+    n: int, nnz: Optional[int] = None, n_components: int = 1,
+    batch: int = 1,
 ) -> str:
     """The concrete backend ``method="auto"`` selects for a pattern.
 
     Cost-model-driven: every ``auto_candidate`` backend prices the pattern
-    through its ``cost_estimate(n, nnz, n_components)`` hook and the
-    cheapest wins (ties break toward earlier registration, i.e. the serial
-    reference — dict insertion order preserves it through ``min``).
+    through its ``cost_estimate(n, nnz, n_components)`` hook — amortizing
+    its declared ``setup_cycles`` across ``batch`` co-dispatched requests
+    — and the cheapest wins (ties break toward earlier registration, i.e.
+    the serial reference — dict insertion order preserves it through
+    ``min``).
     """
-    estimates = auto_estimates(n, nnz, n_components)
+    estimates = auto_estimates(n, nnz, n_components, batch)
     return min(estimates, key=estimates.__getitem__)
 
 
@@ -272,7 +301,7 @@ def in_process_fallback(method: str = KIND_PROCESS) -> str:
         backend = _REGISTRY.get(name)
         if backend is not None and backend.kind != KIND_PROCESS:
             return name
-    raise ValueError(
+    raise BackendUnavailableError(
         f"no in-process degradation target registered for {method!r}"
     )
 

@@ -201,6 +201,7 @@ register(Backend(
     honors_n_workers=True,
     auto_candidate=True,
     cost_estimate=_parallel_cost,
+    setup_cycles=POOL_STARTUP_CYCLES,
 ))
 
 register(Backend(

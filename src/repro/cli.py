@@ -334,6 +334,8 @@ def cmd_serve(args) -> int:
         cache_capacity=args.capacity,
         disk_dir=args.cache_dir,
         request_timeout=args.timeout,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
     )
     rows = []
     server = None
@@ -876,6 +878,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="in-memory cache entries (LRU bound)")
     p.add_argument("--max-pending", type=int, default=64,
                    help="bounded submission queue size")
+    p.add_argument("--batch-window-ms", type=float, default=0.0,
+                   metavar="MS",
+                   help="batched admission: hold requests up to MS "
+                        "milliseconds and dispatch them as one group "
+                        "(0 = per-request dispatch, the default)")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="max requests per admission batch (default 16)")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-request timeout in seconds")
     p.add_argument("--cache-dir", default=None,

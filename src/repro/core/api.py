@@ -2,8 +2,9 @@
 
 The single public entry point of the library is :func:`repro.reorder`
 (see :mod:`repro.facade`); this module implements the RCM execution pipeline
-behind it.  :func:`reverse_cuthill_mckee` remains as a thin deprecation shim
-for pre-facade callers.
+behind it.  The pre-facade entry point :func:`reverse_cuthill_mckee`
+finished its deprecation cycle in 1.2 and now raises
+:class:`repro.errors.RemovedAPIError`.
 
 :func:`_reorder_rcm` validates the matrix, decomposes it into connected
 components, picks a start node per component (explicitly, by minimum
@@ -22,7 +23,6 @@ global permutation each component's RCM block is reversed *within itself*.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
@@ -38,7 +38,11 @@ from repro.sparse.bandwidth import (
     envelope_after,
     envelope_size,
 )
-from repro.sparse.validate import validate_csr, is_structurally_symmetric
+from repro.sparse.validate import (
+    check_batch,
+    is_structurally_symmetric,
+    validate_csr,
+)
 from repro.core.batches import BatchConfig
 from repro.core.peripheral import find_pseudo_peripheral
 from repro.machine.stats import RunStats
@@ -152,6 +156,34 @@ def _pick_start(mat: CSRMatrix, members: np.ndarray, start) -> int:
     raise AssertionError(start)  # pragma: no cover - validated upstream
 
 
+def _prevalidate_batch(mats: List[CSRMatrix]) -> np.ndarray:
+    """Run the validate phase for a whole batch in one vectorized pass.
+
+    The batch counterpart of the validate phase in :func:`_reorder_rcm`:
+    one :func:`repro.sparse.validate.check_batch` pass over the
+    block-diagonal union replaces ``len(mats)`` per-matrix passes, and
+    yields each matrix's initial bandwidth for free.  Callers hand those
+    down as ``_initial_bw`` so the per-matrix pipeline skips the checks.
+    Matrices must already be symmetrized.  When the vectorized pass finds
+    the batch invalid, the per-matrix checks rerun so the error raised is
+    the exact one the single-matrix path raises.
+    """
+    bws = check_batch(mats)
+    if bws is not None:
+        return bws
+    for m in mats:
+        validate_csr(m, require_sorted=True)
+        if not is_structurally_symmetric(m):
+            raise ValueError(
+                "matrix pattern is not symmetric; pass symmetrize=True or call "
+                "CSRMatrix.symmetrize() first"
+            )
+    # the vectorized pass was conservative; fall back to per-matrix metrics
+    return np.fromiter(
+        (bandwidth(m) for m in mats), dtype=np.int64, count=len(mats)
+    )
+
+
 def _reorder_rcm(
     mat: CSRMatrix,
     *,
@@ -161,29 +193,34 @@ def _reorder_rcm(
     config: Optional[BatchConfig] = None,
     symmetrize: bool = False,
     seed: int = 0,
+    _initial_bw: Optional[int] = None,
 ) -> "ReorderResult":
     """RCM pipeline implementation (no deprecation warning; see
     :func:`repro.reorder` for the public facade and parameter docs).
 
     ``n_workers`` is validated at the facade boundary
-    (:func:`repro.facade.reorder`); this layer trusts it.
+    (:func:`repro.facade.reorder`); this layer trusts it.  ``_initial_bw``
+    is the batch path's private contract: a bandwidth precomputed by
+    :func:`_prevalidate_batch` certifies the matrix already passed the
+    validate phase (symmetrize included), so both are skipped here.
     """
     check_choice("method", method, backends.method_choices())
     check_start(start, mat.n)
     tel = telemetry.get()
     phase_ns: Dict[str, int] = {p: 0 for p in PHASES}
 
-    t_phase = time.perf_counter_ns()
-    with tel.span("validate", category="api", n=mat.n, nnz=mat.nnz):
-        if symmetrize:
-            mat = mat.symmetrize()
-        validate_csr(mat, require_sorted=True)
-        if not is_structurally_symmetric(mat):
-            raise ValueError(
-                "matrix pattern is not symmetric; pass symmetrize=True or call "
-                "CSRMatrix.symmetrize() first"
-            )
-    phase_ns["validate"] = time.perf_counter_ns() - t_phase
+    if _initial_bw is None:
+        t_phase = time.perf_counter_ns()
+        with tel.span("validate", category="api", n=mat.n, nnz=mat.nnz):
+            if symmetrize:
+                mat = mat.symmetrize()
+            validate_csr(mat, require_sorted=True)
+            if not is_structurally_symmetric(mat):
+                raise ValueError(
+                    "matrix pattern is not symmetric; pass symmetrize=True "
+                    "or call CSRMatrix.symmetrize() first"
+                )
+        phase_ns["validate"] = time.perf_counter_ns() - t_phase
 
     t_phase = time.perf_counter_ns()
     with tel.span("components", category="api") as sp:
@@ -257,7 +294,7 @@ def _reorder_rcm(
             np.concatenate(perm_parts) if perm_parts
             else np.zeros(0, dtype=np.int64)
         )
-        init_bw = bandwidth(mat)
+        init_bw = bandwidth(mat) if _initial_bw is None else int(_initial_bw)
         reord_bw = bandwidth_after(mat, perm)
         if tel.enabled:
             # per-request quality deltas: how much this request actually
@@ -285,36 +322,23 @@ def _reorder_rcm(
     )
 
 
-def reverse_cuthill_mckee(
-    mat: CSRMatrix,
-    *,
-    method: str = "serial",
-    start: Union[int, str] = "min-valence",
-    n_workers: int = 4,
-    config: Optional[BatchConfig] = None,
-    symmetrize: bool = False,
-    seed: int = 0,
-) -> ReorderResult:
-    """Deprecated pre-facade entry point — use :func:`repro.reorder`.
+def reverse_cuthill_mckee(*args, **kwargs):
+    """Removed pre-facade entry point — use :func:`repro.reorder`.
 
-    Identical semantics to ``repro.reorder(mat, algorithm="rcm", ...)``
-    except that ``method`` defaults to ``"serial"`` for backward
-    compatibility.  See :func:`repro.facade.reorder` for parameter docs.
+    Deprecated in 1.1 (with a working shim), removed in 1.2.  The facade
+    call with identical semantics is
+    ``repro.reorder(mat, algorithm="rcm", method="serial", ...)`` — note
+    the facade's ``method`` defaults to ``"auto"`` where this entry point
+    defaulted to ``"serial"``.
 
     .. deprecated:: 1.1
-       call ``repro.reorder(mat, algorithm="rcm", method=..., ...)``.
+    .. versionremoved:: 1.2
+       raises :class:`repro.errors.RemovedAPIError`.
     """
-    warnings.warn(
-        "reverse_cuthill_mckee() is deprecated; use "
-        "repro.reorder(mat, algorithm='rcm', method=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    # delegate through the facade so validation (n_workers bounds etc.)
-    # happens exactly once, at the public boundary
-    from repro.facade import reorder
+    from repro.errors import RemovedAPIError
 
-    return reorder(
-        mat, algorithm="rcm", method=method, start=start,
-        n_workers=n_workers, config=config, symmetrize=symmetrize, seed=seed,
+    raise RemovedAPIError(
+        "reverse_cuthill_mckee() was removed in 1.2; call "
+        "repro.reorder(mat, algorithm='rcm', method='serial', ...) instead "
+        "(method='auto' for the cost-model selector)"
     )

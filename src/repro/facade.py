@@ -29,12 +29,29 @@ Passing ``cache=`` (a :class:`repro.service.PermutationCache`) makes the
 call content-addressed: a pattern + options seen before is served from the
 cache without recomputation.  :class:`repro.service.ReorderService` builds
 coalescing and admission control on top of the same path.
+
+Batches are first-class: :func:`reorder_many` reorders a whole list of
+matrices as **one dispatch** — matrices grouped by resolved backend, shipped
+through the zero-copy shared-memory transport to the persistent process
+pool (:func:`repro.parallel.map_matrices`), ``method="auto"`` priced with
+the batch-aware cost term (``setup_cycles`` amortized over the batch; see
+:meth:`repro.backends.Backend.estimate`).  Results are byte-identical to
+calling :func:`reorder` per matrix.  Set ``REPRO_NO_SHM=1`` to opt out of
+shared memory (the legacy pickle transport runs instead).
+
+Errors: everything either entry point raises on purpose derives from
+:class:`repro.errors.ReproError` — :class:`repro.errors.ValidationError`
+(a ``ValueError``) for bad arguments, :class:`repro.errors.BackendUnavailableError`
+for unknown methods; the service layer adds
+:class:`repro.errors.ServiceOverloadedError` /
+:class:`repro.errors.ServiceTimeoutError`.  See :mod:`repro.errors` for
+the full hierarchy.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -48,7 +65,7 @@ from repro.validation import check_choice, check_min, check_start, choices_text
 from repro import telemetry
 from repro.telemetry import context as tctx
 
-__all__ = ["reorder", "ALGORITHMS", "METHODS"]
+__all__ = ["reorder", "reorder_many", "ALGORITHMS", "METHODS"]
 
 #: every ordering heuristic the facade dispatches to
 ALGORITHMS = ("rcm", "sloan", "gps", "king", "minimum-degree", "spectral")
@@ -190,6 +207,154 @@ def reorder(
         res = compute()
         cache.put(key, res)
         return res
+
+
+def reorder_many(
+    mats: Sequence[CSRMatrix],
+    *,
+    algorithm: str = "rcm",
+    method: str = "auto",
+    start: Union[int, str] = "min-valence",
+    n_workers: int = 4,
+    config: Optional[BatchConfig] = None,
+    symmetrize: bool = False,
+    seed: int = 0,
+    cache=None,
+) -> List[ReorderResult]:
+    """Reorder a batch of patterns as one amortized dispatch.
+
+    The batch counterpart of :func:`reorder`: same keyword surface, one
+    :class:`~repro.core.api.ReorderResult` per input matrix, in order, each
+    **byte-identical** to the corresponding single :func:`reorder` call.
+    What changes is the execution economics:
+
+    * ``method="auto"`` prices every backend with the batch-aware cost
+      term — each backend's one-time ``setup_cycles`` (pool fork/warm-up)
+      is amortized over the whole batch
+      (:func:`repro.backends.resolve_auto_method` with ``batch=len(mats)``)
+      — so a 64-matrix batch can justify the process pool where a
+      singleton cannot;
+    * matrices are grouped by resolved backend and each group runs as
+      **one** executor dispatch (:func:`repro.parallel.map_matrices`):
+      CSR payloads travel via the zero-copy shared-memory transport, the
+      persistent pool is warmed once and reused (``REPRO_NO_SHM=1`` opts
+      back into the pickle transport);
+    * with ``cache=`` given, hits are served per matrix up front
+      (``phase_ns={"cache": <ns>}``) and only the misses are dispatched;
+      every computed result is cached on the way out.
+
+    Requests that need per-call machinery a grouped dispatch cannot carry
+    (non-RCM algorithms, an explicit simulated-machine ``config``, a
+    nonzero ``seed``, or ``method="parallel"``, which manages its own
+    pool) fall back to a per-matrix loop over the same pipeline — results
+    are identical either way.
+    """
+    check_choice("algorithm", algorithm, ALGORITHMS)
+    check_min("n_workers", n_workers, 1)
+    if algorithm == "rcm":
+        check_choice("method", method, backends.method_choices())
+    mats = list(mats)
+    results: List[Optional[ReorderResult]] = [None] * len(mats)
+    if not mats:
+        return []
+
+    trace_scope = (
+        tctx.ensure_context() if telemetry.get().enabled
+        else tctx.activate(None)
+    )
+    with trace_scope:
+        # cache tier first: serve hits, dispatch only the misses
+        keys: List[Optional[object]] = [None] * len(mats)
+        pend: List[int] = []
+        if cache is not None:
+            from repro.service.keys import cache_key
+
+            for i, m in enumerate(mats):
+                keys[i] = cache_key(
+                    m, algorithm=algorithm, method=method, start=start,
+                    symmetrize=symmetrize,
+                )
+                t0 = time.perf_counter_ns()
+                hit = cache.get(keys[i])
+                if hit is not None:
+                    hit.phase_ns = {"cache": time.perf_counter_ns() - t0}
+                    results[i] = hit
+                else:
+                    pend.append(i)
+        else:
+            pend = list(range(len(mats)))
+
+        if pend:
+            computed = _compute_many(
+                [mats[i] for i in pend], algorithm=algorithm, method=method,
+                start=start, n_workers=n_workers, config=config,
+                symmetrize=symmetrize, seed=seed,
+            )
+            for i, res in zip(pend, computed):
+                results[i] = res
+                if cache is not None:
+                    cache.put(keys[i], res)
+    return results  # type: ignore[return-value]
+
+
+def _compute_many(
+    mats: List[CSRMatrix], *, algorithm: str, method: str,
+    start: Union[int, str], n_workers: int, config, symmetrize: bool,
+    seed: int,
+) -> List[ReorderResult]:
+    """Grouped batch execution (no cache tier) — the one code path behind
+    both :func:`reorder_many` and the service's batched admission, so the
+    two surfaces cannot drift apart."""
+    from repro.parallel import ParallelConfig, map_matrices
+
+    one_by_one = (
+        algorithm != "rcm" or config is not None or seed != 0
+    )
+    if one_by_one:
+        return [
+            reorder(
+                m, algorithm=algorithm, method=method, start=start,
+                n_workers=n_workers, config=config, symmetrize=symmetrize,
+                seed=seed,
+            )
+            for m in mats
+        ]
+
+    # group by the backend that will actually run; "auto" resolves with
+    # the dispatch-amortized batch term
+    groups: Dict[str, List[int]] = {}
+    for i, m in enumerate(mats):
+        resolved = method
+        if resolved == "auto":
+            resolved = backends.resolve_auto_method(
+                m.n, m.nnz, 1, batch=len(mats)
+            )
+        groups.setdefault(resolved, []).append(i)
+
+    results: List[Optional[ReorderResult]] = [None] * len(mats)
+    tel = telemetry.get()
+    with tel.span(
+        "reorder_many", category="api",
+        n_matrices=len(mats), n_groups=len(groups),
+    ):
+        for resolved, idxs in groups.items():
+            if resolved == "parallel" or len(idxs) == 1:
+                # the process backend schedules components itself (and a
+                # pool inside a pool worker cannot fork) — run per matrix
+                for i in idxs:
+                    results[i] = _reorder_rcm(
+                        mats[i], method=resolved, start=start,
+                        n_workers=n_workers, symmetrize=symmetrize,
+                    )
+            else:
+                out = map_matrices(
+                    [mats[i] for i in idxs], method=resolved, start=start,
+                    symmetrize=symmetrize,
+                    config=ParallelConfig(n_workers=n_workers),
+                )
+                for i, res in zip(idxs, out):
+                    results[i] = res
+    return results  # type: ignore[return-value]
 
 
 def _reorder_direct(

@@ -9,7 +9,7 @@ downloaded file through the right reader — so
 
     url = suitesparse_url("gupta3")           # fetch this yourself
     mat = load_suitesparse("~/Downloads/gupta3.mtx.gz")
-    reverse_cuthill_mckee(mat, method="batch-cpu", n_workers=12)
+    repro.reorder(mat, method="batch-cpu", n_workers=12)
 
 reproduces the paper's experiments on its actual inputs.
 """

@@ -1,9 +1,9 @@
 """Legacy ordering dispatcher — superseded by :func:`repro.reorder`.
 
-``order(mat, algorithm)`` remains as a thin deprecation shim over the
-unified facade; new code should call ``repro.reorder(mat, algorithm=...)``
-and read the permutation off the returned
-:class:`~repro.core.api.ReorderResult`.
+``order(mat, algorithm)`` finished its deprecation cycle and now raises
+:class:`repro.errors.RemovedAPIError`; call
+``repro.reorder(mat, algorithm=...)`` and read the permutation off the
+returned :class:`~repro.core.api.ReorderResult`.
 
 :func:`quality` is still the home of the classical quality triple
 (bandwidth, envelope, RMS wavefront) and now accepts a precomputed
@@ -13,7 +13,6 @@ pay for it twice.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -38,24 +37,26 @@ def _facade_kwargs(algorithm: str) -> dict:
     return {"algorithm": algorithm}
 
 
-def order(mat: CSRMatrix, algorithm: str = "rcm") -> np.ndarray:
-    """Deprecated — use :func:`repro.reorder`.
+def order(*args, **kwargs):
+    """Removed — use :func:`repro.reorder`.
 
-    Returns the whole-matrix permutation under the named heuristic, exactly
-    as before; internally delegates to the facade.
+    Deprecated in 1.1 (with a working shim), removed in 1.2.  The
+    equivalent facade call is
+    ``repro.reorder(mat, algorithm=..., start="peripheral").permutation``
+    for RCM (this entry point always used a pseudo-peripheral start) and
+    ``repro.reorder(mat, algorithm=...).permutation`` otherwise.
 
     .. deprecated:: 1.1
-       call ``repro.reorder(mat, algorithm=...).permutation``.
+    .. versionremoved:: 1.2
+       raises :class:`repro.errors.RemovedAPIError`.
     """
-    warnings.warn(
-        "orderings.api.order() is deprecated; use "
-        "repro.reorder(mat, algorithm=...).permutation instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.facade import reorder
+    from repro.errors import RemovedAPIError
 
-    return reorder(mat, **_facade_kwargs(algorithm)).permutation
+    raise RemovedAPIError(
+        "orderings.api.order() was removed in 1.2; call "
+        "repro.reorder(mat, algorithm=...).permutation instead "
+        "(start='peripheral' reproduces order()'s RCM behaviour)"
+    )
 
 
 @dataclass(frozen=True)

@@ -8,22 +8,30 @@ process pool.  Two work shapes are covered:
   matrix are ordered concurrently (:func:`rcm_components`), largest first so
   the pool drains evenly;
 * **chunked multi-matrix throughput** — many matrices are reordered as
-  chunks of whole pipelines (:func:`map_matrices`), the CLI/bench batch
-  path.
+  chunks of whole pipelines (:func:`map_matrices`), the batch path behind
+  :func:`repro.reorder_many` and the service's batched admission.
 
-Workers receive the CSR arrays once (pool initializer), are warmed up before
-real work is submitted, and every entry point degrades gracefully to
-in-process execution when ``fork`` is unavailable, the pool cannot start, or
-the input is too small to amortize process startup.  Results are
-**bit-identical** to the serial path in all cases.
+Matrix payloads travel through the zero-copy shared-memory transport
+(:mod:`repro.parallel.shm`): published once into
+``multiprocessing.shared_memory`` segments, attached by workers as
+read-only views, permutations written in place into a shared result arena
+— no CSR bytes cross the pipe.  The fork pool is persistent and warmed
+once per lifetime (``parallel.pool.reused`` counts reuse).  Every entry
+point degrades gracefully — to the legacy pickle transport when shared
+memory is unavailable or opted out (``REPRO_NO_SHM``), and to in-process
+execution when ``fork`` is unavailable, the pool cannot start, or the
+input is too small to amortize dispatch.  Results are **bit-identical**
+to the serial path in all cases.
 """
 
+from repro.parallel import shm
 from repro.parallel.executor import (
     ParallelConfig,
     fork_available,
     map_matrices,
     rcm_components,
     record_fallback,
+    reset_pools,
     resolve_workers,
 )
 
@@ -33,5 +41,7 @@ __all__ = [
     "map_matrices",
     "rcm_components",
     "record_fallback",
+    "reset_pools",
     "resolve_workers",
+    "shm",
 ]

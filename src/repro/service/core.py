@@ -16,7 +16,17 @@ a traffic-serving deployment needs:
   counter ``service.rejected``).  Each blocking :meth:`reorder` call takes
   a per-request timeout and raises :class:`ServiceTimeoutError` when the
   answer is not ready in time (the computation keeps running and still
-  populates the cache).
+  populates the cache);
+* **batched admission** (``batch_window_ms > 0``) — admitted misses land
+  on a batch queue instead of going straight to a pool thread; an
+  admission thread drains up to ``max_batch`` requests per tick (waiting
+  at most ``batch_window_ms`` after the first), groups them by requested
+  execution options, and runs each group as **one** amortized dispatch
+  through :func:`repro.facade.reorder_many` (shared-memory transport,
+  persistent pool, batch-aware ``auto``).  Cache, coalescing and
+  backpressure semantics are exactly those of the unbatched path — only
+  the dispatch is shared.  Per-batch telemetry: histogram
+  ``service.batch.size`` and span ``service.batch``.
 
 Failures degrade gracefully: when an execution method dies with an
 environmental error (broken pool, OS failure, memory pressure) the request
@@ -37,6 +47,7 @@ the ``service.queue.depth`` gauge.  See ``docs/service.md``.
 
 from __future__ import annotations
 
+import queue
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -46,6 +57,11 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import backends
+from repro.errors import (
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+)
 from repro.sparse.csr import CSRMatrix
 from repro.core.api import ReorderResult
 from repro.service.keys import CacheKey, cache_key
@@ -75,17 +91,14 @@ _HIT_LATENCY_BUCKETS = (
     0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
 )
 
+#: batch-size histogram buckets (small powers of two; the +Inf tail
+#: catches anything beyond max_batch)
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
-class ServiceError(RuntimeError):
-    """Base class for service-level failures."""
-
-
-class ServiceOverloadedError(ServiceError):
-    """The bounded submission queue is full (backpressure)."""
-
-
-class ServiceTimeoutError(ServiceError):
-    """A request did not complete within its timeout."""
+# ServiceError / ServiceOverloadedError / ServiceTimeoutError are defined
+# in repro.errors (the unified hierarchy under ReproError) and re-exported
+# from here — their historical import home — unchanged: all three remain
+# RuntimeError subclasses.
 
 
 @dataclass(frozen=True)
@@ -100,6 +113,12 @@ class ServiceConfig:
     deadline of blocking :meth:`ReorderService.reorder` calls (``None`` =
     wait forever).  ``fallback=False`` disables the method degradation
     chain (the first error propagates).
+
+    ``batch_window_ms > 0`` turns on batched admission: after the first
+    queued miss the admission thread waits up to that many milliseconds
+    (or until ``max_batch`` requests are queued) and dispatches the drained
+    group as one amortized executor call.  ``0.0`` (default) keeps the
+    classic one-request-per-dispatch behavior exactly.
     """
 
     n_workers: int = 2
@@ -109,12 +128,18 @@ class ServiceConfig:
     cache_capacity: int = 128
     disk_dir: Optional[Union[str, Path]] = None
     fallback: bool = True
+    batch_window_ms: float = 0.0
+    max_batch: int = 16
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if self.max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
 
 
 def fallback_chain(algorithm: str, method: str) -> Tuple[str, ...]:
@@ -136,6 +161,21 @@ def _call_reorder(mat: CSRMatrix, kwargs: dict) -> ReorderResult:
     from repro.facade import reorder
 
     return reorder(mat, **kwargs)
+
+
+def _call_reorder_many(
+    mats: Sequence[CSRMatrix], kwargs: dict
+) -> List[ReorderResult]:
+    """Batch seam: one grouped dispatch through the facade batch API.
+
+    Routing through :func:`repro.facade.reorder_many` (not a loop over
+    :func:`_call_reorder`) is what makes batched admission amortize — and
+    what keeps batched results byte-identical to the facade, because both
+    run the same ``_compute_many`` path.
+    """
+    from repro.facade import reorder_many
+
+    return reorder_many(mats, **kwargs)
 
 
 class ReorderService:
@@ -174,6 +214,17 @@ class ReorderService:
         self._slots = threading.BoundedSemaphore(self.config.max_pending)
         self._pending = 0
         self._closed = False
+        # batched admission: queued misses drain through one admission
+        # thread that groups them into amortized dispatches
+        self._batch_queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._admission_thread: Optional[threading.Thread] = None
+        if self.config.batch_window_ms > 0:
+            self._admission_thread = threading.Thread(
+                target=self._admission_loop,
+                name="repro-service-admission",
+                daemon=True,
+            )
+            self._admission_thread.start()
         # telemetry-independent mirror of the service counters
         self.counters = {
             "requests": 0,
@@ -258,7 +309,14 @@ class ReorderService:
                 tctx.new_trace_context(request_id=key.digest[:12])
                 if telemetry.get().enabled else None
             )
-            fut = self._pool.submit(self._run, key, mat, kwargs, ctx)
+            if self._admission_thread is not None:
+                # batched admission: park the request on the batch queue
+                # behind a plain future; the admission thread groups and
+                # dispatches, then resolves it
+                fut = Future()
+                self._batch_queue.put((key, mat, kwargs, ctx, fut))
+            else:
+                fut = self._pool.submit(self._run, key, mat, kwargs, ctx)
             self._inflight[key.digest] = fut
             self._pending += 1
             self._set_depth()
@@ -289,10 +347,18 @@ class ReorderService:
                 f"request did not complete within {timeout}s"
             ) from None
 
-    def map(
+    def reorder_many(
         self, mats: Sequence[CSRMatrix], **options
     ) -> List[ReorderResult]:
-        """Submit a batch and gather results in input order."""
+        """Submit a batch and gather results in input order.
+
+        Every matrix goes through the full admission pipeline (cache,
+        coalescing, backpressure).  With batched admission on
+        (``batch_window_ms > 0``) the misses coalesce into grouped
+        dispatches automatically — a whole list submitted at once
+        typically lands in one batch.  Results are byte-identical to
+        per-matrix :meth:`reorder` calls.
+        """
         futures = [self.submit(m, **options) for m in mats]
         timeout = self.config.request_timeout
         out = []
@@ -305,6 +371,12 @@ class ReorderService:
                     f"batch request did not complete within {timeout}s"
                 ) from None
         return out
+
+    def map(
+        self, mats: Sequence[CSRMatrix], **options
+    ) -> List[ReorderResult]:
+        """Alias of :meth:`reorder_many` (the PR 3 name, kept working)."""
+        return self.reorder_many(mats, **options)
 
     def _admit_method(self, algorithm: str, method: str) -> str:
         """Degrade a request for a method this install does not have.
@@ -366,6 +438,148 @@ class ReorderService:
         assert last_exc is not None
         raise last_exc
 
+    # ------------------------------------------------------------------
+    # batched admission
+    # ------------------------------------------------------------------
+    def _admission_loop(self) -> None:
+        """Drain the batch queue: collect one admission tick, dispatch.
+
+        The first request of a tick is awaited blocking; once it lands the
+        loop keeps draining until ``batch_window_ms`` elapses or
+        ``max_batch`` requests are in hand, groups the drained requests by
+        their execution options, and hands every group to the worker pool
+        as one :meth:`_run_group` dispatch.
+        """
+        window_s = self.config.batch_window_ms / 1000.0
+        while True:
+            try:
+                item = self._batch_queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._closed:
+                    return
+                continue
+            if item is None:  # close() sentinel
+                self._drain_remaining()
+                return
+            batch = [item]
+            deadline = time.monotonic() + window_s
+            stop = False
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    extra = self._batch_queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if extra is None:
+                    stop = True
+                    break
+                batch.append(extra)
+            self._dispatch_groups(batch)
+            if stop:
+                self._drain_remaining()
+                return
+
+    def _drain_remaining(self) -> None:
+        """Flush requests still queued at shutdown so no future hangs."""
+        leftovers = []
+        while True:
+            try:
+                item = self._batch_queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                leftovers.append(item)
+        if leftovers:
+            self._dispatch_groups(leftovers)
+
+    def _dispatch_groups(self, batch: list) -> None:
+        """Group a drained tick by execution options; one dispatch each.
+
+        The group key is every option that changes what the executor runs
+        (algorithm, method, start, symmetrize, n_workers) — matrices under
+        the same key share one :func:`repro.facade.reorder_many` call.
+        """
+        groups: Dict[tuple, list] = {}
+        for item in batch:
+            kwargs = item[2]
+            gkey = (
+                kwargs["algorithm"], kwargs["method"], kwargs["start"],
+                kwargs["symmetrize"], kwargs["n_workers"],
+            )
+            groups.setdefault(gkey, []).append(item)
+        for items in groups.values():
+            self._pool.submit(self._run_group, items)
+
+    def _run_group(self, items: list) -> None:
+        """Execute one admission group as a single amortized dispatch.
+
+        Each item's future is resolved individually (result or exception),
+        and each result is cached under its own key before its future
+        resolves — the same ordering guarantee as the unbatched
+        :meth:`_run`.
+        """
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.histogram(
+                "service.batch.size", buckets=_BATCH_SIZE_BUCKETS
+            ).observe(float(len(items)))
+        if len(items) == 1:
+            key, mat, kwargs, ctx, fut = items[0]
+            if not fut.set_running_or_notify_cancel():
+                return  # pragma: no cover - cancelled before dispatch
+            try:
+                fut.set_result(self._run(key, mat, kwargs, ctx))
+            except BaseException as exc:
+                fut.set_exception(exc)
+            return
+
+        keys = [it[0] for it in items]
+        mats = [it[1] for it in items]
+        kwargs = dict(items[0][2])
+        futures = [it[4] for it in items]
+        live = [f.set_running_or_notify_cancel() for f in futures]
+        try:
+            with tel.span(
+                "service.batch", category="service",
+                n_requests=len(items), algorithm=kwargs["algorithm"],
+                method=kwargs["method"],
+            ):
+                for _ in items:
+                    self._count("computed")
+                results = self._execute_many(mats, kwargs)
+                for key, result, fut, ok in zip(
+                    keys, results, futures, live
+                ):
+                    self.cache.put(key, result)
+                    if ok:
+                        fut.set_result(result)
+        except BaseException as exc:
+            for fut, ok in zip(futures, live):
+                if ok and not fut.done():
+                    fut.set_exception(exc)
+
+    def _execute_many(
+        self, mats: List[CSRMatrix], kwargs: dict
+    ) -> List[ReorderResult]:
+        """Batch analogue of :meth:`_execute`: one grouped dispatch, same
+        degradation chain (the whole group falls back together)."""
+        if not self.config.fallback:
+            return _call_reorder_many(mats, kwargs)
+        chain = fallback_chain(kwargs["algorithm"], kwargs["method"])
+        last_exc: Optional[BaseException] = None
+        for i, m in enumerate(chain):
+            try:
+                return _call_reorder_many(mats, {**kwargs, "method": m})
+            except _FALLBACK_EXCEPTIONS as exc:
+                last_exc = exc
+                if i + 1 < len(chain):
+                    self._count("fallbacks")
+                    record_fallback(m, prefix="service")
+        assert last_exc is not None
+        raise last_exc
+
     def _settle(self, digest: str) -> None:
         with self._lock:
             self._inflight.pop(digest, None)
@@ -416,6 +630,11 @@ class ReorderService:
     def close(self, *, wait: bool = True) -> None:
         """Stop accepting requests and shut the worker pool down."""
         self._closed = True
+        if self._admission_thread is not None:
+            self._batch_queue.put(None)  # wake the admission loop
+            if wait:
+                self._admission_thread.join(timeout=5.0)
+            self._admission_thread = None
         self._pool.shutdown(wait=wait)
 
     def __enter__(self) -> "ReorderService":

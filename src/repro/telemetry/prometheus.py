@@ -138,10 +138,15 @@ METRIC_INVENTORY: Tuple[Tuple[str, str, str], ...] = (
     ("service.cache.size", "gauge", "entries currently cached"),
     ("service.queue.depth", "gauge", "requests waiting for a slot"),
     ("service.hit_latency_ms", "histogram", "wall ms to serve a warm cache hit"),
+    ("service.batch.size", "histogram", "requests per batched-admission dispatch group"),
     ("parallel.tasks", "counter", "component tasks dispatched to the pool"),
     ("parallel.matrices", "counter", "matrices processed by `map_matrices`"),
     ("parallel.chunks", "counter", "matrix chunks shipped to the pool"),
     ("parallel.fallbacks.*", "counter", "in-process fallbacks, by reason"),
+    ("parallel.pool.reused", "counter", "dispatches served by an already-warm persistent pool"),
+    ("parallel.shm.published", "counter", "CSR patterns published into shared memory"),
+    ("parallel.shm.bytes", "counter", "bytes written through the shared-memory transport"),
+    ("parallel.shm.leaked", "counter", "segments reclaimed by the atexit sweep (should stay 0)"),
     ("threads.batches.*", "counter", "speculative batch lifecycle (generated/dequeued/executed/empty)"),
     ("threads.speculation.*", "counter", "speculation economy (discovered/dropped/rediscovery_passes/sorted_elements)"),
     ("threads.overhangs.*", "counter", "overhang forwarding (forwarded/nodes)"),

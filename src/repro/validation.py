@@ -6,6 +6,9 @@ One home for the parameter checks that used to be scattered ad-hoc through
     <param> must be one of 'a', 'b', 'c'; got 'x'
 
 so every entry point rejects bad input with the same, predictable message.
+Failures raise :class:`repro.errors.ValidationError` — a ``ValueError``
+subclass, so both ``except ValueError`` and the unified
+:class:`repro.errors.ReproError` base catch them.
 """
 
 from __future__ import annotations
@@ -13,6 +16,8 @@ from __future__ import annotations
 from typing import Sequence, Union
 
 import numpy as np
+
+from repro.errors import ValidationError
 
 __all__ = [
     "START_STRATEGIES",
@@ -34,27 +39,27 @@ def choices_text(choices: Sequence[str]) -> str:
 
 
 def check_choice(param: str, value, choices: Sequence[str]) -> None:
-    """Raise ``ValueError`` unless ``value`` is one of ``choices``."""
+    """Raise :class:`ValidationError` unless ``value`` is one of ``choices``."""
     if value not in choices:
-        raise ValueError(
+        raise ValidationError(
             f"{param} must be one of {choices_text(choices)}; got {value!r}"
         )
 
 
 def check_min(param: str, value: int, minimum: int) -> None:
-    """Raise ``ValueError`` unless ``value`` is an int ``>= minimum``."""
+    """Raise :class:`ValidationError` unless ``value`` is an int ``>= minimum``."""
     if not isinstance(value, (int, np.integer)) or value < minimum:
-        raise ValueError(f"{param} must be an integer >= {minimum}; got {value!r}")
+        raise ValidationError(f"{param} must be an integer >= {minimum}; got {value!r}")
 
 
 def check_start(start: Union[int, str], n: int) -> None:
     """Validate a start argument: a node id in ``[0, n)`` or a strategy."""
     if isinstance(start, (int, np.integer)):
         if not 0 <= int(start) < n:
-            raise ValueError(f"start node {int(start)} out of range [0, {n})")
+            raise ValidationError(f"start node {int(start)} out of range [0, {n})")
         return
     if start not in START_STRATEGIES:
-        raise ValueError(
+        raise ValidationError(
             "start strategy must be one of "
             f"{choices_text(START_STRATEGIES)}; got {start!r}"
         )

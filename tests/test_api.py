@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core.api import reverse_cuthill_mckee, METHODS
+from repro.core.api import METHODS
+
+from repro.facade import reorder
 from repro.sparse.csr import CSRMatrix, coo_to_csr
 from repro.sparse.validate import assert_permutation
 from repro.matrices import generators as g
@@ -14,21 +16,21 @@ from repro.matrices import generators as g
 
 class TestComponents:
     def test_permutation_is_bijection(self, two_triangles):
-        res = reverse_cuthill_mckee(two_triangles)
+        res = reorder(two_triangles, method="serial")
         assert_permutation(res.permutation, two_triangles.n)
 
     def test_isolated_nodes_kept(self):
         mat = CSRMatrix.from_edges(5, [(1, 2)])
-        res = reverse_cuthill_mckee(mat)
+        res = reorder(mat, method="serial")
         assert_permutation(res.permutation, 5)
         assert res.n_components == 4
 
     def test_component_sizes(self, two_triangles):
-        res = reverse_cuthill_mckee(two_triangles)
+        res = reorder(two_triangles, method="serial")
         assert res.component_sizes == [3, 3]
 
     def test_each_component_reversed_within_itself(self, two_triangles):
-        res = reverse_cuthill_mckee(two_triangles)
+        res = reorder(two_triangles, method="serial")
         # first block must contain component of node 0
         first = set(res.permutation[:3].tolist())
         assert first == {0, 1, 2}
@@ -36,40 +38,40 @@ class TestComponents:
 
 class TestStartSelection:
     def test_explicit_start(self, medium_grid):
-        res = reverse_cuthill_mckee(medium_grid, start=5)
+        res = reorder(medium_grid, method="serial", start=5)
         assert res.start_nodes == [5]
         assert res.permutation[-1] == 5  # RCM: start node ends up last
 
     def test_explicit_start_needs_connected(self, two_triangles):
         with pytest.raises(ValueError, match="connected"):
-            reverse_cuthill_mckee(two_triangles, start=0)
+            reorder(two_triangles, method="serial", start=0)
 
     def test_min_valence_default(self, star):
-        res = reverse_cuthill_mckee(star)
+        res = reorder(star, method="serial")
         assert res.start_nodes[0] != 0  # centre has max valence
 
     def test_peripheral_strategy(self, medium_grid):
-        res = reverse_cuthill_mckee(medium_grid, start="peripheral")
+        res = reorder(medium_grid, method="serial", start="peripheral")
         assert_permutation(res.permutation, medium_grid.n)
 
     def test_unknown_strategy(self, medium_grid):
         with pytest.raises(ValueError, match="strategy"):
-            reverse_cuthill_mckee(medium_grid, start="magic")
+            reorder(medium_grid, method="serial", start="magic")
 
 
 class TestValidation:
     def test_unknown_method(self, small_grid):
         with pytest.raises(ValueError, match="method"):
-            reverse_cuthill_mckee(small_grid, method="quantum")
+            reorder(small_grid, method="quantum")
 
     def test_asymmetric_rejected(self):
         mat = coo_to_csr(3, [0], [1])
         with pytest.raises(ValueError, match="symmetric"):
-            reverse_cuthill_mckee(mat)
+            reorder(mat, method="serial")
 
     def test_symmetrize_flag(self):
         mat = coo_to_csr(3, [0, 1], [1, 2])
-        res = reverse_cuthill_mckee(mat, symmetrize=True)
+        res = reorder(mat, method="serial", symmetrize=True)
         assert_permutation(res.permutation, 3)
 
 
@@ -77,13 +79,13 @@ class TestResult:
     def test_bandwidths_recorded(self, medium_grid):
         rng = np.random.default_rng(2)
         shuffled = medium_grid.permute_symmetric(rng.permutation(medium_grid.n))
-        res = reverse_cuthill_mckee(shuffled)
+        res = reorder(shuffled, method="serial")
         assert res.initial_bandwidth > res.reordered_bandwidth
 
     def test_bandwidth_matches_applied_permutation(self, medium_grid):
         from repro.sparse.bandwidth import bandwidth
 
-        res = reverse_cuthill_mckee(medium_grid)
+        res = reorder(medium_grid, method="serial")
         applied = medium_grid.permute_symmetric(res.permutation)
         assert bandwidth(applied) == res.reordered_bandwidth
 
@@ -94,6 +96,6 @@ class TestResult:
         }
 
     def test_batch_methods_attach_stats(self, small_grid):
-        res = reverse_cuthill_mckee(small_grid, method="batch-cpu")
+        res = reorder(small_grid, method="batch-cpu")
         assert len(res.stats) == 1
         assert res.stats[0].batches_executed > 0

@@ -10,7 +10,7 @@ from repro.apps.spmv import (
     locality_report,
 )
 from repro.matrices import generators as g
-from repro.core.api import reverse_cuthill_mckee
+from repro.facade import reorder
 
 
 class TestCacheModel:
@@ -94,7 +94,7 @@ class TestSpmvLocality:
         mat = g.grid2d(40, 40)
         rng = np.random.default_rng(1)
         scrambled = mat.permute_symmetric(rng.permutation(mat.n))
-        res = reverse_cuthill_mckee(scrambled)
+        res = reorder(scrambled, method="serial")
         # cache smaller than the x vector, else everything fits and the
         # orderings tie at compulsory misses
         small_cache = CacheModel(sets=16, ways=2)

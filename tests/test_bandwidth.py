@@ -115,19 +115,19 @@ class TestRCMReducesMetrics:
     """RCM should improve these metrics on shuffled structured matrices."""
 
     def test_bandwidth_reduction_on_shuffled_grid(self, medium_grid):
-        from repro.core.api import reverse_cuthill_mckee
+        from repro.facade import reorder
 
         rng = np.random.default_rng(5)
         shuffle = rng.permutation(medium_grid.n)
         shuffled = medium_grid.permute_symmetric(shuffle)
-        res = reverse_cuthill_mckee(shuffled, method="serial")
+        res = reorder(shuffled, method="serial")
         assert res.reordered_bandwidth < res.initial_bandwidth
 
     def test_envelope_reduction_on_shuffled_grid(self, medium_grid):
-        from repro.core.api import reverse_cuthill_mckee
+        from repro.facade import reorder
 
         rng = np.random.default_rng(6)
         shuffled = medium_grid.permute_symmetric(rng.permutation(medium_grid.n))
-        res = reverse_cuthill_mckee(shuffled, method="serial")
+        res = reorder(shuffled, method="serial")
         after = shuffled.permute_symmetric(res.permutation)
         assert envelope_size(after) < envelope_size(shuffled)

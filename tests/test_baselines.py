@@ -77,10 +77,10 @@ class TestScipyCrossCheck:
     def test_comparable_bandwidth_quality(self, maker):
         """Our RCM and SciPy's differ in tie-breaks and start choice but
         must produce bandwidths in the same ballpark."""
-        from repro.core.api import reverse_cuthill_mckee
+        from repro.facade import reorder
 
         mat = maker()
-        ours = reverse_cuthill_mckee(mat).reordered_bandwidth
+        ours = reorder(mat, method="serial").reordered_bandwidth
         theirs = bandwidth_after(mat, scipy_rcm(mat))
         assert ours <= 1.7 * theirs + 5
         assert theirs <= 1.7 * ours + 5

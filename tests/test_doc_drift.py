@@ -181,6 +181,47 @@ class TestProseDocs:
                 f"docs/observability.md does not document SLO {slo.name!r}"
             )
 
+    def test_api_md_documents_the_batch_api(self):
+        # reorder_many / the shm transport / the removed entry points
+        # shipped as one surface; docs/api.md must cover each piece
+        text = (DOCS / "api.md").read_text()
+        for needle in (
+            "reorder_many",
+            "REPRO_NO_SHM",
+            "setup_cycles",
+            "RemovedAPIError",
+            "batch_window_ms",
+        ):
+            assert needle in text, (
+                f"docs/api.md missing {needle!r}; see the 'Batch API' and "
+                "'Migrating from the old entry points' sections"
+            )
+
+    def test_api_md_batch_defaults_match_code(self):
+        # the documented admission defaults are the ServiceConfig defaults
+        from repro.service import ServiceConfig
+
+        cfg = ServiceConfig()
+        assert cfg.batch_window_ms == 0.0, (
+            "batch_window_ms default changed; update docs/service.md "
+            "('default `W=0`') and docs/api.md"
+        )
+
+    def test_service_md_documents_batched_admission(self):
+        text = (DOCS / "service.md").read_text()
+        for needle in (
+            "## Batched admission",
+            "batch_window_ms",
+            "max_batch",
+            "service.batch.size",
+            "--batch-window-ms",
+            "reorder_many",
+        ):
+            assert needle in text, (
+                f"docs/service.md missing {needle!r}; see the "
+                "'Batched admission' section"
+            )
+
     def test_service_doc_exists_and_mentions_counters(self):
         text = (DOCS / "service.md").read_text()
         for counter in (

@@ -70,16 +70,14 @@ class TestRepositoryDocs:
     def test_readme_quickstart_runs(self):
         """The README's quickstart snippet must actually work."""
         import numpy as np
-        from repro import reverse_cuthill_mckee
+        import repro
         from repro.matrices import grid2d
 
         mat = grid2d(20, 20)
         scrambled = mat.permute_symmetric(
             np.random.default_rng(0).permutation(mat.n)
         )
-        res = reverse_cuthill_mckee(
-            scrambled, method="batch-cpu", n_workers=4, start="peripheral"
-        )
+        res = repro.reorder(scrambled, start="peripheral")
         assert res.reordered_bandwidth < res.initial_bandwidth
         reordered = scrambled.permute_symmetric(res.permutation)
         assert reordered.nnz == mat.nnz

@@ -95,6 +95,46 @@ class TestMethodMatrix:
         assert got.permutation.tobytes() == ref.permutation.tobytes()
 
 
+class TestBatchMatrix:
+    """`reorder_many` and the service's batched admission must hand back
+    the same bytes as one-at-a-time serial calls — batching is a transport
+    and scheduling optimization, never a semantic one."""
+
+    @pytest.mark.parametrize("method", ["serial", "vectorized", "auto"])
+    def test_reorder_many_byte_identical(self, method):
+        from repro.facade import reorder_many
+
+        mats = [matrix(name) for name in MATRICES]
+        results = reorder_many(mats, method=method)
+        for name, res in zip(MATRICES, results):
+            assert res.permutation.tobytes() == golden(name)
+
+    def test_reorder_many_cache_tier(self):
+        from repro.facade import reorder_many
+
+        cache = PermutationCache(capacity=32)
+        mats = [matrix(name) for name in MATRICES]
+        cold = reorder_many(mats, method="serial", cache=cache)
+        warm = reorder_many(mats, method="serial", cache=cache)
+        for name, res in zip(MATRICES, warm):
+            assert res.permutation.tobytes() == golden(name)
+            assert "cache" in res.phase_ns
+        for name, res in zip(MATRICES, cold):
+            assert res.permutation.tobytes() == golden(name)
+
+    def test_batched_service_byte_identical(self):
+        cfg = ServiceConfig(
+            n_workers=2, batch_window_ms=25.0, max_batch=len(MATRICES)
+        )
+        with ReorderService(cfg) as svc:
+            futures = [
+                (name, svc.submit(matrix(name), method="serial"))
+                for name in MATRICES
+            ]
+            for name, fut in futures:
+                assert fut.result(60).permutation.tobytes() == golden(name)
+
+
 class TestServiceMatrix:
     @pytest.mark.parametrize("name", MATRICES)
     def test_service_cold_and_warm(self, name):

@@ -99,22 +99,30 @@ class TestValidation:
             reorder(two_triangles, start=0)
 
 
-class TestDeprecationShims:
-    def test_reverse_cuthill_mckee_warns_and_matches(self, medium_grid):
+class TestRemovedEntryPoints:
+    """The 1.1 deprecation shims finished their cycle in 1.2: the old
+    entry points now raise RemovedAPIError naming the facade call."""
+
+    def test_reverse_cuthill_mckee_is_removed(self, medium_grid):
         from repro.core.api import reverse_cuthill_mckee
+        from repro.errors import RemovedAPIError
 
-        ref = reorder(medium_grid, method="serial")
-        with pytest.warns(DeprecationWarning, match="repro.reorder"):
-            old = reverse_cuthill_mckee(medium_grid, method="serial")
-        assert np.array_equal(old.permutation, ref.permutation)
+        with pytest.raises(RemovedAPIError, match="repro.reorder"):
+            reverse_cuthill_mckee(medium_grid, method="serial")
 
-    def test_order_warns_and_matches(self, small_grid):
+    def test_order_is_removed(self, small_grid):
+        from repro.errors import RemovedAPIError
         from repro.orderings.api import order
 
-        ref = reorder(small_grid, start="peripheral", method="serial")
-        with pytest.warns(DeprecationWarning, match="repro.reorder"):
-            old = order(small_grid, "rcm")
-        assert np.array_equal(old, ref.permutation)
+        with pytest.raises(RemovedAPIError, match="repro.reorder"):
+            order(small_grid, "rcm")
+
+    def test_removed_error_is_runtime_error(self, small_grid):
+        # old `except RuntimeError` handlers still see the failure
+        from repro.core.api import reverse_cuthill_mckee
+
+        with pytest.raises(RuntimeError):
+            reverse_cuthill_mckee(small_grid)
 
     def test_facade_does_not_warn(self, small_grid, recwarn):
         reorder(small_grid)

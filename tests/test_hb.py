@@ -120,12 +120,12 @@ class TestHandWrittenFiles:
 class TestRcmOnHbInput:
     def test_end_to_end(self, tmp_path):
         """Load an HB file and reorder it — the downstream user's path."""
-        from repro.core.api import reverse_cuthill_mckee
+        from repro.facade import reorder
 
         mat = g.delaunay_mesh(200, seed=6).copy()
         mat.data = np.ones(mat.nnz)
         p = tmp_path / "mesh.rb"
         write_hb(mat, p)
         loaded = read_harwell_boeing(p)
-        res = reverse_cuthill_mckee(loaded)
+        res = reorder(loaded, method="serial")
         assert res.reordered_bandwidth <= res.initial_bandwidth

@@ -248,16 +248,26 @@ class TestKing:
 
 class TestOrderingDispatcher:
     def test_all_algorithms_dispatch(self, small_grid):
-        from repro.orderings.api import ALGORITHMS, order
+        from repro.facade import reorder
+        from repro.orderings.api import ALGORITHMS
 
         for name in ALGORITHMS:
-            assert_permutation(order(small_grid, name), small_grid.n)
+            assert_permutation(
+                reorder(small_grid, algorithm=name).permutation, small_grid.n
+            )
 
     def test_unknown_rejected(self, small_grid):
-        from repro.orderings.api import order
+        from repro.facade import reorder
 
         with pytest.raises(ValueError, match="algorithm must be one of"):
-            order(small_grid, "voodoo")
+            reorder(small_grid, algorithm="voodoo")
+
+    def test_order_entry_point_removed(self, small_grid):
+        from repro.errors import RemovedAPIError
+        from repro.orderings.api import order
+
+        with pytest.raises(RemovedAPIError, match="repro.reorder"):
+            order(small_grid, "rcm")
 
     def test_quality_report(self):
         from repro.orderings.api import quality

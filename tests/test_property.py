@@ -179,10 +179,10 @@ class TestApiProperties:
     @settings(max_examples=20, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
     def test_api_returns_bijection_all_methods(self, mat):
-        from repro.core.api import reverse_cuthill_mckee
+        from repro.facade import reorder
 
-        ref = reverse_cuthill_mckee(mat, method="serial")
+        ref = reorder(mat, method="serial")
         assert_permutation(ref.permutation, mat.n)
         for method in ("leveled", "unordered", "batch-cpu"):
-            got = reverse_cuthill_mckee(mat, method=method)
+            got = reorder(mat, method=method)
             assert np.array_equal(got.permutation, ref.permutation)

@@ -13,7 +13,7 @@ from repro.solver.cg import conjugate_gradient
 from repro.sparse.csr import CSRMatrix, coo_to_csr
 from repro.sparse.bandwidth import profile
 from repro.matrices import generators as g
-from repro.core.api import reverse_cuthill_mckee
+from repro.facade import reorder
 
 
 def spd_laplacian(pattern: CSRMatrix, shift: float = 1.0) -> CSRMatrix:
@@ -117,7 +117,7 @@ class TestOrderingEffect:
         pattern = g.delaunay_mesh(400, seed=3)
         rng = np.random.default_rng(1)
         scrambled = pattern.permute_symmetric(rng.permutation(pattern.n))
-        res = reverse_cuthill_mckee(scrambled, start="peripheral")
+        res = reorder(scrambled, method="serial", start="peripheral")
         reordered = scrambled.permute_symmetric(res.permutation)
 
         sky_bad = SkylineMatrix.from_csr(spd_laplacian(scrambled))
@@ -133,7 +133,7 @@ class TestOrderingEffect:
         x_direct = solve_cholesky(
             envelope_cholesky(SkylineMatrix.from_csr(mat)), b
         )
-        res = reverse_cuthill_mckee(pattern)
+        res = reorder(pattern, method="serial")
         perm = res.permutation
         permuted = mat.permute_symmetric(perm)
         x_perm = solve_cholesky(

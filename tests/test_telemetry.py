@@ -274,42 +274,44 @@ class TestExport:
 
 class TestInstrumentedApi:
     def test_phase_ns_always_populated(self, medium_grid):
-        from repro.core.api import reverse_cuthill_mckee, PHASES
+        from repro.core.api import PHASES
+        from repro.facade import reorder
 
-        res = reverse_cuthill_mckee(medium_grid, method="serial")
+        res = reorder(medium_grid, method="serial")
         assert set(res.phase_ns) == set(PHASES)
         assert res.phase_ns["ordering"] > 0
         assert res.wall_ms > 0
 
     def test_result_to_dict_is_json_serializable(self, medium_grid):
-        from repro.core.api import reverse_cuthill_mckee
+        from repro.facade import reorder
 
-        res = reverse_cuthill_mckee(medium_grid, method="batch-cpu", n_workers=2)
+        res = reorder(medium_grid, method="batch-cpu", n_workers=2)
         payload = json.loads(json.dumps(res.to_dict()))
         assert payload["method"] == "batch-cpu"
         assert payload["stats"][0]["batches"]["generated"] > 0
 
     def test_api_spans_recorded_when_enabled(self, medium_grid):
-        from repro.core.api import reverse_cuthill_mckee, PHASES
+        from repro.core.api import PHASES
+        from repro.facade import reorder
 
         telemetry.enable()
-        reverse_cuthill_mckee(medium_grid, method="serial")
+        reorder(medium_grid, method="serial")
         names = {r.name for r in telemetry.get().tracer.records()}
         assert set(PHASES) <= names
 
     def test_disabled_leaves_no_trace(self, medium_grid):
-        from repro.core.api import reverse_cuthill_mckee
+        from repro.facade import reorder
 
-        reverse_cuthill_mckee(medium_grid, method="batch-cpu", n_workers=2)
+        reorder(medium_grid, method="batch-cpu", n_workers=2)
         tel = telemetry.get()
         assert tel.tracer.records() == []
         assert tel.snapshot()["counters"] == {}
 
     def test_sim_counters_absorbed(self, medium_grid):
-        from repro.core.api import reverse_cuthill_mckee
+        from repro.facade import reorder
 
         telemetry.enable()
-        res = reverse_cuthill_mckee(medium_grid, method="batch-cpu", n_workers=2)
+        res = reorder(medium_grid, method="batch-cpu", n_workers=2)
         counters = telemetry.get().snapshot()["counters"]
         assert counters["sim.batches.generated"] == res.stats[0].batches_generated
         assert counters["sim.speculation.discovered"] == \
