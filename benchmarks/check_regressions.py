@@ -39,13 +39,18 @@ slack) and therefore always enforced:
   API's acceptance bar;
 * ``warm_requests_per_s`` must not fall below ``1 - --max-warm-slowdown``
   (default 0.5) of its committed baseline — a generous floor that catches
-  a wrecked warm path, not runner noise.
+  a wrecked warm path, not runner noise;
+* the scenario-matrix artifact (``benchmarks/bench_scenarios.py``) must
+  clear its per-family bandwidth-reduction floors, and the power-law
+  transformation must reduce the BFS level count on the heavy-tailed
+  families — structural permutation facts, no wall clock involved.
 
 When a flight-recorder file is present (``<results-dir>/flight.jsonl`` or
 ``--flight``), the ``method="auto"`` cost model is additionally gated: a
-calibrated mispick rate above ``--max-mispick-rate`` (default 0.25) is
-reported as a problem (warning-level under ``--warn-only`` — close calls
-flip under scheduler noise).
+calibrated mispick rate above ``--max-mispick-rate`` (default 0.25) —
+overall or on any scenario family with enough picks — is reported as a
+problem (warning-level under ``--warn-only`` — close calls flip under
+scheduler noise).
 """
 
 from __future__ import annotations
@@ -240,17 +245,89 @@ def check_flight_mispick(flight_path: Path, max_rate: float) -> list:
     print(f"\nflight recorder: {report['records']} auto resolutions, "
           f"mispick rate {report['mispick_rate']:.1%} "
           f"(threshold {max_rate:.1%})")
+    problems = []
     if report["mispick_rate"] > max_rate:
         worst = {
             b: s["mispick_rate"] for b, s in report["backends"].items()
             if s["mispicks"]
         }
-        return [
+        problems.append(
             f"auto cost-model mispick rate {report['mispick_rate']:.1%} "
             f"exceeds {max_rate:.1%} over {report['records']} resolutions "
             f"(per-backend: {worst})"
-        ]
-    return []
+        )
+    # the per-scenario breakdown catches a cost model that is well
+    # calibrated on meshes but systematically wrong on one hostile family
+    # — an error the aggregate rate dilutes away
+    scenarios = report.get("scenarios", {})
+    if scenarios:
+        shown = ", ".join(
+            f"{fam}: {s['mispicks']}/{s['picks']}"
+            for fam, s in sorted(scenarios.items())
+        )
+        print(f"per-scenario mispicks: {shown}")
+    for fam, s in sorted(scenarios.items()):
+        if s["picks"] >= 4 and s["mispick_rate"] > max_rate:
+            problems.append(
+                f"auto mispick rate on {fam!r} scenarios is "
+                f"{s['mispick_rate']:.1%} ({s['mispicks']}/{s['picks']}) — "
+                f"exceeds {max_rate:.1%}"
+            )
+    return problems
+
+
+def check_scenario_floors(results: dict) -> list:
+    """Per-family structural floors from the scenario-matrix artifact.
+
+    ``benchmarks/bench_scenarios.py`` embeds each family's
+    bandwidth-reduction floor (from
+    ``repro.matrices.scenarios.FAMILY_FLOORS``) in the artifact next to
+    the measured reduction, so this gate needs no repro import.  Two
+    checks per family, both noise-immune (permutation structure, no wall
+    clock):
+
+    * the RCM bandwidth reduction (recovery from a seeded shuffle) must
+      clear the family floor;
+    * the power-law transformation must not deepen the BFS level
+      structure anywhere, and must strictly shallow it on the
+      heavy-tailed families (power-law / hub-dominated) — the transform's
+      entire reason to exist.
+    """
+    payload = results.get("scenario_matrix")
+    if payload is None:
+        return []
+    problems = []
+    for family, row in sorted(payload.get("families", {}).items()):
+        red = row.get("bandwidth_reduction")
+        floor = row.get("floor")
+        if red is None or floor is None:
+            problems.append(
+                f"scenario_matrix family {family!r} lacks "
+                "bandwidth_reduction/floor fields"
+            )
+            continue
+        if red < floor:
+            problems.append(
+                f"{family} bandwidth reduction {red:.1%} fell below its "
+                f"floor {floor:.1%} (scenario {row.get('scenario')})"
+            )
+        plain = row.get("levels_plain")
+        transformed = row.get("levels_transformed")
+        if plain is None or transformed is None:
+            continue
+        if transformed > plain:
+            problems.append(
+                f"{family}: power-law transform deepened the level "
+                f"structure ({plain} -> {transformed} levels on "
+                f"{row.get('scenario')})"
+            )
+        elif family in ("power-law", "hub-dominated") and transformed >= plain:
+            problems.append(
+                f"{family}: power-law transform did not reduce the level "
+                f"count ({plain} -> {transformed} levels on "
+                f"{row.get('scenario')}) — its acceptance criterion"
+            )
+    return problems
 
 
 def render(rows: list) -> str:
@@ -370,6 +447,7 @@ def main(argv=None) -> int:
     enforced += check_batch_invariant(results, args.min_batch_speedup)
     enforced += check_warm_rate_floor(results, baselines,
                                       args.max_warm_slowdown)
+    enforced += check_scenario_floors(results)
     flight_path = args.flight or (args.results_dir / "flight.jsonl")
     mispick_problems = check_flight_mispick(flight_path,
                                             args.max_mispick_rate)

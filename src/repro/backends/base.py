@@ -20,6 +20,7 @@ cost-model auto-selector.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -126,9 +127,22 @@ class Backend:
             raise ValueError(
                 f"auto candidate {self.name!r} needs a cost_estimate hook"
             )
+        # which cost hooks opt into the component-shape term: accepting a
+        # ``max_component`` keyword is the opt-in (detected once here, so
+        # estimate() stays signature-agnostic per call)
+        accepts = False
+        if self.cost_estimate is not None:
+            try:
+                accepts = "max_component" in inspect.signature(
+                    self.cost_estimate
+                ).parameters
+            except (TypeError, ValueError):  # pragma: no cover - C callables
+                accepts = False
+        object.__setattr__(self, "_accepts_max_component", accepts)
 
     def estimate(
-        self, n: int, nnz: int, n_components: int = 1, batch: int = 1
+        self, n: int, nnz: int, n_components: int = 1, batch: int = 1,
+        max_component: Optional[int] = None,
     ) -> float:
         """Estimated cycles on an ``(n, nnz, n_components)`` pattern
         (``inf`` when the backend declares no cost model).
@@ -137,10 +151,25 @@ class Backend:
         dispatch: the ``setup_cycles`` portion of the estimate is charged
         once per dispatch, so the per-request price becomes
         ``cost - setup_cycles + setup_cycles / batch``.
+
+        ``max_component`` is the size of the largest connected component,
+        when the caller knows it: component *shape* bounds the parallel
+        speedup (a hub pattern splitting into one giant component plus
+        pendant fragments parallelizes like a connected pattern, not like
+        an even ``n_components``-way split).  Cost hooks opt in by
+        accepting a ``max_component`` keyword; hooks that do not are
+        called exactly as before.
         """
         if self.cost_estimate is None:
             return float("inf")
-        cost = float(self.cost_estimate(n, nnz, max(n_components, 1)))
+        if max_component is not None and getattr(
+            self, "_accepts_max_component", False
+        ):
+            cost = float(self.cost_estimate(
+                n, nnz, max(n_components, 1), max_component=max_component
+            ))
+        else:
+            cost = float(self.cost_estimate(n, nnz, max(n_components, 1)))
         batch = max(int(batch), 1)
         if batch > 1 and self.setup_cycles:
             cost = cost - self.setup_cycles + self.setup_cycles / batch
@@ -223,7 +252,7 @@ def method_choices() -> Tuple[str, ...]:
 
 def auto_estimates(
     n: int, nnz: Optional[int] = None, n_components: int = 1,
-    batch: int = 1,
+    batch: int = 1, max_component: Optional[int] = None,
 ) -> Dict[str, float]:
     """Every auto candidate's cost estimate for a pattern, by method name.
 
@@ -236,12 +265,14 @@ def auto_estimates(
     requests sharing one dispatch: each backend amortizes its
     ``setup_cycles`` across the batch (see :meth:`Backend.estimate`), so a
     batch of 64 can price the process pool below the in-process kernels
-    where a singleton would not.
+    where a singleton would not.  ``max_component`` (largest component
+    size, when known) feeds the component-shape term of backends that
+    opted in — see :meth:`Backend.estimate`.
     """
     if nnz is None:
         nnz = 4 * n
     estimates = {
-        b.name: b.estimate(n, nnz, n_components, batch)
+        b.name: b.estimate(n, nnz, n_components, batch, max_component)
         for b in _REGISTRY.values() if b.auto_candidate
     }
     if not estimates:
@@ -253,18 +284,19 @@ def auto_estimates(
 
 def resolve_auto_method(
     n: int, nnz: Optional[int] = None, n_components: int = 1,
-    batch: int = 1,
+    batch: int = 1, max_component: Optional[int] = None,
 ) -> str:
     """The concrete backend ``method="auto"`` selects for a pattern.
 
     Cost-model-driven: every ``auto_candidate`` backend prices the pattern
     through its ``cost_estimate(n, nnz, n_components)`` hook — amortizing
-    its declared ``setup_cycles`` across ``batch`` co-dispatched requests
-    — and the cheapest wins (ties break toward earlier registration, i.e.
-    the serial reference — dict insertion order preserves it through
-    ``min``).
+    its declared ``setup_cycles`` across ``batch`` co-dispatched requests,
+    and feeding ``max_component`` (largest component size, when the caller
+    knows it) to hooks that account for component shape — and the cheapest
+    wins (ties break toward earlier registration, i.e. the serial
+    reference — dict insertion order preserves it through ``min``).
     """
-    estimates = auto_estimates(n, nnz, n_components, batch)
+    estimates = auto_estimates(n, nnz, n_components, batch, max_component)
     return min(estimates, key=estimates.__getitem__)
 
 

@@ -96,10 +96,18 @@ def _vectorized_cost(n: int, nnz: int, n_components: int) -> float:
     )
 
 
-def _parallel_cost(n: int, nnz: int, n_components: int) -> float:
+def _parallel_cost(
+    n: int, nnz: int, n_components: int, max_component: int = None
+) -> float:
     # components are the parallelism grain: speedup caps at the smaller of
     # the component count and the nominal pool size
-    ways = max(min(n_components, POOL_NOMINAL_WORKERS), 1)
+    ways = float(max(min(n_components, POOL_NOMINAL_WORKERS), 1))
+    if max_component is not None and max_component > 0:
+        # LPT bound: the largest component cannot be split across workers,
+        # so the speedup never exceeds n / max_component — a hub pattern
+        # that is one giant component plus pendant fragments parallelizes
+        # like a connected pattern, not like an even n_components-way split
+        ways = max(min(ways, n / max_component), 1.0)
     return POOL_STARTUP_CYCLES + _vectorized_cost(n, nnz, n_components) / ways
 
 

@@ -108,6 +108,7 @@ def cmd_reorder(args) -> int:
         start=start,
         n_workers=args.workers,
         symmetrize=args.symmetrize,
+        transform=getattr(args, "transform", None),
     )
     reordered = (mat.symmetrize() if args.symmetrize else mat).permute_symmetric(
         res.permutation
@@ -121,6 +122,8 @@ def cmd_reorder(args) -> int:
         print(json.dumps(res.to_dict(), indent=2, sort_keys=True))
     else:
         print(f"method={res.method}  components={res.n_components}")
+        if res.transform is not None:
+            print(f"transform={res.transform}")
         print(f"bandwidth {res.initial_bandwidth} -> {res.reordered_bandwidth}")
     if args.spy:
         print(side_by_side(mat, reordered, size=32), file=status)
@@ -818,6 +821,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start", type=int, default=None)
     p.add_argument("--peripheral", action="store_true",
                    help="pseudo-peripheral start node")
+    p.add_argument("--transform", default=None, choices=["auto", "powerlaw"],
+                   help="power-law pre-pass (hub extraction + relabeling); "
+                        "'auto' applies it only on heavy-tailed patterns")
     p.add_argument("--symmetrize", action="store_true")
     p.add_argument("--spy", action="store_true", help="before/after spy plots")
     p.add_argument("--json", action="store_true",

@@ -45,6 +45,8 @@ from repro.sparse.validate import (
 )
 from repro.core.batches import BatchConfig
 from repro.core.peripheral import find_pseudo_peripheral
+from repro.core.transform import check_transform, plan_powerlaw, resolve_transform
+from repro.errors import ValidationError
 from repro.machine.stats import RunStats
 from repro.validation import check_choice, check_start
 from repro import telemetry
@@ -62,6 +64,7 @@ __all__ = [
 #: (also the telemetry span names)
 PHASES = (
     "validate",
+    "transform",
     "components",
     "start-selection",
     "ordering",
@@ -97,6 +100,9 @@ class ReorderResult:
     phase_ns: Dict[str, int] = field(default_factory=dict)
     #: the ordering algorithm that ran (``"rcm"`` for every RCM method)
     algorithm: str = "rcm"
+    #: the transformation pass that was applied (``None`` on the
+    #: untransformed path — including ``transform="auto"`` resolving away)
+    transform: Optional[str] = None
 
     @property
     def n_components(self) -> int:
@@ -113,6 +119,7 @@ class ReorderResult:
         return {
             "algorithm": self.algorithm,
             "method": self.method,
+            "transform": self.transform,
             "n": int(self.permutation.size),
             "n_components": self.n_components,
             "start_nodes": [int(s) for s in self.start_nodes],
@@ -146,8 +153,14 @@ def _components_by_min_node(mat: CSRMatrix) -> List[np.ndarray]:
     return comps
 
 
-def _pick_start(mat: CSRMatrix, members: np.ndarray, start) -> int:
+def _pick_start(
+    mat: CSRMatrix, members: np.ndarray, start, *, prefer_hub: bool = False
+) -> int:
     valence = np.diff(mat.indptr)
+    if prefer_hub:
+        # transformed path: a hub-first BFS keeps the level structure
+        # shallow, which is the entire point of the power-law pass
+        return int(members[np.argmax(valence[members])])
     if start == "min-valence":
         return int(members[np.argmin(valence[members])])
     if start == "peripheral":
@@ -193,6 +206,7 @@ def _reorder_rcm(
     config: Optional[BatchConfig] = None,
     symmetrize: bool = False,
     seed: int = 0,
+    transform: Optional[str] = None,
     _initial_bw: Optional[int] = None,
 ) -> "ReorderResult":
     """RCM pipeline implementation (no deprecation warning; see
@@ -206,6 +220,14 @@ def _reorder_rcm(
     """
     check_choice("method", method, backends.method_choices())
     check_start(start, mat.n)
+    check_transform(transform)
+    if transform is not None and isinstance(start, (int, np.integer)):
+        raise ValidationError(
+            "explicit start node cannot be combined with transform="
+            f"{transform!r}: the transformation relabels the pattern, so "
+            "node ids no longer mean what the caller intended; use a start "
+            "strategy or transform=None"
+        )
     tel = telemetry.get()
     phase_ns: Dict[str, int] = {p: 0 for p in PHASES}
 
@@ -222,9 +244,29 @@ def _reorder_rcm(
                 )
         phase_ns["validate"] = time.perf_counter_ns() - t_phase
 
+    # transform phase: resolve the power-law pass and, when it applies,
+    # reorder the hub-first *relabeled* pattern instead — the relabeling
+    # is composed back into the final permutation at assembly
+    plan = None
+    work = mat
+    t_phase = time.perf_counter_ns()
+    with tel.span(
+        "transform", category="api", requested=transform or "none"
+    ) as sp:
+        if transform is not None:
+            if resolve_transform(transform, mat) == "powerlaw":
+                plan = plan_powerlaw(mat)
+            if plan is not None:
+                work = mat.permute_symmetric(plan.relabel)
+        sp.set(
+            applied=plan.kind if plan is not None else "none",
+            n_hubs=plan.n_hubs if plan is not None else 0,
+        )
+    phase_ns["transform"] = time.perf_counter_ns() - t_phase
+
     t_phase = time.perf_counter_ns()
     with tel.span("components", category="api") as sp:
-        comps = _components_by_min_node(mat)
+        comps = _components_by_min_node(work)
         sp.set(n_components=len(comps))
     phase_ns["components"] = time.perf_counter_ns() - t_phase
     if isinstance(start, (int, np.integer)):
@@ -235,10 +277,15 @@ def _reorder_rcm(
             )
 
     # auto-resolution sits after component discovery so the cost models see
-    # the real (n, nnz, n_components) triple, not just the node count
+    # the real (n, nnz, n_components) shape — including the largest
+    # component, which bounds how much a pool dispatch can actually win
     auto_estimates: Optional[Dict[str, float]] = None
+    max_component = max((int(c.size) for c in comps), default=0)
     if method == "auto":
-        auto_estimates = backends.auto_estimates(mat.n, mat.nnz, len(comps))
+        auto_estimates = backends.auto_estimates(
+            work.n, work.nnz, len(comps),
+            max_component=max_component or None,
+        )
         method = min(auto_estimates, key=auto_estimates.__getitem__)
     backend = backends.get(method)
 
@@ -250,7 +297,11 @@ def _reorder_rcm(
             if isinstance(start, (int, np.integer)):
                 starts.append(int(start))
             else:
-                starts.append(_pick_start(mat, members, start))
+                starts.append(
+                    _pick_start(
+                        work, members, start, prefer_hub=plan is not None
+                    )
+                )
             sizes.append(int(members.size))
     phase_ns["start-selection"] = time.perf_counter_ns() - t_phase
 
@@ -263,7 +314,7 @@ def _reorder_rcm(
             "ordering", category="api", method=method, size=sum(sizes)
         ):
             perm_parts = list(backend.run_matrix(
-                mat, starts, sizes=sizes, n_workers=n_workers,
+                work, starts, sizes=sizes, n_workers=n_workers,
                 config=config, seed=seed,
             ))
         phase_ns["ordering"] = time.perf_counter_ns() - t_phase
@@ -272,7 +323,7 @@ def _reorder_rcm(
             t_phase = time.perf_counter_ns()
             with tel.span("ordering", category="api", method=method, size=total):
                 part, comp_stats = backend.run_component(
-                    mat, s, total=total, n_workers=n_workers,
+                    work, s, total=total, n_workers=n_workers,
                     config=config, seed=seed,
                 )
             phase_ns["ordering"] += time.perf_counter_ns() - t_phase
@@ -280,12 +331,18 @@ def _reorder_rcm(
             if comp_stats is not None:
                 stats.append(comp_stats)
 
-    if auto_estimates is not None:
-        # close the cost-model loop: what auto predicted vs. what it cost
+    if auto_estimates is not None and flight.get_recorder() is not None:
+        # close the cost-model loop: what auto predicted vs. what it cost.
+        # The scenario family is classified here — only when a recorder is
+        # live — so the hot path never pays for classification.
+        from repro.matrices.scenarios import classify
+
         flight.record_auto(
             n=mat.n, nnz=mat.nnz, n_components=len(comps),
             estimates=auto_estimates, chosen=method,
             actual_wall_ms=phase_ns["ordering"] / 1e6,
+            max_component=max_component or None,
+            scenario=classify(mat),
         )
 
     t_phase = time.perf_counter_ns()
@@ -294,6 +351,10 @@ def _reorder_rcm(
             np.concatenate(perm_parts) if perm_parts
             else np.zeros(0, dtype=np.int64)
         )
+        if plan is not None:
+            # compose the hub-first relabeling back: the permutation the
+            # caller receives indexes the original matrix
+            perm = plan.relabel[perm]
         init_bw = bandwidth(mat) if _initial_bw is None else int(_initial_bw)
         reord_bw = bandwidth_after(mat, perm)
         if tel.enabled:
@@ -319,6 +380,7 @@ def _reorder_rcm(
         reordered_bandwidth=reord_bw,
         stats=stats,
         phase_ns=phase_ns,
+        transform=plan.kind if plan is not None else None,
     )
 
 

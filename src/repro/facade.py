@@ -61,6 +61,7 @@ from repro.sparse.validate import validate_csr, is_structurally_symmetric
 from repro import backends
 from repro.core.api import METHODS, PHASES, ReorderResult, _reorder_rcm
 from repro.core.batches import BatchConfig
+from repro.errors import ValidationError
 from repro.validation import check_choice, check_min, check_start, choices_text
 from repro import telemetry
 from repro.telemetry import context as tctx
@@ -119,6 +120,7 @@ def reorder(
     config: Optional[BatchConfig] = None,
     symmetrize: bool = False,
     seed: int = 0,
+    transform: Optional[str] = None,
     cache=None,
 ) -> ReorderResult:
     """Reorder a symmetric sparse pattern to reduce its bandwidth.
@@ -156,6 +158,18 @@ def reorder(
     seed:
         interleaving jitter seed for the simulated methods (0 = canonical
         deterministic schedule).
+    transform:
+        optional pre-pass in front of the BFS kernels (RCM only).
+        ``"powerlaw"`` applies the Jiang-style hub extraction: hub
+        vertices are relabeled to the front and the traversal starts
+        from them, keeping the level structure shallow on heavy-tailed
+        patterns (the returned permutation still indexes the original
+        matrix).  ``"auto"`` applies it exactly when the scenario
+        classifier calls the pattern heavy-tailed (see
+        :mod:`repro.matrices.scenarios`), and ``None`` (default)
+        preserves the classical pipeline — only the untransformed path
+        carries the byte-identical-across-methods invariant.
+        Incompatible with an explicit integer ``start``.
     cache:
         optional :class:`repro.service.PermutationCache`.  When given, the
         request is keyed on the content hash of the pattern plus the
@@ -178,9 +192,15 @@ def reorder(
             return _reorder_rcm(
                 mat, method=method, start=start, n_workers=n_workers,
                 config=config, symmetrize=symmetrize, seed=seed,
+                transform=transform,
             )
         check_choice("method", method, _DIRECT_METHODS)
         check_start(start, max(mat.n, 1))
+        if transform is not None:
+            raise ValidationError(
+                "transform is an RCM-only option; "
+                f"algorithm {algorithm!r} does not support it"
+            )
         return _reorder_direct(mat, algorithm, symmetrize=symmetrize)
 
     # every spontaneous call gets a trace identity (service requests
@@ -197,7 +217,7 @@ def reorder(
 
         key = cache_key(
             mat, algorithm=algorithm, method=method, start=start,
-            symmetrize=symmetrize,
+            symmetrize=symmetrize, transform=transform,
         )
         t0 = time.perf_counter_ns()
         hit = cache.get(key)
@@ -219,6 +239,7 @@ def reorder_many(
     config: Optional[BatchConfig] = None,
     symmetrize: bool = False,
     seed: int = 0,
+    transform: Optional[str] = None,
     cache=None,
 ) -> List[ReorderResult]:
     """Reorder a batch of patterns as one amortized dispatch.
@@ -245,9 +266,9 @@ def reorder_many(
 
     Requests that need per-call machinery a grouped dispatch cannot carry
     (non-RCM algorithms, an explicit simulated-machine ``config``, a
-    nonzero ``seed``, or ``method="parallel"``, which manages its own
-    pool) fall back to a per-matrix loop over the same pipeline — results
-    are identical either way.
+    nonzero ``seed``, a ``transform`` pass, or ``method="parallel"``,
+    which manages its own pool) fall back to a per-matrix loop over the
+    same pipeline — results are identical either way.
     """
     check_choice("algorithm", algorithm, ALGORITHMS)
     check_min("n_workers", n_workers, 1)
@@ -272,7 +293,7 @@ def reorder_many(
             for i, m in enumerate(mats):
                 keys[i] = cache_key(
                     m, algorithm=algorithm, method=method, start=start,
-                    symmetrize=symmetrize,
+                    symmetrize=symmetrize, transform=transform,
                 )
                 t0 = time.perf_counter_ns()
                 hit = cache.get(keys[i])
@@ -288,7 +309,7 @@ def reorder_many(
             computed = _compute_many(
                 [mats[i] for i in pend], algorithm=algorithm, method=method,
                 start=start, n_workers=n_workers, config=config,
-                symmetrize=symmetrize, seed=seed,
+                symmetrize=symmetrize, seed=seed, transform=transform,
             )
             for i, res in zip(pend, computed):
                 results[i] = res
@@ -300,7 +321,7 @@ def reorder_many(
 def _compute_many(
     mats: List[CSRMatrix], *, algorithm: str, method: str,
     start: Union[int, str], n_workers: int, config, symmetrize: bool,
-    seed: int,
+    seed: int, transform: Optional[str] = None,
 ) -> List[ReorderResult]:
     """Grouped batch execution (no cache tier) — the one code path behind
     both :func:`reorder_many` and the service's batched admission, so the
@@ -309,13 +330,14 @@ def _compute_many(
 
     one_by_one = (
         algorithm != "rcm" or config is not None or seed != 0
+        or transform is not None
     )
     if one_by_one:
         return [
             reorder(
                 m, algorithm=algorithm, method=method, start=start,
                 n_workers=n_workers, config=config, symmetrize=symmetrize,
-                seed=seed,
+                seed=seed, transform=transform,
             )
             for m in mats
         ]

@@ -18,7 +18,9 @@ from repro.matrices.generators import (
     random_geometric,
     delaunay_mesh,
     rmat,
+    kronecker,
     powerlaw_cluster,
+    watts_strogatz,
     hub_matrix,
     block_dense,
     road_network,
@@ -28,6 +30,16 @@ from repro.matrices.generators import (
 from repro.matrices.mycielski import mycielskian
 from repro.matrices.kkt import kkt_system, nlpkkt_like
 from repro.matrices.suite import TESTSET, SuiteEntry, get_matrix, matrix_names
+from repro.matrices.scenarios import (
+    FAMILIES,
+    FAMILY_FLOORS,
+    SCENARIOS,
+    ScenarioSpec,
+    classify,
+    scenario_names,
+    scenario_suite,
+    shuffled,
+)
 
 __all__ = [
     "grid2d",
@@ -36,7 +48,9 @@ __all__ = [
     "random_geometric",
     "delaunay_mesh",
     "rmat",
+    "kronecker",
     "powerlaw_cluster",
+    "watts_strogatz",
     "hub_matrix",
     "block_dense",
     "road_network",
@@ -49,4 +63,12 @@ __all__ = [
     "SuiteEntry",
     "get_matrix",
     "matrix_names",
+    "FAMILIES",
+    "FAMILY_FLOORS",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "classify",
+    "scenario_names",
+    "scenario_suite",
+    "shuffled",
 ]

@@ -21,7 +21,9 @@ __all__ = [
     "random_geometric",
     "delaunay_mesh",
     "rmat",
+    "kronecker",
     "powerlaw_cluster",
+    "watts_strogatz",
     "hub_matrix",
     "block_dense",
     "road_network",
@@ -201,6 +203,49 @@ def rmat(
     return _from_edges(n, rows, cols)
 
 
+def kronecker(
+    power: int,
+    *,
+    initiator: Tuple[Tuple[float, float], Tuple[float, float]] = (
+        (0.9, 0.5),
+        (0.5, 0.1),
+    ),
+    edge_factor: int = 8,
+    seed: int = 0,
+) -> CSRMatrix:
+    """Stochastic Kronecker graph on ``2**power`` nodes (Graph500 kernel).
+
+    Edges are sampled by descending the ``2 x 2`` ``initiator`` probability
+    matrix ``power`` times, one quadrant choice per bit — the recursive
+    construction behind the Graph500 generator.  The default initiator is
+    the classic Leskovec core-periphery seed: strongly skewed valences with
+    a dense core, the hostile regime where RCM's level sets collapse.
+    Unlike :func:`rmat` (which draws quadrants from one flat categorical),
+    the bit choices here are sampled independently per dimension, giving
+    the characteristic Kronecker self-similarity.
+    """
+    (a, b), (c, d) = initiator
+    total = a + b + c + d
+    if total <= 0:
+        raise ValueError("initiator probabilities must sum to > 0")
+    n = 1 << power
+    m = n * edge_factor
+    rng = np.random.default_rng(seed)
+    rows = np.zeros(m, dtype=np.int64)
+    cols = np.zeros(m, dtype=np.int64)
+    # per-bit conditional probabilities of the 2 x 2 initiator
+    p_row = (c + d) / total          # P(row bit = 1)
+    p_col_row0 = b / max(a + b, 1e-300)  # P(col bit = 1 | row bit = 0)
+    p_col_row1 = d / max(c + d, 1e-300)  # P(col bit = 1 | row bit = 1)
+    for bit in range(power):
+        south = rng.random(m) < p_row
+        p_east = np.where(south, p_col_row1, p_col_row0)
+        east = rng.random(m) < p_east
+        rows |= south.astype(np.int64) << bit
+        cols |= east.astype(np.int64) << bit
+    return _from_edges(n, rows, cols)
+
+
 def powerlaw_cluster(n: int, m: int = 4, *, seed: int = 0) -> CSRMatrix:
     """Barabási–Albert-style preferential attachment (vectorized enough for
     laptop sizes) — an alternative skewed-valence generator."""
@@ -221,6 +266,50 @@ def powerlaw_cluster(n: int, m: int = 4, *, seed: int = 0) -> CSRMatrix:
         targets = [repeated[i] for i in idx]
     rows = np.asarray(rows_list, dtype=np.int64)
     cols = np.asarray(cols_list, dtype=np.int64)
+    return _from_edges(n, rows, cols)
+
+
+def watts_strogatz(
+    n: int,
+    k: int = 6,
+    p: float = 0.1,
+    *,
+    seed: int = 0,
+) -> CSRMatrix:
+    """Watts–Strogatz small-world graph: ``k``-ring plus random rewiring.
+
+    Every node starts connected to its ``k`` nearest ring neighbours
+    (``k`` rounded down to even), then each ring edge is rewired to a
+    uniformly random endpoint with probability ``p``.  For small ``p`` the
+    result keeps the ring's high clustering but gains ``O(log n)``
+    diameter — near-uniform valences with a BFS depth far below any
+    mesh of the same size, the regime where level-set schedules have
+    plenty of width but almost no depth to pipeline.
+
+    The ring backbone is never disconnected (rewiring replaces only the
+    far endpoint), so the graph stays connected for ``k >= 2``.
+    """
+    if k < 2 or k >= n:
+        raise ValueError("need 2 <= k < n")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("rewiring probability p must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    half = max(k // 2, 1)
+    rows_list = []
+    cols_list = []
+    for off in range(1, half + 1):
+        src = np.arange(n, dtype=np.int64)
+        dst = (src + off) % n
+        rewire = rng.random(n) < p
+        random_dst = rng.integers(0, n, size=n, dtype=np.int64)
+        # keep off == 1 ring edges intact so the backbone stays connected
+        if off == 1:
+            rewire &= False
+        dst = np.where(rewire, random_dst, dst)
+        rows_list.append(src)
+        cols_list.append(dst)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
     return _from_edges(n, rows, cols)
 
 
@@ -286,15 +375,22 @@ def block_dense(
     return _from_edges(n, rows, cols)
 
 
-def road_network(n: int, *, seed: int = 0) -> CSRMatrix:
+def road_network(
+    n: int, *, aspect: Optional[float] = None, seed: int = 0
+) -> CSRMatrix:
     """Long, narrow, low-degree near-planar graph.
 
     Analogue of *great-britain_osm* / *hugebubbles*: tiny average valence and
     a huge BFS depth, i.e. almost no parallelism for RCM — the regime where
-    the paper's approach stops scaling.
+    the paper's approach stops scaling.  ``aspect`` overrides the default
+    domain elongation (``max(4, n / 400)``); large values give extremely
+    skinny strips that may fragment into several components, exactly like
+    real road sub-networks.
     """
     # a skinny kNN strip with k=3 gives degree ~3-6 and diameter O(n / width)
-    return random_geometric(n, k=3, aspect=max(4.0, n / 400.0), seed=seed)
+    if aspect is None:
+        aspect = max(4.0, n / 400.0)
+    return random_geometric(n, k=3, aspect=aspect, seed=seed)
 
 
 def bundle_adjustment(

@@ -90,6 +90,7 @@ class CacheKey:
     method: str
     start: str
     symmetrize: bool
+    transform: Optional[str] = None
 
     def describe(self) -> dict:
         """JSON-serializable summary (what ``repro cache`` prints)."""
@@ -102,6 +103,7 @@ class CacheKey:
             "method": self.method,
             "start": self.start,
             "symmetrize": self.symmetrize,
+            "transform": self.transform,
         }
 
 
@@ -112,13 +114,21 @@ def cache_key(
     method: str = "auto",
     start: Union[int, str] = "min-valence",
     symmetrize: bool = False,
+    transform: Optional[str] = None,
 ) -> CacheKey:
     """Derive the :class:`CacheKey` for one reordering request.
 
     Validates the options with the same checks (and error messages) as
     :func:`repro.reorder`, so a request that would fail never produces a
-    key.
+    key.  ``transform`` is canonicalized the same way ``method`` is:
+    ``"auto"`` resolves through the scenario classifier's probe-free
+    heavy-tail test (:func:`repro.core.transform.resolve_transform` — a
+    degree-distribution check, never a BFS), so ``transform="auto"`` on a
+    mesh shares its entry with ``transform=None``, and the token is only
+    mixed into the digest when a pass actually applies — keys for the
+    classical path are unchanged.
     """
+    from repro.core.transform import resolve_transform
     from repro.facade import ALGORITHMS, _DIRECT_METHODS
 
     check_choice("algorithm", algorithm, ALGORITHMS)
@@ -127,6 +137,22 @@ def cache_key(
     else:
         check_choice("method", method, _DIRECT_METHODS)
     check_start(start, max(mat.n, 1))
+    if transform is not None:
+        from repro.errors import ValidationError
+
+        if algorithm != "rcm":
+            raise ValidationError(
+                "transform is an RCM-only option; "
+                f"algorithm {algorithm!r} does not support it"
+            )
+        if isinstance(start, (int, np.integer)):
+            raise ValidationError(
+                "explicit start node cannot be combined with transform="
+                f"{transform!r}: the transformation relabels the pattern, "
+                "so node ids no longer mean what the caller intended; use "
+                "a start strategy or transform=None"
+            )
+    resolved_tf = resolve_transform(transform, mat)
 
     pattern = pattern_digest(mat)
     resolved = canonical_method(algorithm, method, mat.n, mat.nnz)
@@ -139,6 +165,8 @@ def cache_key(
         f"|alg:{algorithm}|method:{resolved}|start:{start_token}"
         f"|sym:{int(bool(symmetrize))}".encode()
     )
+    if resolved_tf is not None:
+        h.update(f"|tf:{resolved_tf}".encode())
     return CacheKey(
         digest=h.hexdigest(),
         pattern=pattern,
@@ -148,4 +176,5 @@ def cache_key(
         method=resolved,
         start=start_token,
         symmetrize=bool(symmetrize),
+        transform=resolved_tf,
     )

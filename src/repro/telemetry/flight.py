@@ -136,19 +136,27 @@ def get_recorder() -> Optional[FlightRecorder]:
 
 def record_auto(*, n: int, nnz: int, n_components: int,
                 estimates: Dict[str, float], chosen: str,
-                actual_wall_ms: float) -> None:
+                actual_wall_ms: float,
+                max_component: Optional[int] = None,
+                scenario: Optional[str] = None) -> None:
     """Record one ``auto`` resolution (no-op when recording is off).
 
     ``mispick_margin`` is the *raw-estimate* slack: best rejected estimate
     minus the chosen estimate (positive = the model was confident).  The
     calibrated verdict comes later, from :func:`calibrate`.
+    ``max_component`` (largest connected component) and ``scenario`` (the
+    pattern's scenario family per :func:`repro.matrices.scenarios.classify`
+    — the pipeline only classifies when a recorder is active) let
+    :func:`calibrate` break the mispick rate down by graph shape, so a
+    cost model that is well calibrated on meshes cannot hide a systematic
+    power-law mispick inside the aggregate rate.
     """
     rec = get_recorder()
     if rec is None:
         return
     others = [v for k, v in estimates.items() if k != chosen]
     margin = (min(others) - estimates[chosen]) if others else None
-    rec.record({
+    entry = {
         "n": int(n),
         "nnz": int(nnz),
         "n_components": int(n_components),
@@ -156,7 +164,12 @@ def record_auto(*, n: int, nnz: int, n_components: int,
         "chosen": chosen,
         "actual_wall_ms": float(actual_wall_ms),
         "mispick_margin": margin,
-    })
+    }
+    if max_component is not None:
+        entry["max_component"] = int(max_component)
+    if scenario is not None:
+        entry["scenario"] = str(scenario)
+    rec.record(entry)
 
 
 def read_records(path: Union[str, Path]) -> List[dict]:
@@ -180,11 +193,18 @@ def calibrate(records: List[dict], *, tie_epsilon: float = 0.05) -> dict:
     error, still preferred the wrong backend.  Backends never chosen
     inherit the mean scale of the fitted ones (their estimates are in the
     same cycle currency).
+
+    Records that carry a ``scenario`` field (see :func:`record_auto`) are
+    additionally aggregated into ``report["scenarios"]`` — picks, mispicks
+    and mispick rate per scenario family — the per-shape breakdown
+    ``repro telemetry calibrate`` prints and
+    ``benchmarks/check_regressions.py`` gates.
     """
     report: dict = {
         "records": len(records),
         "tie_epsilon": tie_epsilon,
         "backends": {},
+        "scenarios": {},
         "mispicks": 0,
         "mispick_rate": 0.0,
     }
@@ -203,6 +223,7 @@ def calibrate(records: List[dict], *, tie_epsilon: float = 0.05) -> dict:
     default_scale = (sum(scales.values()) / len(scales)) if scales else 1.0
 
     per_backend: Dict[str, dict] = {}
+    per_scenario: Dict[str, dict] = {}
     total_mispicks = 0
     for rec in records:
         chosen = rec["chosen"]
@@ -236,6 +257,15 @@ def calibrate(records: List[dict], *, tie_epsilon: float = 0.05) -> dict:
             stats["mispicks"] += 1
             total_mispicks += 1
 
+        scenario = rec.get("scenario")
+        if scenario:
+            fam = per_scenario.setdefault(
+                scenario, {"picks": 0, "mispicks": 0}
+            )
+            fam["picks"] += 1
+            if mispick:
+                fam["mispicks"] += 1
+
     for backend, stats in per_backend.items():
         picks = stats["picks"]
         report["backends"][backend] = {
@@ -246,6 +276,12 @@ def calibrate(records: List[dict], *, tie_epsilon: float = 0.05) -> dict:
             "mean_abs_err_ms": stats["abs_err_ms_sum"] / picks,
             "mispicks": stats["mispicks"],
             "mispick_rate": stats["mispicks"] / picks,
+        }
+    for scenario, fam in sorted(per_scenario.items()):
+        report["scenarios"][scenario] = {
+            "picks": fam["picks"],
+            "mispicks": fam["mispicks"],
+            "mispick_rate": fam["mispicks"] / fam["picks"],
         }
     report["mispicks"] = total_mispicks
     report["mispick_rate"] = total_mispicks / len(records)
@@ -274,5 +310,16 @@ def format_report(report: dict) -> str:
                 f"{s['mean_actual_ms']:>9.3f} "
                 f"{s['mean_abs_err_ms']:>9.3f} "
                 f"{s['mispick_rate']:>7.1%}"
+            )
+    if report.get("scenarios"):
+        lines.append("")
+        header = f"{'scenario':<16} {'picks':>5} {'mispicks':>8} {'rate':>7}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for scenario in sorted(report["scenarios"]):
+            s = report["scenarios"][scenario]
+            lines.append(
+                f"{scenario:<16} {s['picks']:>5} {s['mispicks']:>8} "
+                f"{s['mispick_rate']:>6.1%}"
             )
     return "\n".join(lines)

@@ -222,6 +222,60 @@ class TestProseDocs:
                 "'Batched admission' section"
             )
 
+    def test_scenarios_md_names_every_family_and_scenario(self):
+        from repro.matrices.scenarios import FAMILIES, scenario_names
+
+        text = (DOCS / "scenarios.md").read_text()
+        for family in FAMILIES:
+            assert f"`{family}`" in text, (
+                f"docs/scenarios.md does not document family {family!r}"
+            )
+        for name in scenario_names():
+            assert f"`{name}`" in text, (
+                f"docs/scenarios.md does not document scenario {name!r}"
+            )
+
+    def test_scenarios_md_floor_table_matches_code(self):
+        # the floor table is the verbatim FAMILY_FLOORS mapping — a floor
+        # change must ship with its doc row
+        from repro.matrices.scenarios import FAMILY_FLOORS
+
+        text = (DOCS / "scenarios.md").read_text()
+        for family, floor in FAMILY_FLOORS.items():
+            row = f"| `{family}` | {floor:.2f} |"
+            assert row in text, (
+                f"docs/scenarios.md floor table is stale for {family!r}: "
+                f"expected row {row!r}"
+            )
+
+    def test_scenarios_md_documents_the_transform_surface(self):
+        from repro.core.transform import (
+            HUB_DEGREE_FACTOR, HUB_MIN_DEGREE, TRANSFORMS,
+        )
+
+        text = (DOCS / "scenarios.md").read_text()
+        for choice in TRANSFORMS:
+            assert f'transform="{choice}"' in text, (
+                f"docs/scenarios.md missing transform choice {choice!r}"
+            )
+        threshold = f"max({HUB_DEGREE_FACTOR:.0f} x mean, {HUB_MIN_DEGREE})"
+        assert threshold in text, (
+            "docs/scenarios.md hub threshold is stale; expected "
+            f"{threshold!r} (from repro.core.transform)"
+        )
+        for needle in (
+            "transform=None",
+            "tf:powerlaw",
+            "--transform",
+            "bench_scenarios.py",
+            "BENCH_scenario_matrix.json",
+            "tests/test_scenarios.py",
+        ):
+            assert needle in text, f"docs/scenarios.md missing {needle!r}"
+
+    def test_readme_cross_links_the_scenario_doc(self):
+        assert "docs/scenarios.md" in (REPO / "README.md").read_text()
+
     def test_service_doc_exists_and_mentions_counters(self):
         text = (DOCS / "service.md").read_text()
         for counter in (

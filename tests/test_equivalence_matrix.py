@@ -40,7 +40,10 @@ def _random_symmetric(n, density, seed):
 
 #: name -> builder; spans the structural regimes the paper's test set does:
 #: chains, disconnected components, regular meshes, irregular meshes,
-#: dense small-world cores, hub-dominated skews and random patterns.
+#: dense small-world cores, hub-dominated skews and random patterns —
+#: plus one representative per hostile-graph scenario family
+#: (``repro.matrices.scenarios``): banded, road-like, power-law (R-MAT
+#: and Kronecker flavours) and small-world.
 MATRIX_BUILDERS = {
     "path-5": lambda: CSRMatrix.from_edges(5, [(i, i + 1) for i in range(4)]),
     "two-triangles": lambda: CSRMatrix.from_edges(
@@ -51,6 +54,11 @@ MATRIX_BUILDERS = {
     "mycielski-7": lambda: mycielskian(7),
     "hub-400": lambda: g.hub_matrix(400, n_hubs=2, hub_degree_frac=0.7, seed=3),
     "random-250": lambda: _random_symmetric(250, 0.02, 3),
+    "banded-200": lambda: g.banded(200, 5, density=0.85, seed=11),
+    "road-300": lambda: g.road_network(300, aspect=40.0, seed=13),
+    "rmat-256": lambda: g.rmat(8, edge_factor=5, seed=17),
+    "kron-256": lambda: g.kronecker(8, edge_factor=5, seed=19),
+    "smallworld-240": lambda: g.watts_strogatz(240, 6, 0.12, seed=23),
 }
 
 MATRICES = sorted(MATRIX_BUILDERS)

@@ -221,6 +221,42 @@ class TestCalibrate:
         assert "serial" in text
         assert "mispick" in text
 
+    def test_per_scenario_breakdown(self):
+        """The hub-dominated calibration case: a pool pick on a giant
+        component shows up as a mispick *in its own scenario bucket*, not
+        diluted into the aggregate by well-behaved mesh picks."""
+        mesh = [
+            dict(self._mk(
+                "vectorized", {"vectorized": 100.0, "parallel": 400.0}, 1.0
+            ), scenario="mesh")
+            for _ in range(8)
+        ]
+        # the regression shape: auto chose the pool for one giant
+        # component; the calibrated vectorized prediction undercuts it
+        hub = [
+            dict(self._mk(
+                "parallel", {"parallel": 400.0, "vectorized": 100.0}, 40.0
+            ), scenario="hub-dominated", max_component=999),
+            dict(self._mk("parallel", {"parallel": 400.0}, 40.0),
+                 scenario="hub-dominated"),
+        ]
+        report = flight.calibrate(mesh + hub)
+        assert report["scenarios"]["mesh"]["mispicks"] == 0
+        assert report["scenarios"]["hub-dominated"]["mispicks"] == 1
+        assert report["scenarios"]["hub-dominated"]["mispick_rate"] == \
+            pytest.approx(0.5)
+        text = flight.format_report(report)
+        assert "hub-dominated" in text
+        assert "scenario" in text
+
+    def test_records_without_scenario_skip_breakdown(self):
+        records = [
+            self._mk("serial", {"serial": 100.0}, 1.0),
+        ]
+        report = flight.calibrate(records)
+        assert report["scenarios"] == {}
+        assert "scenario" not in flight.format_report(report)
+
 
 class TestCli:
     def _run(self, *argv):

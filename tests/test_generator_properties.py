@@ -1,0 +1,318 @@
+"""Property tests for every matrix generator (Hypothesis).
+
+``repro.matrices.generators`` promises, in its module docstring, that
+every generator returns a pattern-only, **structurally symmetric** CSR
+matrix with **sorted, duplicate-free** row indices, **no self loops**,
+and — for the randomized ones — **bit-for-bit determinism** under a
+fixed seed.  The scenario suite, the equivalence battery and the
+power-law transformation all lean on those invariants, so this module
+pins each one property-style across randomly drawn shape parameters
+instead of a handful of hand-picked sizes.
+
+Connectivity is asserted only where a generator documents it (grids,
+caterpillars, the Watts–Strogatz ring backbone, preferential attachment,
+full-density bands); geometric and R-MAT-style generators may legally
+fragment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.matrices import generators as g
+from repro.matrices.kkt import nlpkkt_like
+from repro.matrices.mycielski import mycielskian
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.graph import connected_components
+
+# modest shapes + a bounded example count keep the whole module inside
+# the fast tier-1 lane while still sweeping far more parameter space
+# than fixed fixtures would
+COMMON = settings(max_examples=20, deadline=None)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+# ----------------------------------------------------------------------
+# shared invariant checks
+# ----------------------------------------------------------------------
+def _coo(mat: CSRMatrix):
+    rows = np.repeat(
+        np.arange(mat.n, dtype=np.int64), np.diff(mat.indptr)
+    )
+    return rows, mat.indices.astype(np.int64)
+
+
+def assert_well_formed(mat: CSRMatrix) -> None:
+    """Symmetric pattern, sorted deduped rows, no self loops."""
+    assert mat.indptr.shape == (mat.n + 1,)
+    assert mat.indptr[0] == 0 and mat.indptr[-1] == mat.nnz
+    rows, cols = _coo(mat)
+    assert cols.size == mat.nnz
+    if mat.nnz == 0:
+        return
+    assert cols.min() >= 0 and cols.max() < mat.n
+
+    # sorted + deduped: strictly increasing indices within every row
+    same_row = rows[1:] == rows[:-1]
+    assert np.all(np.diff(cols)[same_row] > 0), "row indices not sorted/deduped"
+
+    # no self loops
+    assert np.all(rows != cols), "diagonal entry present"
+
+    # structural symmetry: the (row, col) multiset equals its transpose
+    fwd = np.lexsort((cols, rows))
+    bwd = np.lexsort((rows, cols))
+    assert np.array_equal(rows[fwd], cols[bwd])
+    assert np.array_equal(cols[fwd], rows[bwd])
+
+
+def assert_connected(mat: CSRMatrix) -> None:
+    count, _ = connected_components(mat)
+    assert count == 1
+
+
+# ----------------------------------------------------------------------
+# regular structures
+# ----------------------------------------------------------------------
+class TestGrids:
+    @COMMON
+    @given(nx=st.integers(2, 12), ny=st.integers(2, 12),
+           stencil=st.sampled_from([5, 9]))
+    def test_grid2d(self, nx, ny, stencil):
+        mat = g.grid2d(nx, ny, stencil=stencil)
+        assert mat.n == nx * ny
+        assert_well_formed(mat)
+        assert_connected(mat)
+
+    @COMMON
+    @given(nx=st.integers(2, 6), ny=st.integers(2, 6),
+           nz=st.integers(2, 6), stencil=st.sampled_from([7, 27]))
+    def test_grid3d(self, nx, ny, nz, stencil):
+        mat = g.grid3d(nx, ny, nz, stencil=stencil)
+        assert mat.n == nx * ny * nz
+        assert_well_formed(mat)
+        assert_connected(mat)
+
+    def test_grid_stencils_validated(self):
+        with pytest.raises(ValueError):
+            g.grid2d(4, 4, stencil=6)
+        with pytest.raises(ValueError):
+            g.grid3d(3, 3, 3, stencil=8)
+
+
+class TestBanded:
+    @COMMON
+    @given(n=st.integers(4, 200), hb=st.integers(1, 12),
+           density=st.floats(0.2, 1.0), seed=seeds)
+    def test_banded(self, n, hb, density, seed):
+        mat = g.banded(n, hb, density=density, seed=seed)
+        assert_well_formed(mat)
+        rows, cols = _coo(mat)
+        if mat.nnz:
+            assert int(np.abs(rows - cols).max()) <= hb
+
+    @COMMON
+    @given(n=st.integers(4, 200), hb=st.integers(1, 12))
+    def test_full_density_band_is_connected(self, n, hb):
+        assert_connected(g.banded(n, hb))
+
+    def test_half_bandwidth_validated(self):
+        with pytest.raises(ValueError):
+            g.banded(10, 0)
+
+
+class TestGeometric:
+    @COMMON
+    @given(n=st.integers(10, 150), k=st.integers(2, 6),
+           aspect=st.floats(1.0, 40.0), seed=seeds)
+    def test_random_geometric(self, n, k, aspect, seed):
+        mat = g.random_geometric(n, k=k, aspect=aspect, seed=seed)
+        assert mat.n == n
+        assert_well_formed(mat)
+        # every node keeps at least its k out-neighbours
+        assert int(np.diff(mat.indptr).min()) >= 1
+
+    @COMMON
+    @given(n=st.integers(10, 200), seed=seeds)
+    def test_delaunay_mesh(self, n, seed):
+        mat = g.delaunay_mesh(n, seed=seed)
+        assert_well_formed(mat)
+        assert_connected(mat)  # a triangulation is connected
+
+    @COMMON
+    @given(n=st.integers(20, 200), seed=seeds)
+    def test_road_network(self, n, seed):
+        mat = g.road_network(n, seed=seed)
+        assert_well_formed(mat)
+        # low-valence regime is the generator's entire point
+        assert float(np.diff(mat.indptr).mean()) < 10.0
+
+    @COMMON
+    @given(n=st.integers(20, 120), seed=seeds)
+    def test_road_network_aspect_override(self, n, seed):
+        default = g.road_network(n, seed=seed)
+        wide = g.road_network(n, aspect=80.0, seed=seed)
+        assert_well_formed(wide)
+        assert wide.n == default.n
+
+
+class TestPowerLaw:
+    @COMMON
+    @given(scale=st.integers(3, 8), ef=st.integers(2, 8), seed=seeds)
+    def test_rmat(self, scale, ef, seed):
+        mat = g.rmat(scale, ef, seed=seed)
+        assert mat.n == 1 << scale
+        assert_well_formed(mat)
+
+    @COMMON
+    @given(power=st.integers(3, 8), ef=st.integers(2, 8), seed=seeds)
+    def test_kronecker(self, power, ef, seed):
+        mat = g.kronecker(power, edge_factor=ef, seed=seed)
+        assert mat.n == 1 << power
+        assert_well_formed(mat)
+
+    def test_kronecker_initiator_validated(self):
+        with pytest.raises(ValueError):
+            g.kronecker(4, initiator=((0.0, 0.0), (0.0, 0.0)))
+
+    @COMMON
+    @given(n=st.integers(8, 150), m=st.integers(1, 5), seed=seeds)
+    def test_powerlaw_cluster(self, n, m, seed):
+        mat = g.powerlaw_cluster(n, min(m, n - 1), seed=seed)
+        assert_well_formed(mat)
+        assert_connected(mat)  # every new node attaches to existing ones
+
+    def test_powerlaw_cluster_m_validated(self):
+        with pytest.raises(ValueError):
+            g.powerlaw_cluster(5, 0)
+        with pytest.raises(ValueError):
+            g.powerlaw_cluster(5, 5)
+
+
+class TestSmallWorld:
+    @COMMON
+    @given(n=st.integers(5, 200), k=st.integers(2, 8),
+           p=st.floats(0.0, 1.0), seed=seeds)
+    def test_watts_strogatz(self, n, k, p, seed):
+        k = min(k, n - 1)
+        mat = g.watts_strogatz(n, k, p, seed=seed)
+        assert mat.n == n
+        assert_well_formed(mat)
+        assert_connected(mat)  # the documented ring-backbone guarantee
+
+    @COMMON
+    @given(n=st.integers(10, 100), k=st.integers(2, 6), seed=seeds)
+    def test_watts_strogatz_p0_is_a_ring(self, n, k, seed):
+        k = min(k, n - 1)
+        mat = g.watts_strogatz(n, k, 0.0, seed=seed)
+        # with no rewiring the pattern is the pure circulant ring:
+        # every node sees offsets +-1 .. +-(k // 2 or 1)
+        half = max(k // 2, 1)
+        degrees = np.diff(mat.indptr)
+        expected = min(2 * half, n - 1)
+        assert np.all(degrees == expected)
+
+    def test_watts_strogatz_params_validated(self):
+        with pytest.raises(ValueError):
+            g.watts_strogatz(10, 1)  # k < 2
+        with pytest.raises(ValueError):
+            g.watts_strogatz(10, 10)  # k >= n
+        with pytest.raises(ValueError):
+            g.watts_strogatz(10, 4, -0.1)
+        with pytest.raises(ValueError):
+            g.watts_strogatz(10, 4, 1.5)
+
+
+class TestSkewsAndComposites:
+    @COMMON
+    @given(n=st.integers(30, 300), n_hubs=st.integers(1, 5),
+           frac=st.floats(0.1, 0.9), seed=seeds)
+    def test_hub_matrix(self, n, n_hubs, frac, seed):
+        mat = g.hub_matrix(
+            n, n_hubs=n_hubs, hub_degree_frac=frac, seed=seed
+        )
+        assert_well_formed(mat)
+        # the max valence must dominate the mean — that is the point
+        degrees = np.diff(mat.indptr)
+        assert degrees.max() >= frac * n * 0.5
+
+    @COMMON
+    @given(blocks=st.integers(1, 6), block=st.integers(2, 10),
+           coupling=st.integers(0, 3), seed=seeds)
+    def test_block_dense(self, blocks, block, coupling, seed):
+        mat = g.block_dense(blocks, block, coupling=coupling, seed=seed)
+        assert mat.n == blocks * block
+        assert_well_formed(mat)
+
+    @COMMON
+    @given(cams=st.integers(4, 40), pts=st.integers(4, 120),
+           obs=st.integers(1, 6), seed=seeds)
+    def test_bundle_adjustment(self, cams, pts, obs, seed):
+        mat = g.bundle_adjustment(
+            cams, pts, observations_per_point=obs, seed=seed
+        )
+        assert mat.n == cams + pts
+        assert_well_formed(mat)
+
+    @COMMON
+    @given(spine=st.integers(2, 40), legs=st.integers(1, 6))
+    def test_caterpillar(self, spine, legs):
+        mat = g.caterpillar(spine, legs)
+        assert mat.n == spine * (1 + legs)
+        assert_well_formed(mat)
+        assert_connected(mat)
+
+    @COMMON
+    @given(k=st.integers(2, 7))
+    def test_mycielskian(self, k):
+        mat = mycielskian(k)
+        assert_well_formed(mat)
+        assert_connected(mat)
+
+    @COMMON
+    @given(m=st.integers(2, 12), seed=seeds)
+    def test_nlpkkt_like(self, m, seed):
+        mat = nlpkkt_like(m, seed=seed)
+        assert_well_formed(mat)
+
+
+class TestDeterminism:
+    """Same seed -> byte-identical structure, for every randomized
+    generator.  The scenario registry, cache keys and golden tests all
+    assume this."""
+
+    CASES = {
+        "banded": lambda s: g.banded(60, 4, density=0.7, seed=s),
+        "random_geometric": lambda s: g.random_geometric(80, k=4, seed=s),
+        "delaunay_mesh": lambda s: g.delaunay_mesh(80, seed=s),
+        "rmat": lambda s: g.rmat(6, 4, seed=s),
+        "kronecker": lambda s: g.kronecker(6, edge_factor=4, seed=s),
+        "powerlaw_cluster": lambda s: g.powerlaw_cluster(60, 3, seed=s),
+        "watts_strogatz": lambda s: g.watts_strogatz(60, 4, 0.2, seed=s),
+        "hub_matrix": lambda s: g.hub_matrix(60, n_hubs=2, seed=s),
+        "block_dense": lambda s: g.block_dense(3, 8, seed=s),
+        "road_network": lambda s: g.road_network(80, seed=s),
+        "bundle_adjustment": lambda s: g.bundle_adjustment(8, 40, seed=s),
+        "nlpkkt_like": lambda s: nlpkkt_like(6, seed=s),
+    }
+
+    @COMMON
+    @given(seed=seeds, name=st.sampled_from(sorted(CASES)))
+    def test_same_seed_same_bytes(self, seed, name):
+        build = self.CASES[name]
+        a, b = build(seed), build(seed)
+        assert a.n == b.n
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_different_seeds_differ(self, name):
+        build = self.CASES[name]
+        a, b = build(1), build(2)
+        assert (
+            not np.array_equal(a.indices, b.indices)
+            or not np.array_equal(a.indptr, b.indptr)
+        )

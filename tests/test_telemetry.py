@@ -405,8 +405,8 @@ class TestCli:
         assert payload["method"] == "batch-cpu"
         assert payload["stats"][0]["batches"]["generated"] > 0
         assert set(payload["phase_ns"]) == {
-            "validate", "components", "start-selection", "ordering",
-            "assembly",
+            "validate", "transform", "components", "start-selection",
+            "ordering", "assembly",
         }
 
     def test_reorder_telemetry_flag(self, tmp_path, capsys):
