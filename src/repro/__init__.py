@@ -36,7 +36,14 @@ from repro import backends, errors
 from repro.sparse import CSRMatrix, coo_to_csr, bandwidth
 from repro.core.api import reverse_cuthill_mckee, ReorderResult, METHODS
 from repro.facade import reorder, reorder_many, ALGORITHMS
-from repro.service import PermutationCache, ReorderService, ServiceConfig
+from repro.service import (
+    AsyncReorderService,
+    PermutationCache,
+    ReorderService,
+    ServiceConfig,
+    ShardedCache,
+    ShardedService,
+)
 from repro.core import (
     cuthill_mckee,
     rcm_serial,
@@ -60,6 +67,9 @@ __all__ = [
     "reorder_many",
     "ALGORITHMS",
     "ReorderService",
+    "ShardedService",
+    "ShardedCache",
+    "AsyncReorderService",
     "ServiceConfig",
     "PermutationCache",
     "reverse_cuthill_mckee",

@@ -343,6 +343,7 @@ def _reorder_rcm(
             actual_wall_ms=phase_ns["ordering"] / 1e6,
             max_component=max_component or None,
             scenario=classify(mat),
+            transform_ms=phase_ns["transform"] / 1e6,
         )
 
     t_phase = time.perf_counter_ns()

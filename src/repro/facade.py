@@ -25,10 +25,15 @@ enough components to feed it (see
 :func:`repro.backends.resolve_auto_method`).  Every RCM method returns the
 identical permutation.
 
-Passing ``cache=`` (a :class:`repro.service.PermutationCache`) makes the
-call content-addressed: a pattern + options seen before is served from the
-cache without recomputation.  :class:`repro.service.ReorderService` builds
-coalescing and admission control on top of the same path.
+Passing ``cache=`` (a :class:`repro.service.PermutationCache`, a
+:class:`repro.service.ShardedCache`, or a disk-tier directory path) makes
+the call content-addressed: a pattern + options seen before is served from
+the cache without recomputation.  With ``shards=N`` a path spec
+materializes as an N-way :class:`~repro.service.ShardedCache` (per-shard
+``shard-<i>`` disk directories behind a consistent-hash ring — the same
+layout :class:`repro.service.ShardedService` serves from).
+:class:`repro.service.ReorderService` builds coalescing and admission
+control on top of the same path.
 
 Batches are first-class: :func:`reorder_many` reorders a whole list of
 matrices as **one dispatch** — matrices grouped by resolved backend, shipped
@@ -51,6 +56,7 @@ the full hierarchy.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -83,6 +89,28 @@ if __doc__ is not None:  # pragma: no branch - absent only under -OO
         algorithms=choices_text(ALGORITHMS),
         methods=choices_text(backends.names()),
     )
+
+
+def _resolve_cache(cache, shards: int):
+    """Materialize the ``cache=``/``shards=`` spec into a cache object.
+
+    A cache *object* (``PermutationCache``/``ShardedCache`` — anything
+    with ``get``/``put``) passes through unchanged; a ``str``/``Path``
+    names a disk-tier root and builds a :class:`PermutationCache` at
+    ``shards=1`` or an N-way :class:`ShardedCache` (``shard-<i>``
+    subdirectories) above that.  ``shards`` only shapes how a path spec
+    materializes — with ``cache=None`` there is nothing to shard.
+    """
+    check_min("shards", shards, 1)
+    if cache is None or not isinstance(cache, (str, Path)):
+        return cache
+    if shards > 1:
+        from repro.service.router import ShardedCache
+
+        return ShardedCache(cache, shards)
+    from repro.service.cache import PermutationCache
+
+    return PermutationCache(disk_dir=cache)
 
 
 def _algorithm_fn(algorithm: str):
@@ -122,6 +150,7 @@ def reorder(
     seed: int = 0,
     transform: Optional[str] = None,
     cache=None,
+    shards: int = 1,
 ) -> ReorderResult:
     """Reorder a symmetric sparse pattern to reduce its bandwidth.
 
@@ -171,12 +200,21 @@ def reorder(
         carries the byte-identical-across-methods invariant.
         Incompatible with an explicit integer ``start``.
     cache:
-        optional :class:`repro.service.PermutationCache`.  When given, the
-        request is keyed on the content hash of the pattern plus the
+        optional :class:`repro.service.PermutationCache`, N-way
+        :class:`repro.service.ShardedCache`, or a ``str``/``Path`` naming
+        a disk-tier directory (materialized per ``shards``).  When given,
+        the request is keyed on the content hash of the pattern plus the
         permutation-relevant options; a hit returns the cached result
         (permutation bit-identical to recomputation) with
         ``phase_ns={"cache": <lookup ns>}``, a miss computes and
         populates the cache.
+    shards:
+        how a ``str``/``Path`` ``cache`` spec materializes: ``1``
+        (default) builds one :class:`~repro.service.PermutationCache`,
+        ``N > 1`` an N-way consistent-hash
+        :class:`~repro.service.ShardedCache` with per-shard ``shard-<i>``
+        disk directories.  Ignored for a cache object (it already knows
+        its sharding) and meaningless without ``cache``.
 
     Returns
     -------
@@ -186,6 +224,7 @@ def reorder(
     """
     check_choice("algorithm", algorithm, ALGORITHMS)
     check_min("n_workers", n_workers, 1)
+    cache = _resolve_cache(cache, shards)
 
     def compute() -> ReorderResult:
         if algorithm == "rcm":
@@ -241,6 +280,7 @@ def reorder_many(
     seed: int = 0,
     transform: Optional[str] = None,
     cache=None,
+    shards: int = 1,
 ) -> List[ReorderResult]:
     """Reorder a batch of patterns as one amortized dispatch.
 
@@ -260,9 +300,10 @@ def reorder_many(
       CSR payloads travel via the zero-copy shared-memory transport, the
       persistent pool is warmed once and reused (``REPRO_NO_SHM=1`` opts
       back into the pickle transport);
-    * with ``cache=`` given, hits are served per matrix up front
-      (``phase_ns={"cache": <ns>}``) and only the misses are dispatched;
-      every computed result is cached on the way out.
+    * with ``cache=`` given (cache object or disk-tier path, sharded per
+      ``shards`` exactly as in :func:`reorder`), hits are served per
+      matrix up front (``phase_ns={"cache": <ns>}``) and only the misses
+      are dispatched; every computed result is cached on the way out.
 
     Requests that need per-call machinery a grouped dispatch cannot carry
     (non-RCM algorithms, an explicit simulated-machine ``config``, a
@@ -274,6 +315,7 @@ def reorder_many(
     check_min("n_workers", n_workers, 1)
     if algorithm == "rcm":
         check_choice("method", method, backends.method_choices())
+    cache = _resolve_cache(cache, shards)
     mats = list(mats)
     results: List[Optional[ReorderResult]] = [None] * len(mats)
     if not mats:

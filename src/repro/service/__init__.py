@@ -14,6 +14,17 @@ with backpressure and a graceful method-degradation chain.
         first = svc.reorder(mat)     # computes and caches
         again = svc.reorder(mat)     # served from the cache, bit-identical
 
+Scaling out, the same machinery shards: :class:`ShardedService` routes
+content-hash keys onto N independent :class:`Shard` units via a
+consistent-hash :class:`HashRing` (per-shard LRU + disk tiers that
+survive resharding), and :class:`AsyncReorderService` puts an awaitable
+front door on either flavor::
+
+    from repro.service import ShardedService
+
+    with ShardedService(shards=4) as svc:
+        res = svc.reorder(mat)       # routed by content hash, bit-identical
+
 See ``docs/service.md`` for cache semantics, coalescing guarantees and the
 telemetry taxonomy.
 """
@@ -26,8 +37,11 @@ from repro.service.core import (
     ServiceError,
     ServiceOverloadedError,
     ServiceTimeoutError,
+    Shard,
     fallback_chain,
 )
+from repro.service.router import HashRing, ShardedCache, ShardedService
+from repro.service.aio import AsyncReorderService
 
 __all__ = [
     "CacheKey",
@@ -35,7 +49,12 @@ __all__ = [
     "pattern_digest",
     "CacheStats",
     "PermutationCache",
+    "Shard",
     "ReorderService",
+    "ShardedCache",
+    "ShardedService",
+    "AsyncReorderService",
+    "HashRing",
     "ServiceConfig",
     "ServiceError",
     "ServiceOverloadedError",

@@ -27,7 +27,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -104,6 +104,13 @@ class PermutationCache:
         configured).
     disk_dir:
         optional directory for the persistent tier; created on first use.
+    fallback_dirs:
+        read-only sibling disk tiers probed after a ``disk_dir`` miss.
+        A hit from a fallback directory is promoted — installed in memory
+        and rewritten under ``disk_dir`` — but the foreign file is never
+        touched.  :class:`repro.service.ShardedService` points each shard
+        at its siblings' directories so entries that a resharding remapped
+        to a different shard still warm-hit from disk.
     """
 
     def __init__(
@@ -111,11 +118,13 @@ class PermutationCache:
         capacity: int = 128,
         *,
         disk_dir: Optional[Union[str, Path]] = None,
+        fallback_dirs: Sequence[Union[str, Path]] = (),
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.fallback_dirs = tuple(Path(d) for d in fallback_dirs)
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, dict]" = OrderedDict()
@@ -151,9 +160,9 @@ class PermutationCache:
             )
         os.replace(tmp, path)
 
-    def _disk_read(self, digest: str) -> Optional[dict]:
-        path = self._disk_path(digest)
-        if path is None or not path.exists():
+    @staticmethod
+    def _read_npz(path: Path) -> Optional[dict]:
+        if not path.exists():
             return None
         try:
             with np.load(path) as npz:
@@ -165,6 +174,20 @@ class PermutationCache:
         except (OSError, KeyError, ValueError, json.JSONDecodeError):
             # a torn/foreign file is a miss, never an error
             return None
+
+    def _disk_read(self, digest: str) -> Optional[dict]:
+        path = self._disk_path(digest)
+        if path is None:
+            return None
+        return self._read_npz(path)
+
+    def _fallback_read(self, digest: str) -> Optional[dict]:
+        """Probe sibling tiers read-only (resharded keys land here)."""
+        for directory in self.fallback_dirs:
+            entry = self._read_npz(directory / f"{digest}.npz")
+            if entry is not None:
+                return entry
+        return None
 
     # ------------------------------------------------------------------
     # public API
@@ -180,6 +203,10 @@ class PermutationCache:
                 return _result_from_entry(entry)
         # slow tier outside the lock: the read is idempotent
         entry = self._disk_read(key.digest)
+        promoted = False
+        if entry is None and self.fallback_dirs:
+            entry = self._fallback_read(key.digest)
+            promoted = entry is not None
         if entry is not None:
             with self._lock:
                 self.stats.hits += 1
@@ -187,6 +214,9 @@ class PermutationCache:
                 self._install(key.digest, entry)
                 self._tel_count("service.cache.hits")
                 self._tel_count("service.cache.disk_hits")
+            if promoted:
+                # adopt the resharded entry: one write, into our own tier
+                self._disk_write(key.digest, entry)
             return _result_from_entry(entry)
         with self._lock:
             self.stats.misses += 1
@@ -210,25 +240,33 @@ class PermutationCache:
             self.stats.evictions += 1
             self._tel_count("service.cache.evictions")
 
-    def invalidate(self, key_or_digest: Union[CacheKey, str]) -> bool:
-        """Drop one entry from both tiers; True when anything was removed."""
+    def invalidate(self, key_or_digest: Union[CacheKey, str]) -> int:
+        """Drop one entry from both tiers.
+
+        Returns how many tiers actually held (and dropped) the key — 0
+        when it was cached nowhere, 1 for memory *or* disk, 2 for both —
+        so callers (``repro cache --invalidate``, the sharded service) can
+        report exactly what an invalidation removed.  The count is truthy
+        exactly when anything was removed, preserving the historical
+        boolean reading.
+        """
         digest = (
             key_or_digest.digest
             if isinstance(key_or_digest, CacheKey)
             else str(key_or_digest)
         )
-        removed = False
+        tiers = 0
         with self._lock:
             if self._entries.pop(digest, None) is not None:
-                removed = True
+                tiers += 1
         path = self._disk_path(digest)
         if path is not None and path.exists():
             path.unlink()
-            removed = True
-        if removed:
+            tiers += 1
+        if tiers:
             with self._lock:
                 self.stats.invalidations += 1
-        return removed
+        return tiers
 
     def clear(self, *, purge_disk: bool = False) -> None:
         """Drop every in-memory entry (and the disk tier when asked)."""

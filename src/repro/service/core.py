@@ -1,5 +1,15 @@
 """The in-process reordering service: cache, coalescing, bounded queue.
 
+The unit of serving here is the :class:`Shard`: one cache + coalescing map
++ bounded admission queue + (optional) batched-admission thread.
+:class:`ReorderService` — the historical public API, unchanged — *is* a
+single anonymous shard; :class:`repro.service.router.ShardedService`
+composes N of them behind a consistent-hash router and
+:class:`repro.service.aio.AsyncReorderService` puts an asyncio front door
+on either.  A shard constructed with a ``shard_id`` mirrors its counters
+to ``service.shard.<i>.*`` and stamps the id into every request's
+:class:`~repro.telemetry.context.TraceContext`.
+
 :class:`ReorderService` fronts :func:`repro.reorder` with the three things
 a traffic-serving deployment needs:
 
@@ -72,6 +82,7 @@ from repro.telemetry import context as tctx
 
 __all__ = [
     "ServiceConfig",
+    "Shard",
     "ReorderService",
     "ServiceError",
     "ServiceOverloadedError",
@@ -156,6 +167,39 @@ def fallback_chain(algorithm: str, method: str) -> Tuple[str, ...]:
     return backends.degradation_order(method)
 
 
+def admit_method(
+    algorithm: str,
+    method: str,
+    *,
+    fallback: bool = True,
+    on_fallback=None,
+) -> str:
+    """The method a request is actually admitted on.
+
+    A client may ask for an optional backend that never registered here
+    (GPU build, distributed build...).  With ``fallback`` enabled such a
+    request is admitted on the method's first registered degradation
+    target instead of bouncing with a validation error; ``on_fallback``
+    (called with the *requested* method) lets the caller count the
+    degradation.  Shared by :class:`Shard` and the sharded router — the
+    router must admit *before* hashing the cache key, because the admitted
+    method is part of the key.
+    """
+    if (
+        not fallback
+        or algorithm != "rcm"
+        or method == "auto"
+        or backends.is_registered(method)
+    ):
+        return method
+    for m in backends.degradation_order(method)[1:]:
+        if backends.is_registered(m):
+            if on_fallback is not None:
+                on_fallback(method)
+            return m
+    return method
+
+
 def _call_reorder(mat: CSRMatrix, kwargs: dict) -> ReorderResult:
     """The one seam between the service and the facade (tests patch it)."""
     from repro.facade import reorder
@@ -178,19 +222,18 @@ def _call_reorder_many(
     return reorder_many(mats, **kwargs)
 
 
-class ReorderService:
-    """In-process reordering service over :func:`repro.reorder`.
+class Shard:
+    """One self-contained serving unit: cache + coalescing + admission.
 
-    ::
-
-        with ReorderService() as svc:
-            res = svc.reorder(mat)                  # cold: computes + caches
-            res = svc.reorder(mat)                  # warm: cache hit
-            futs = [svc.submit(m) for m in mats]    # async fan-out
-
-    Permutations are bit-identical to ``repro.reorder(mat, ...)`` — cold
-    and warm — because cache keys are content hashes of the exact pattern
-    plus options.
+    Everything a single-process service needs lives here — the LRU/disk
+    :class:`~repro.service.cache.PermutationCache`, the in-flight
+    coalescing map, the backpressure semaphore and the optional
+    batched-admission thread.  Constructed bare it *is* the classic
+    service (see :class:`ReorderService`); constructed with a ``shard_id``
+    by :class:`repro.service.router.ShardedService` it additionally
+    mirrors counters to ``service.shard.<i>.*``, maintains the
+    ``service.shard.<i>.queue.depth`` gauge, and stamps the shard id into
+    each request's trace context.
     """
 
     def __init__(
@@ -198,8 +241,10 @@ class ReorderService:
         config: Optional[ServiceConfig] = None,
         *,
         cache: Optional[PermutationCache] = None,
+        shard_id: Optional[int] = None,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
+        self.shard_id = shard_id
         # explicit None check: an empty PermutationCache is falsy (__len__)
         self.cache = cache if cache is not None else PermutationCache(
             self.config.cache_capacity, disk_dir=self.config.disk_dir
@@ -247,20 +292,27 @@ class ReorderService:
         start: Union[int, str] = "min-valence",
         n_workers: int = 4,
         symmetrize: bool = False,
+        _key: Optional[CacheKey] = None,
     ) -> "Future[ReorderResult]":
         """Enqueue one request; returns a future of its ReorderResult.
 
         The future is already resolved on a cache hit, shared with the
         in-flight leader on a coalesced duplicate, and backed by a fresh
-        pool task otherwise.
+        pool task otherwise.  ``_key`` is the router's private fast path:
+        the sharded service admits and hashes exactly once, routes on the
+        digest, then hands the finished key to the owning shard (``method``
+        must already be the admitted method the key was built from).
         """
         if self._closed:
             raise ServiceError("service is closed")
-        method = self._admit_method(algorithm, method)
-        key = cache_key(
-            mat, algorithm=algorithm, method=method, start=start,
-            symmetrize=symmetrize,
-        )
+        if _key is not None:
+            key = _key
+        else:
+            method = self._admit_method(algorithm, method)
+            key = cache_key(
+                mat, algorithm=algorithm, method=method, start=start,
+                symmetrize=symmetrize,
+            )
         self._count("requests")
 
         t_lookup = time.perf_counter_ns()
@@ -302,11 +354,22 @@ class ReorderService:
                 self._slots.release()
                 self._count("coalesced")
                 return existing
+            # the twin may instead have finished entirely between our cache
+            # miss and here (put -> resolve -> settle); without this
+            # re-check we would recompute a key that is already cached
+            hit = self.cache.get(key)
+            if hit is not None:
+                self._slots.release()
+                fut = Future()
+                fut.set_result(hit)
+                return fut
             # request identity for cross-thread/process tracing: created
             # at admission so the pool thread, the parallel workers and
             # any facade re-entry all stamp the same trace_id
             ctx = (
-                tctx.new_trace_context(request_id=key.digest[:12])
+                tctx.new_trace_context(
+                    request_id=key.digest[:12], shard_id=self.shard_id
+                )
                 if telemetry.get().enabled else None
             )
             if self._admission_thread is not None:
@@ -381,25 +444,19 @@ class ReorderService:
     def _admit_method(self, algorithm: str, method: str) -> str:
         """Degrade a request for a method this install does not have.
 
-        A client may ask for an optional backend that never registered
-        here (GPU build, distributed build...).  With fallback enabled the
-        request is admitted on the method's first registered degradation
-        target — counted as ``service.fallbacks.<method>``, like any other
-        degradation — instead of bouncing with a validation error.
+        Delegates to :func:`admit_method`; the degradation is counted as
+        ``service.fallbacks.<method>``, like any other degradation,
+        instead of bouncing with a validation error.
         """
-        if (
-            not self.config.fallback
-            or algorithm != "rcm"
-            or method == "auto"
-            or backends.is_registered(method)
-        ):
-            return method
-        for m in backends.degradation_order(method)[1:]:
-            if backends.is_registered(m):
-                self._count("fallbacks")
-                record_fallback(method, prefix="service")
-                return m
-        return method
+
+        def _degraded(requested: str) -> None:
+            self._count("fallbacks")
+            record_fallback(requested, prefix="service")
+
+        return admit_method(
+            algorithm, method,
+            fallback=self.config.fallback, on_fallback=_degraded,
+        )
 
     # ------------------------------------------------------------------
     # execution
@@ -597,12 +654,24 @@ class ReorderService:
             self.counters[name] += 1
         tel = telemetry.get()
         if tel.enabled:
+            # aggregate counters sum correctly across shards; a shard
+            # additionally mirrors into its own labeled family
             tel.counter(f"service.{name}").add(1)
+            if self.shard_id is not None:
+                tel.counter(f"service.shard.{self.shard_id}.{name}").add(1)
 
     def _set_depth(self) -> None:
         tel = telemetry.get()
         if tel.enabled:
-            tel.gauge("service.queue.depth").set(self._pending)
+            if self.shard_id is None:
+                tel.gauge("service.queue.depth").set(self._pending)
+            else:
+                # per-shard gauge only: N shards last-writer-winning one
+                # global gauge would be noise, and the router sums
+                # ``pending`` for the aggregate anyway
+                tel.gauge(
+                    f"service.shard.{self.shard_id}.queue.depth"
+                ).set(self._pending)
 
     @property
     def pending(self) -> int:
@@ -610,19 +679,39 @@ class ReorderService:
         with self._lock:
             return self._pending
 
+    @property
+    def healthy(self) -> bool:
+        """Able to serve: open, with a live admission thread when batched.
+
+        What ``/statusz`` reports per shard — a shard whose batched
+        admission thread died would otherwise park every miss forever.
+        """
+        if self._closed:
+            return False
+        if self.config.batch_window_ms > 0:
+            return (
+                self._admission_thread is not None
+                and self._admission_thread.is_alive()
+            )
+        return True
+
     def stats(self) -> dict:
         """JSON-serializable snapshot: service counters + cache state."""
         with self._counter_lock:
             counters = dict(self.counters)
         with self._lock:
             pending = self._pending
-        return {
+        out = {
             "pending": pending,
             "max_pending": self.config.max_pending,
             "n_workers": self.config.n_workers,
+            "healthy": self.healthy,
             **{f"service.{k}": v for k, v in counters.items()},
             "cache": self.cache.stats_dict(),
         }
+        if self.shard_id is not None:
+            out["shard_id"] = self.shard_id
+        return out
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -637,8 +726,38 @@ class ReorderService:
             self._admission_thread = None
         self._pool.shutdown(wait=wait)
 
-    def __enter__(self) -> "ReorderService":
+    def __enter__(self) -> "Shard":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class ReorderService(Shard):
+    """In-process reordering service over :func:`repro.reorder`.
+
+    ::
+
+        with ReorderService() as svc:
+            res = svc.reorder(mat)                  # cold: computes + caches
+            res = svc.reorder(mat)                  # warm: cache hit
+            futs = [svc.submit(m) for m in mats]    # async fan-out
+
+    Permutations are bit-identical to ``repro.reorder(mat, ...)`` — cold
+    and warm — because cache keys are content hashes of the exact pattern
+    plus options.
+
+    Structurally this is one anonymous :class:`Shard` (``shard_id=None``):
+    the historical single-service API, byte-for-byte unchanged.  For N > 1
+    shards behind a consistent-hash router see
+    :class:`repro.service.ShardedService`; for an awaitable front end see
+    :class:`repro.service.AsyncReorderService`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        cache: Optional[PermutationCache] = None,
+    ) -> None:
+        super().__init__(config, cache=cache)

@@ -61,18 +61,27 @@ class TraceContext:
     request_id: str
     #: span the remote/worker sub-trace should hang off (merge target)
     parent_span_id: Optional[int] = None
+    #: service shard that admitted the request (``None`` outside a
+    #: :class:`repro.service.ShardedService` — plain fields keep the
+    #: context picklable for the process-pool transport)
+    shard_id: Optional[int] = None
 
     def child(self, parent_span_id: Optional[int]) -> "TraceContext":
         """The same trace, re-anchored under a new parent span."""
-        return TraceContext(self.trace_id, self.request_id, parent_span_id)
+        return TraceContext(
+            self.trace_id, self.request_id, parent_span_id, self.shard_id
+        )
 
 
-def new_trace_context(request_id: Optional[str] = None) -> TraceContext:
+def new_trace_context(
+    request_id: Optional[str] = None, shard_id: Optional[int] = None
+) -> TraceContext:
     """A fresh context: random 16-hex trace id, caller-chosen request id."""
     trace_id = uuid.uuid4().hex[:16]
     return TraceContext(
         trace_id=trace_id,
         request_id=request_id if request_id is not None else trace_id,
+        shard_id=shard_id,
     )
 
 

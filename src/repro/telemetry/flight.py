@@ -138,7 +138,8 @@ def record_auto(*, n: int, nnz: int, n_components: int,
                 estimates: Dict[str, float], chosen: str,
                 actual_wall_ms: float,
                 max_component: Optional[int] = None,
-                scenario: Optional[str] = None) -> None:
+                scenario: Optional[str] = None,
+                transform_ms: Optional[float] = None) -> None:
     """Record one ``auto`` resolution (no-op when recording is off).
 
     ``mispick_margin`` is the *raw-estimate* slack: best rejected estimate
@@ -149,7 +150,10 @@ def record_auto(*, n: int, nnz: int, n_components: int,
     — the pipeline only classifies when a recorder is active) let
     :func:`calibrate` break the mispick rate down by graph shape, so a
     cost model that is well calibrated on meshes cannot hide a systematic
-    power-law mispick inside the aggregate rate.
+    power-law mispick inside the aggregate rate.  ``transform_ms`` is the
+    measured wall-clock of the pre-BFS transform phase (the power-law hub
+    pass) — recorded so calibration can later price the transform itself
+    into ``method="auto"``, not just its effect on level counts.
     """
     rec = get_recorder()
     if rec is None:
@@ -169,6 +173,8 @@ def record_auto(*, n: int, nnz: int, n_components: int,
         entry["max_component"] = int(max_component)
     if scenario is not None:
         entry["scenario"] = str(scenario)
+    if transform_ms is not None:
+        entry["transform_ms"] = float(transform_ms)
     rec.record(entry)
 
 

@@ -222,6 +222,42 @@ class TestProseDocs:
                 "'Batched admission' section"
             )
 
+    def test_service_md_documents_sharded_deployment(self):
+        text = (DOCS / "service.md").read_text()
+        for needle in (
+            "## Sharded deployment",
+            "ShardedService",
+            "AsyncReorderService",
+            "HashRing.route",
+            "shard-<i>",
+            "--shards",
+            "--shard 2",
+            'service_shard_requests_total{shard="i"}',
+            'service_shard_queue_depth{shard="i"}',
+            "healthy_shards",
+            "shard_balance",
+        ):
+            assert needle in text, (
+                f"docs/service.md missing {needle!r}; see the "
+                "'Sharded deployment' section"
+            )
+        from repro.service.router import DEFAULT_REPLICAS
+
+        assert f"{DEFAULT_REPLICAS} virtual points" in text, (
+            "docs/service.md virtual-node count is stale; expected "
+            f"'{DEFAULT_REPLICAS} virtual points' "
+            "(from repro.service.router.DEFAULT_REPLICAS)"
+        )
+
+    def test_sharded_deployment_cross_links(self):
+        anchor = "service.md#sharded-deployment"
+        assert anchor in (REPO / "README.md").read_text(), (
+            "README.md must link the sharded deployment section"
+        )
+        assert anchor in (DOCS / "api.md").read_text(), (
+            "docs/api.md must link the sharded deployment section"
+        )
+
     def test_scenarios_md_names_every_family_and_scenario(self):
         from repro.matrices.scenarios import FAMILIES, scenario_names
 

@@ -22,7 +22,13 @@ from repro.core.api import METHODS
 from repro.facade import reorder
 from repro.matrices import generators as g
 from repro.matrices.mycielski import mycielskian
-from repro.service import PermutationCache, ReorderService, ServiceConfig
+from repro.service import (
+    AsyncReorderService,
+    PermutationCache,
+    ReorderService,
+    ServiceConfig,
+    ShardedService,
+)
 from repro.sparse.csr import CSRMatrix, coo_to_csr
 
 
@@ -152,6 +158,40 @@ class TestServiceMatrix:
         assert cold.permutation.tobytes() == golden(name)
         assert warm.permutation.tobytes() == golden(name)
         assert svc.counters["computed"] == 1  # warm came from the cache
+
+    @pytest.mark.parametrize("n_shards", [1, 4])
+    def test_sharded_service_cold_and_warm(self, n_shards):
+        """The consistent-hash router is a placement decision, never a
+        semantic one: any shard count returns the serial golden bytes."""
+        with ShardedService(
+            ServiceConfig(n_workers=2), shards=n_shards
+        ) as svc:
+            for name in MATRICES:
+                cold = svc.reorder(matrix(name), method="serial")
+                assert cold.permutation.tobytes() == golden(name)
+            for name in MATRICES:
+                warm = svc.reorder(matrix(name), method="serial")
+                assert warm.permutation.tobytes() == golden(name)
+            assert svc.stats()["service.computed"] == len(MATRICES)
+
+    def test_async_service_cold_and_warm(self):
+        import asyncio
+
+        async def run():
+            async with AsyncReorderService(shards=2) as svc:
+                cold = await svc.reorder_many(
+                    [matrix(name) for name in MATRICES], method="serial"
+                )
+                warm = await svc.reorder_many(
+                    [matrix(name) for name in MATRICES], method="serial"
+                )
+                return cold, warm, svc.stats()
+
+        cold, warm, stats = asyncio.run(run())
+        for name, c, w in zip(MATRICES, cold, warm):
+            assert c.permutation.tobytes() == golden(name)
+            assert w.permutation.tobytes() == golden(name)
+        assert stats["service.computed"] == len(MATRICES)
 
     @pytest.mark.parametrize("name", MATRICES)
     def test_facade_cache_path(self, name):

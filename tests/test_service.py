@@ -366,7 +366,8 @@ class TestInvalidation:
         with ReorderService(cache=cache) as svc:
             svc.reorder(small_grid)
             digest = cache_key(small_grid).digest
-            assert cache.invalidate(digest) == 1
+            # both tiers held the entry: memory + disk -> 2
+            assert cache.invalidate(digest) == 2
             assert len(cache) == 0
             assert not list(tmp_path.glob("*.npz"))
 
