@@ -12,6 +12,9 @@ by ``check_regressions.py``'s ratio invariants) with:
   phase across the whole batch and collapses N pool hops into one;
 * the wall time of one shared-memory ``map_matrices`` dispatch
   (``shm_dispatch_ms``, ``None`` where shm is unavailable);
+* the warm-path cost of the continuous sampling profiler at its default
+  rate (``profiler_overhead_pct``: best-of-reps per-request time with the
+  profiler on vs off — budget ≤3%, enforced by check_regressions.py);
 * the sharded-service numbers: the 16-thread warm-path hammer rate at
   N=1 and N=4 shards (``sharded_requests_per_s`` — honest wall clock,
   which on a single-core runner *cannot* exceed the unsharded rate
@@ -44,11 +47,17 @@ from repro.service import (
     ShardedService,
     cache_key,
 )
+from repro.telemetry import profiler
 from repro.telemetry.events import SCHEMA, host_info
 
 MATRIX = "bcspwr10"
 WARM_ROUNDS = 30
 MIN_HIT_SPEEDUP = 10.0
+#: best-of reps for the profiler on/off warm comparison — both sides take
+#: their floor, so an unlucky sample tick in one rep cannot fail the gate
+PROFILER_REPS = 7
+#: acceptance budget mirrored by check_regressions.py
+MAX_PROFILER_OVERHEAD_PCT = 3.0
 
 #: batched-admission workload: distinct small patterns (no cache hits, no
 #: coalescing — every request really computes)
@@ -202,13 +211,34 @@ def test_service_cache_serving(benchmark, results_dir):
         # manual warm timing for the artifact (pedantic reports separately);
         # best-of-reps shields the floor check from scheduler noise
         warm_ms = float("inf")
-        for _ in range(5):
+        for _ in range(PROFILER_REPS):
             t0 = time.perf_counter_ns()
             for _ in range(WARM_ROUNDS):
                 warm = svc.reorder(mat)
             warm_ms = min(
                 warm_ms, (time.perf_counter_ns() - t0) / 1e6 / WARM_ROUNDS
             )
+
+        # the same warm loop with the sampling profiler running at its
+        # default rate; best-of-reps on both sides makes the comparison a
+        # floor-vs-floor one, which is what the <=3% overhead budget gates
+        prof = profiler.start_profiler()
+        try:
+            warm_prof_ms = float("inf")
+            for _ in range(PROFILER_REPS):
+                t0 = time.perf_counter_ns()
+                for _ in range(WARM_ROUNDS):
+                    svc.reorder(mat)
+                warm_prof_ms = min(
+                    warm_prof_ms,
+                    (time.perf_counter_ns() - t0) / 1e6 / WARM_ROUNDS,
+                )
+        finally:
+            prof = profiler.stop_profiler()
+        profiler_overhead_pct = (
+            max(0.0, (warm_prof_ms - warm_ms) / warm_ms * 100.0)
+            if warm_ms > 0 else 0.0
+        )
 
         benchmark.pedantic(svc.reorder, args=(mat,), rounds=5, iterations=3)
         stats = svc.stats()
@@ -247,6 +277,10 @@ def test_service_cache_serving(benchmark, results_dir):
         "warm_ms_per_request": warm_ms,
         "hit_speedup": hit_speedup,
         "warm_requests_per_s": 1000.0 / warm_ms if warm_ms > 0 else None,
+        "warm_ms_per_request_profiled": warm_prof_ms,
+        "profiler_overhead_pct": profiler_overhead_pct,
+        "profiler_hz": prof.hz if prof is not None else None,
+        "profiler_samples": prof.sample_count if prof is not None else 0,
         "single_requests_per_s": single_rps,
         "batched_requests_per_s": batched_rps,
         "batch_speedup": batch_speedup,
@@ -293,6 +327,12 @@ def test_service_cache_serving(benchmark, results_dir):
     assert many["balance"] <= MAX_SHARD_BALANCE, (
         f"shard load balance {many['balance']:.2f} exceeds "
         f"{MAX_SHARD_BALANCE} (per-shard loads {many['loads']})"
+    )
+    assert profiler_overhead_pct <= MAX_PROFILER_OVERHEAD_PCT, (
+        f"sampling profiler degrades the warm path by "
+        f"{profiler_overhead_pct:.2f}% "
+        f"(profiler-on {warm_prof_ms:.4f}ms vs off {warm_ms:.4f}ms per "
+        f"request; budget {MAX_PROFILER_OVERHEAD_PCT}%)"
     )
 
 

@@ -40,6 +40,10 @@ slack) and therefore always enforced:
 * ``warm_requests_per_s`` must not fall below ``1 - --max-warm-slowdown``
   (default 0.5) of its committed baseline — a generous floor that catches
   a wrecked warm path, not runner noise;
+* ``profiler_overhead_pct`` in the service artifact must stay below
+  ``--max-profiler-overhead-pct`` (default 3.0) — the continuous sampling
+  profiler's warm-path cost budget, measured as back-to-back best-of-reps
+  floors with the profiler on vs off;
 * the sharded-service invariants: ``sharded_capacity_speedup`` (the sum
   of per-shard warm rates, each shard driven alone — core-count
   independent) must stay above ``--min-sharded-speedup`` (default 1.5)
@@ -184,6 +188,30 @@ def check_batch_invariant(results: dict, min_batch_speedup: float) -> list:
             f"dispatch rate (must stay >= {min_batch_speedup:.2f}x; "
             f"batched {payload.get('batched_requests_per_s', 0):.0f}/s, "
             f"single {payload.get('single_requests_per_s', 0):.0f}/s)"
+        )
+    return problems
+
+
+def check_profiler_overhead(results: dict, max_overhead_pct: float) -> list:
+    """The sampling profiler's warm-path cost budget (noise immune: both
+    per-request times are best-of-reps floors measured back-to-back on
+    the same machine — see ``bench_service.py``)."""
+    problems = []
+    payload = results.get("service_throughput")
+    if payload is None:
+        return problems
+    pct = payload.get("profiler_overhead_pct")
+    if pct is None:
+        problems.append(
+            "service_throughput artifact lacks 'profiler_overhead_pct'"
+        )
+    elif pct > max_overhead_pct:
+        problems.append(
+            f"sampling profiler degrades the warm path by {pct:.2f}% "
+            f"(must stay <= {max_overhead_pct:.2f}%; profiler-on "
+            f"{payload.get('warm_ms_per_request_profiled', 0):.4f}ms vs "
+            f"off {payload.get('warm_ms_per_request', 0):.4f}ms per "
+            f"request)"
         )
     return problems
 
@@ -443,6 +471,12 @@ def main(argv=None) -> int:
     parser.add_argument("--max-shard-balance", type=float, default=2.0,
                         help="allowed max/mean per-shard load ratio under "
                              "the concurrent hammer workload")
+    parser.add_argument("--max-profiler-overhead-pct", type=float,
+                        default=3.0,
+                        help="always-enforced budget for the sampling "
+                             "profiler's warm-path degradation "
+                             "(profiler_overhead_pct in the service "
+                             "artifact; default 3.0)")
     parser.add_argument("--max-warm-slowdown", type=float, default=0.5,
                         help="allowed fractional drop of warm_requests_per_s "
                              "below its committed baseline before failing")
@@ -524,6 +558,8 @@ def main(argv=None) -> int:
                                         args.max_shard_balance)
     enforced += check_warm_rate_floor(results, baselines,
                                       args.max_warm_slowdown)
+    enforced += check_profiler_overhead(results,
+                                        args.max_profiler_overhead_pct)
     enforced += check_scenario_floors(results)
     flight_path = args.flight or (args.results_dir / "flight.jsonl")
     mispick_problems = check_flight_mispick(flight_path,

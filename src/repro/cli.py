@@ -191,15 +191,20 @@ def cmd_profile(args) -> int:
     with the same semantics as the simulator's ``RunStats``.
     """
     from repro import reorder, telemetry
+    from repro.telemetry import profiler as profmod
 
     tel = telemetry.get()
     tel.reset()
     telemetry.enable()
     mat = _get_input(args)
     start = "peripheral" if args.peripheral else "min-valence"
-    res = reorder(
-        mat, method=args.method, start=start, n_workers=args.workers
-    )
+    prof = profmod.start_profiler(hz=args.hz)
+    try:
+        res = reorder(
+            mat, method=args.method, start=start, n_workers=args.workers
+        )
+    finally:
+        profmod.stop_profiler()
 
     print(f"method={res.method}  n={mat.n}  nnz={mat.nnz}  "
           f"components={res.n_components}")
@@ -236,6 +241,29 @@ def cmd_profile(args) -> int:
     tel.write_chrome_trace(trace_path)
     print(f"\nwrote {n} events to {jsonl_path}")
     print(f"wrote {trace_path} (load in Perfetto / chrome://tracing)")
+
+    stats = prof.stats()
+    print(f"\nprofiler: {stats['samples']} stack samples at "
+          f"{prof.hz:g} Hz (self-overhead {stats['overhead_pct']:.2f}%)")
+    report = telemetry.critical_path(records)
+    if report is not None:
+        print()
+        print(telemetry.format_report(report))
+    if args.flame:
+        Path(args.flame).write_text(
+            telemetry.profile_to_collapsed(prof.folded()))
+        print(f"\nwrote collapsed stacks to {args.flame} "
+              f"(flamegraph.pl / inferno ready)")
+    if args.speedscope:
+        import json
+
+        Path(args.speedscope).write_text(json.dumps(
+            telemetry.profile_to_speedscope(
+                prof.folded(),
+                name=f"repro profile {args.matrix or args.matrix_file}",
+            )))
+        print(f"wrote speedscope profile to {args.speedscope} "
+              f"(open at https://www.speedscope.app)")
     return 0
 
 
@@ -314,6 +342,15 @@ def cmd_serve(args) -> int:
     if getattr(args, "listen", None) is not None:
         # a live endpoint implies recording: counters must move to scrape
         telemetry.enable()
+    prof = None
+    if getattr(args, "profile", False):
+        # continuous sampling profiler: telemetry must record so samples
+        # get span/phase/shard attribution; /debug/flame picks the
+        # profiler up automatically when --listen is also given
+        from repro.telemetry import profiler as profmod
+
+        telemetry.enable()
+        prof = profmod.start_profiler()
     if getattr(args, "flight", None):
         from repro.telemetry import flight
 
@@ -424,6 +461,10 @@ def cmd_serve(args) -> int:
                 stop_event.wait(args.linger)
             stats = svc.stats()
     finally:
+        if prof is not None:
+            from repro.telemetry import profiler as profmod
+
+            profmod.stop_profiler()
         if server is not None:
             server.stop()
         for s, h in old_handlers.items():
@@ -449,6 +490,10 @@ def cmd_serve(args) -> int:
               f"cache hits={cache['hits']} misses={cache['misses']} "
               f"evictions={cache['evictions']}  "
               f"coalesced={stats['service.coalesced']}")
+        if prof is not None:
+            print(f"profiler: {prof.sample_count} stack samples at "
+                  f"{prof.hz:g} Hz (self-overhead "
+                  f"{prof.overhead_pct:.2f}%)")
         if "shards" in stats:
             print(f"shards: {stats['healthy_shards']}/{stats['n_shards']} "
                   "healthy; requests per shard: "
@@ -480,8 +525,11 @@ def cmd_telemetry(args) -> int:
     rolling history window (``--check`` exits non-zero on a statistical
     FAIL); ``calibrate FLIGHT.jsonl`` aggregates recorded ``method="auto"``
     resolutions into a predicted-vs-actual report with a per-backend
-    mispick rate; ``inventory`` prints the generated Prometheus metric
-    table embedded in ``docs/observability.md``.
+    mispick rate; ``critpath EVENTS.jsonl`` computes the critical path
+    over a recorded span log with Amdahl-style what-if estimates;
+    ``inventory`` prints the generated Prometheus metric table embedded
+    in ``docs/observability.md``.  ``calibrate`` and ``critpath`` treat
+    an absent/empty log as clean no-data (exit 0), not an error.
     """
     import json
 
@@ -554,14 +602,49 @@ def cmd_telemetry(args) -> int:
             return 0 if args.warn_only else 1
         return 0
 
+    if args.telemetry_command == "critpath":
+        from repro.telemetry import events as tev
+        from repro.telemetry.critical_path import (
+            critical_path, format_report,
+        )
+        from repro.telemetry.spans import SpanRecord
+
+        path = Path(args.events)
+        recs = []
+        if path.exists():
+            recs = [
+                SpanRecord.from_event(e) for e in tev.read_jsonl(path)
+                if e.get("type") == "span"
+            ]
+        report = (
+            critical_path(
+                recs, trace_id=args.trace,
+                what_if_factor=args.what_if_factor,
+            )
+            if recs else None
+        )
+        if report is None:
+            # absent file, empty log, span-free log: clean no-data exit
+            print(f"critpath: no span data at {path} "
+                  f"(nothing recorded yet)")
+            return 0
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_report(report))
+        return 0
+
     # calibrate
     from repro.telemetry import flight
 
     path = Path(args.flight)
-    if not path.exists():
-        print(f"calibrate: no flight file at {path}", file=sys.stderr)
-        return 2
-    records = flight.read_records(path)
+    records = flight.read_records(path) if path.exists() else []
+    if not records:
+        # absent or empty flight log is a clean no-data case, not an
+        # error: CI calls this unconditionally after serve smoke runs
+        print(f"calibrate: no flight data at {path} "
+              f"(nothing recorded yet)")
+        return 0
     report = flight.calibrate(records, tie_epsilon=args.tie_epsilon)
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
@@ -931,6 +1014,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ASCII Gantt width (columns)")
     p.add_argument("-o", "--output", default="profile",
                    help="output prefix: <prefix>.jsonl + <prefix>.trace.json")
+    p.add_argument("--hz", type=float, default=None,
+                   help="sampling-profiler rate (default: ~67 Hz)")
+    p.add_argument("--flame", default=None, metavar="PATH.folded",
+                   help="write folded stacks (collapsed format) for "
+                        "flamegraph.pl / inferno / speedscope")
+    p.add_argument("--speedscope", default=None, metavar="PATH.json",
+                   help="write a speedscope sampled-profile JSON "
+                        "(browse at https://www.speedscope.app)")
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("compare", help="compare ordering heuristics")
@@ -988,11 +1079,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flight", default=None, metavar="PATH.jsonl",
                    help="record method=auto cost-model resolutions to a "
                         "flight-recorder ring file")
+    p.add_argument("--profile", action="store_true",
+                   help="run the continuous sampling profiler for the "
+                        "workload (implies telemetry; with --listen also "
+                        "surfaces /debug/flame + /debug/critpath, a "
+                        "profiler: line in /statusz and "
+                        "telemetry.profiler.* gauges)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "telemetry",
-        help="run history, trends, flight-recorder calibration, inventory",
+        help="run history, trends, flight calibration, critical path, "
+             "inventory",
     )
     tsub = p.add_subparsers(dest="telemetry_command", required=True)
     tp = tsub.add_parser(
@@ -1042,6 +1140,21 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("--max-mispick-rate", type=float, default=None,
                     help="exit non-zero when the overall mispick rate "
                          "exceeds this fraction")
+    tp.add_argument("--json", action="store_true",
+                    help="machine-readable report")
+    tp.set_defaults(func=cmd_telemetry)
+    tp = tsub.add_parser(
+        "critpath",
+        help="critical-path + what-if report over a telemetry span log",
+    )
+    tp.add_argument("events", help="telemetry JSONL event log (the "
+                                   "profile/serve --telemetry output)")
+    tp.add_argument("--trace", default=None, metavar="TRACE_ID",
+                    help="restrict the analysis to one request's trace id")
+    tp.add_argument("--what-if-factor", type=float, default=2.0,
+                    metavar="X",
+                    help="hypothetical per-phase speedup for the what-if "
+                         "estimates (default: 2.0)")
     tp.add_argument("--json", action="store_true",
                     help="machine-readable report")
     tp.set_defaults(func=cmd_telemetry)

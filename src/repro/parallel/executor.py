@@ -46,6 +46,7 @@ import numpy as np
 from repro.sparse.csr import CSRMatrix
 from repro import telemetry
 from repro.parallel import shm
+from repro.telemetry import profiler as _profiler
 from repro.telemetry.spans import current_trace
 
 __all__ = [
@@ -182,6 +183,7 @@ def _component_task_shm(
 def _component_task_shm_traced(
     csr: shm.CSRHandle, arena: shm.ArenaHandle, start: int,
     offset: int, length: int, ctx, epoch_ns: int,
+    prof_hz: Optional[float] = None,
 ):
     """Traced variant: returns the :class:`WorkerReport` only — the
     permutation already sits in the arena.
@@ -189,12 +191,17 @@ def _component_task_shm_traced(
     The worker re-bases its (forked) telemetry on the parent's epoch,
     activates the request's trace context and wraps the kernel in a
     ``parallel.worker`` span, so the parent can merge a self-consistent
-    sub-trace (see :mod:`repro.telemetry.context`).
+    sub-trace (see :mod:`repro.telemetry.context`).  ``prof_hz`` is the
+    parent sampling profiler's rate (None = off): the worker runs its
+    own sampler and takes one synchronous sample inside the span, so
+    every task lands at least one attributed stack in the merged
+    flamegraph no matter how short it ran.
     """
     from repro.core.vectorized import rcm_vectorized
     from repro.telemetry import context as tctx
+    from repro.telemetry import profiler as _profiler
 
-    tctx.begin_worker_capture(epoch_ns)
+    tctx.begin_worker_capture(epoch_ns, profile_hz=prof_hz)
     tel = telemetry.get()
     mat = shm.attach_csr(csr)
     out = shm.attach_arena(arena)
@@ -202,6 +209,7 @@ def _component_task_shm_traced(
         with tel.span("parallel.worker", category="parallel",
                       start_node=int(start)):
             out[offset:offset + length] = rcm_vectorized(mat, int(start))
+            _profiler.sample_now()
     return tctx.collect_worker_report()
 
 
@@ -228,12 +236,14 @@ def _map_chunk_shm(
 def _map_chunk_shm_traced(
     items: Sequence[Tuple[shm.CSRHandle, int]],
     arena: shm.ArenaHandle, kwargs: dict, ctx, epoch_ns: int,
+    prof_hz: Optional[float] = None,
 ):
     """Traced variant of :func:`_map_chunk_shm`: ``(results, WorkerReport)``."""
     from repro.core.api import _reorder_rcm
     from repro.telemetry import context as tctx
+    from repro.telemetry import profiler as _profiler
 
-    tctx.begin_worker_capture(epoch_ns)
+    tctx.begin_worker_capture(epoch_ns, profile_hz=prof_hz)
     tel = telemetry.get()
     out = shm.attach_arena(arena)
     results = []
@@ -246,6 +256,7 @@ def _map_chunk_shm_traced(
                 out[offset:offset + handle.n] = res.permutation
                 res.permutation = _SHM_RESIDENT
                 results.append(res)
+            _profiler.sample_now()
     return results, tctx.collect_worker_report()
 
 
@@ -267,18 +278,22 @@ def _component_task(start: int) -> np.ndarray:
     return rcm_vectorized(_WORKER_MAT, start)
 
 
-def _component_task_traced(start: int, ctx, epoch_ns: int):
+def _component_task_traced(
+    start: int, ctx, epoch_ns: int, prof_hz: Optional[float] = None
+):
     """Traced pickle-path variant: returns ``(permutation, WorkerReport)``."""
     from repro.core.vectorized import rcm_vectorized
     from repro.telemetry import context as tctx
+    from repro.telemetry import profiler as _profiler
 
     assert _WORKER_MAT is not None, "pool initializer did not run"
-    tctx.begin_worker_capture(epoch_ns)
+    tctx.begin_worker_capture(epoch_ns, profile_hz=prof_hz)
     tel = telemetry.get()
     with tctx.activate(ctx):
         with tel.span("parallel.worker", category="parallel",
                       start_node=int(start)):
             perm = rcm_vectorized(_WORKER_MAT, start)
+            _profiler.sample_now()
     return perm, tctx.collect_worker_report()
 
 
@@ -296,13 +311,14 @@ def _chunk_task(
 
 def _chunk_task_traced(
     payload: Sequence[Tuple[np.ndarray, np.ndarray, int]], kwargs: dict,
-    ctx, epoch_ns: int,
+    ctx, epoch_ns: int, prof_hz: Optional[float] = None,
 ):
     """Traced variant of :func:`_chunk_task`: ``(results, WorkerReport)``."""
     from repro.core.api import _reorder_rcm
     from repro.telemetry import context as tctx
+    from repro.telemetry import profiler as _profiler
 
-    tctx.begin_worker_capture(epoch_ns)
+    tctx.begin_worker_capture(epoch_ns, profile_hz=prof_hz)
     tel = telemetry.get()
     out = []
     with tctx.activate(ctx):
@@ -311,6 +327,7 @@ def _chunk_task_traced(
             for indptr, indices, n in payload:
                 mat = CSRMatrix(indptr=indptr, indices=indices, data=None, n=n)
                 out.append(_reorder_rcm(mat, **kwargs))
+            _profiler.sample_now()
     return out, tctx.collect_worker_report()
 
 
@@ -431,7 +448,7 @@ def _components_shm(mat, starts, sizes, order, cfg, workers, tel):
                     int(i): pool.submit(
                         _component_task_shm_traced, csr, ah,
                         int(starts[i]), int(offsets[i]), int(sizes[i]),
-                        req_ctx, tel.tracer.epoch_ns,
+                        req_ctx, tel.tracer.epoch_ns, _profiler.active_hz(),
                     )
                     for i in order
                 }
@@ -483,6 +500,7 @@ def _components_pickle(mat, starts, order, cfg, workers, tel, in_process):
                         int(i): pool.submit(
                             _component_task_traced, int(starts[i]),
                             req_ctx, tel.tracer.epoch_ns,
+                            _profiler.active_hz(),
                         )
                         for i in order
                     }
@@ -597,7 +615,8 @@ def _map_shm(mats, kwargs, chunk, cfg, workers, tel):
             if traced:
                 futures = [
                     pool.submit(_map_chunk_shm_traced, c, ah, kwargs,
-                                req_ctx, tel.tracer.epoch_ns)
+                                req_ctx, tel.tracer.epoch_ns,
+                                _profiler.active_hz())
                     for c in chunks
                 ]
                 reports = []
@@ -644,7 +663,8 @@ def _map_pickle(mats, kwargs, chunk, cfg, workers, tel):
         if traced:
             futures = [
                 pool.submit(_chunk_task_traced, p, kwargs,
-                            req_ctx, tel.tracer.epoch_ns)
+                            req_ctx, tel.tracer.epoch_ns,
+                            _profiler.active_hz())
                 for p in payloads
             ]
             reports = []

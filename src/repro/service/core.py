@@ -711,6 +711,13 @@ class Shard:
         }
         if self.shard_id is not None:
             out["shard_id"] = self.shard_id
+            from repro.telemetry import profiler as _profiler
+
+            prof = _profiler.get_profiler()
+            if prof is not None:
+                out["profile_samples"] = prof.samples_by_shard().get(
+                    self.shard_id, 0
+                )
         return out
 
     # ------------------------------------------------------------------

@@ -466,7 +466,7 @@ class ShardedService:
             agg["service.timeouts"] = (
                 agg.get("service.timeouts", 0) + self.counters["timeouts"]
             )
-        return {
+        out = {
             "n_shards": self.n_shards,
             "healthy_shards": sum(1 for s in shard_stats if s["healthy"]),
             "pending": sum(s["pending"] for s in shard_stats),
@@ -476,6 +476,20 @@ class ShardedService:
             "cache": self.cache.stats_dict(),
             "shards": shard_stats,
         }
+        from repro.telemetry import profiler as _profiler
+
+        prof = _profiler.get_profiler()
+        if prof is not None:
+            by_shard = prof.samples_by_shard()
+            out["profiler"] = {
+                "samples": prof.sample_count,
+                "overhead_pct": round(prof.overhead_pct, 4),
+                "by_shard": {
+                    int(s.shard_id): by_shard.get(int(s.shard_id), 0)
+                    for s in self.shards
+                },
+            }
+        return out
 
     # ------------------------------------------------------------------
     # lifecycle

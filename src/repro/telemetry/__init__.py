@@ -70,10 +70,20 @@ from repro.telemetry.prometheus import (
 from repro.telemetry.export import (
     lane_assignment,
     phase_totals_ms,
+    profile_to_collapsed,
+    profile_to_speedscope,
     spans_gantt,
     spans_to_chrome_tracing,
     spans_to_trace_events,
 )
+from repro.telemetry.profiler import (
+    SamplingProfiler,
+    get_profiler,
+    profiler_stats,
+    start_profiler,
+    stop_profiler,
+)
+from repro.telemetry.critical_path import critical_path, format_report
 
 __all__ = [
     "Telemetry",
@@ -109,9 +119,18 @@ __all__ = [
     "render_prometheus",
     "lane_assignment",
     "phase_totals_ms",
+    "profile_to_collapsed",
+    "profile_to_speedscope",
     "spans_gantt",
     "spans_to_chrome_tracing",
     "spans_to_trace_events",
+    "SamplingProfiler",
+    "start_profiler",
+    "stop_profiler",
+    "get_profiler",
+    "profiler_stats",
+    "critical_path",
+    "format_report",
 ]
 
 

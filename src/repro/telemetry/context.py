@@ -30,10 +30,12 @@ here runs unless telemetry is enabled.
 from __future__ import annotations
 
 import os
+import threading
 import uuid
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.telemetry import spans as _spans
 from repro.telemetry.spans import SpanRecord, _CONTEXT, current_trace
 
 __all__ = [
@@ -101,11 +103,18 @@ class _Activation:
         if self._ctx is not None:
             self._prev = getattr(_CONTEXT, "value", None)
             _CONTEXT.value = self._ctx
+            if _spans._MIRROR_ON:  # sampling-profiler attribution
+                _spans._CTX_MIRROR[threading.get_ident()] = self._ctx
         return self._ctx
 
     def __exit__(self, *exc) -> bool:
         if self._ctx is not None:
             _CONTEXT.value = self._prev
+            if _spans._MIRROR_ON:
+                if self._prev is None:
+                    _spans._CTX_MIRROR.pop(threading.get_ident(), None)
+                else:
+                    _spans._CTX_MIRROR[threading.get_ident()] = self._prev
         return False
 
 
@@ -142,33 +151,44 @@ class WorkerReport:
     pid: int
     spans: List[dict] = field(default_factory=list)
     metrics: Dict[str, dict] = field(default_factory=dict)
+    #: folded-stack sample counts from the worker's own sampling profiler
+    #: (empty unless the parent ran one — see ``repro.telemetry.profiler``)
+    profile: Dict[str, int] = field(default_factory=dict)
 
 
-def begin_worker_capture(epoch_ns: int) -> None:
+def begin_worker_capture(
+    epoch_ns: int, profile_hz: Optional[float] = None
+) -> None:
     """Reset the (forked) global telemetry into per-task capture mode.
 
     Called at the top of every traced worker task: drops whatever spans
     and counters the fork inherited from the parent, re-bases the tracer
     on the parent's epoch so timestamps line up on one timeline, and
-    enables recording.
+    enables recording.  When the parent runs a sampling profiler it
+    forwards its rate as ``profile_hz`` and the worker starts its own
+    ``role="worker"`` sampler for the task's duration.
     """
     from repro import telemetry
+    from repro.telemetry import profiler as _profiler
 
     tel = telemetry.get()
     tel.reset()
     tel.tracer.epoch_ns = epoch_ns
     tel.enable()
+    _profiler.begin_worker_profile(profile_hz)
 
 
 def collect_worker_report() -> WorkerReport:
     """Snapshot the worker-side capture into a picklable report."""
     from repro import telemetry
+    from repro.telemetry import profiler as _profiler
 
     tel = telemetry.get()
     return WorkerReport(
         pid=os.getpid(),
         spans=[rec.to_event() for rec in tel.tracer.records()],
         metrics=tel.metrics.to_dict(),
+        profile=_profiler.take_worker_profile(),
     )
 
 
@@ -188,7 +208,9 @@ def merge_worker_report(
     spans form one tree with the dispatch span.  Every span gets the
     worker's ``lane`` (stable per pid, assigned by the caller), keeps its
     recording ``pid``, and is stamped with ``trace_id`` when the worker ran
-    without one.  Counter deltas add; returns the number of merged spans.
+    without one.  Counter deltas add, and the report's folded profile (if
+    any) is absorbed into the parent's active sampling profiler — the
+    cross-process flamegraph path.  Returns the number of merged spans.
     """
     id_map: Dict[int, int] = {}
     records: List[SpanRecord] = []
@@ -211,4 +233,10 @@ def merge_worker_report(
     with tel.tracer._lock:
         tel.tracer._records.extend(records)
     tel.metrics.merge_snapshot(report.metrics)
+    if report.profile:
+        from repro.telemetry import profiler as _profiler
+
+        prof = _profiler.get_profiler()
+        if prof is not None:
+            prof.merge_folded(report.profile)
     return len(records)

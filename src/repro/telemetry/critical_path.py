@@ -1,0 +1,201 @@
+"""Critical-path analysis and Amdahl-style what-if estimates over spans.
+
+Span totals say how long each phase took; they do not say which chain of
+spans actually *bounds* a request — a fork worker that ran concurrently
+with three siblings contributes its full duration to the totals but only
+its overlap to the wall. This module answers the bounding question over
+a completed span tree (the paper's wall-clock decomposition, applied to
+our own traces):
+
+* :func:`critical_path` — walk backwards from the latest-ending span: at
+  each level pick the child that ends last among those starting before
+  the cursor, recurse into it, move the cursor to its start, and repeat
+  with the remaining earlier-ending children.  Sequential phases all
+  land on the path; concurrent siblings contribute only the one that
+  bounds the parent.  Each path span's *self* time is its duration minus
+  its chosen children's — the portion nothing below it explains.
+* what-if estimates — for each name on the path, Amdahl's question: if
+  this code were ``factor``× faster, how much shorter is the request?
+  ``wall_reduction_pct = path_self * (1 - 1/factor) / wall * 100``.
+
+Input is any iterable of :class:`~repro.telemetry.spans.SpanRecord` —
+the live tracer's ``records()`` or a JSONL file's span events rebuilt
+via :meth:`SpanRecord.from_event` (``repro telemetry critpath``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.telemetry.spans import SpanRecord
+
+__all__ = ["critical_path", "format_report"]
+
+
+def _critical_children(
+    children: Sequence[SpanRecord], window_end: int
+) -> List[SpanRecord]:
+    """Children on the critical path, chronological order.
+
+    Backward walk: repeatedly take the latest-ending candidate that
+    started before the cursor, then discard candidates it covers.
+    """
+    remaining = sorted(children, key=lambda r: (r.end_ns, r.start_ns))
+    cursor = window_end
+    chosen: List[SpanRecord] = []
+    while remaining:
+        pick = None
+        for cand in reversed(remaining):
+            if cand.start_ns < cursor:
+                pick = cand
+                break
+        if pick is None:
+            break
+        chosen.append(pick)
+        cursor = pick.start_ns
+        remaining = [r for r in remaining if r.end_ns <= cursor]
+    chosen.reverse()
+    return chosen
+
+
+def critical_path(
+    records: Sequence[SpanRecord],
+    *,
+    trace_id: Optional[str] = None,
+    what_if_factor: float = 2.0,
+) -> Optional[dict]:
+    """Critical path + rollups + what-if report, or ``None`` on no data.
+
+    ``trace_id`` restricts the analysis to one request's spans (useful
+    on a log that interleaves many).  Multiple roots (spans whose parent
+    is absent) are handled by running the same backward walk over the
+    roots themselves, so a phase sequence recorded without a wrapping
+    request span still yields a path.
+    """
+    if what_if_factor <= 1.0:
+        raise ValueError(
+            f"what_if_factor must be > 1, got {what_if_factor}"
+        )
+    recs = [
+        r for r in records
+        if r.duration_ns >= 0 and (trace_id is None or r.trace_id == trace_id)
+    ]
+    if not recs:
+        return None
+
+    by_id = {r.span_id: r for r in recs}
+    children: Dict[int, List[SpanRecord]] = {}
+    roots: List[SpanRecord] = []
+    for r in recs:
+        if r.parent_id is not None and r.parent_id in by_id:
+            children.setdefault(r.parent_id, []).append(r)
+        else:
+            roots.append(r)
+
+    wall_ns = max(r.end_ns for r in roots) - min(r.start_ns for r in roots)
+    wall_ns = max(wall_ns, 1)
+
+    # walk the tree, collecting (span, path_self_ns) in pre-order
+    path: List[tuple] = []
+
+    def descend(span: SpanRecord) -> None:
+        kids = _critical_children(children.get(span.span_id, []), span.end_ns)
+        self_ns = span.duration_ns - sum(k.duration_ns for k in kids)
+        path.append((span, max(self_ns, 0)))
+        for k in kids:
+            descend(k)
+
+    for root in _critical_children(roots, max(r.end_ns for r in roots)):
+        descend(root)
+
+    # whole-tree self-time rollup by span name (duration minus children,
+    # clamped: concurrent fork workers can sum past their dispatch span)
+    tree_self_ms: Dict[str, float] = {}
+    for r in recs:
+        kid_ns = sum(k.duration_ns for k in children.get(r.span_id, []))
+        self_ms = max(r.duration_ns - kid_ns, 0) / 1e6
+        tree_self_ms[r.name] = tree_self_ms.get(r.name, 0.0) + self_ms
+
+    path_rows = [
+        {
+            "name": span.name,
+            "category": span.category,
+            "span_id": span.span_id,
+            "start_ms": round(span.start_ns / 1e6, 3),
+            "duration_ms": round(span.duration_ns / 1e6, 3),
+            "self_ms": round(self_ns / 1e6, 3),
+            "self_pct": round(self_ns / wall_ns * 100.0, 1),
+        }
+        for span, self_ns in path
+    ]
+
+    path_self_ms: Dict[str, float] = {}
+    for span, self_ns in path:
+        path_self_ms[span.name] = (
+            path_self_ms.get(span.name, 0.0) + self_ns / 1e6
+        )
+
+    dominant_name = max(path_self_ms, key=lambda k: path_self_ms[k])
+    wall_ms = wall_ns / 1e6
+
+    what_if = []
+    shrink = 1.0 - 1.0 / what_if_factor
+    for name, self_ms in sorted(
+        path_self_ms.items(), key=lambda kv: kv[1], reverse=True
+    ):
+        saved_ms = self_ms * shrink
+        what_if.append(
+            {
+                "name": name,
+                "factor": what_if_factor,
+                "saved_ms": round(saved_ms, 3),
+                "new_wall_ms": round(wall_ms - saved_ms, 3),
+                "wall_reduction_pct": round(saved_ms / wall_ms * 100.0, 1),
+            }
+        )
+
+    return {
+        "spans": len(recs),
+        "trace_id": trace_id if trace_id is not None else roots[0].trace_id,
+        "wall_ms": round(wall_ms, 3),
+        "path": path_rows,
+        "path_self_ms": {k: round(v, 3) for k, v in path_self_ms.items()},
+        "tree_self_ms": {k: round(v, 3) for k, v in tree_self_ms.items()},
+        "dominant_phase": dominant_name,
+        "dominant_self_ms": round(path_self_ms[dominant_name], 3),
+        "dominant_pct_of_wall": round(
+            path_self_ms[dominant_name] / wall_ms * 100.0, 1
+        ),
+        "what_if": what_if,
+    }
+
+
+def format_report(report: dict) -> str:
+    """Human-readable rendering of a :func:`critical_path` report."""
+    lines = [
+        f"critical path : {len(report['path'])} of {report['spans']} spans, "
+        f"wall {report['wall_ms']:.2f} ms"
+        + (f", trace {report['trace_id']}" if report["trace_id"] else ""),
+    ]
+    name_w = max((len(row["name"]) for row in report["path"]), default=4)
+    for row in report["path"]:
+        lines.append(
+            f"  {row['name']:<{name_w}}  "
+            f"dur {row['duration_ms']:>9.3f} ms  "
+            f"self {row['self_ms']:>9.3f} ms ({row['self_pct']:>5.1f}%)"
+        )
+    lines.append(
+        f"dominant phase: {report['dominant_phase']} — "
+        f"{report['dominant_self_ms']:.2f} ms of path self time "
+        f"({report['dominant_pct_of_wall']:.1f}% of wall)"
+    )
+    if report["what_if"]:
+        factor = report["what_if"][0]["factor"]
+        lines.append(f"what-if ({factor:g}x faster):")
+        for row in report["what_if"]:
+            lines.append(
+                f"  {row['name']:<{name_w}}  "
+                f"wall -{row['wall_reduction_pct']:.1f}% "
+                f"({report['wall_ms']:.2f} -> {row['new_wall_ms']:.2f} ms)"
+            )
+    return "\n".join(lines)

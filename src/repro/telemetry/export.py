@@ -26,6 +26,8 @@ __all__ = [
     "spans_to_chrome_tracing",
     "spans_gantt",
     "phase_totals_ms",
+    "profile_to_collapsed",
+    "profile_to_speedscope",
 ]
 
 
@@ -152,3 +154,57 @@ def phase_totals_ms(records: Sequence[SpanRecord]) -> Dict[str, float]:
     for r in records:
         out[r.name] = out.get(r.name, 0.0) + r.duration_ns / 1e6
     return out
+
+
+# ----------------------------------------------------------------------
+# sampling-profiler exports (see repro.telemetry.profiler)
+# ----------------------------------------------------------------------
+
+def profile_to_collapsed(profile: Dict[str, int]) -> str:
+    """Folded counts in Brendan Gregg's collapsed-stack text format.
+
+    One ``seg;seg;seg count`` line per distinct stack, sorted, ready for
+    ``flamegraph.pl`` / speedscope / inferno without any massaging.
+    """
+    lines = [f"{stack} {count}" for stack, count in sorted(profile.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def profile_to_speedscope(
+    profile: Dict[str, int], *, name: str = "repro profile"
+) -> dict:
+    """Folded counts as a speedscope ``type="sampled"`` document.
+
+    Weights are sample counts (``unit: "none"``); drop the JSON on
+    https://www.speedscope.app to browse the flamegraph interactively.
+    """
+    frame_index: Dict[str, int] = {}
+    frames: List[dict] = []
+    samples: List[List[int]] = []
+    weights: List[int] = []
+    for stack, count in sorted(profile.items()):
+        idxs = []
+        for seg in stack.split(";"):
+            if seg not in frame_index:
+                frame_index[seg] = len(frames)
+                frames.append({"name": seg})
+            idxs.append(frame_index[seg])
+        samples.append(idxs)
+        weights.append(int(count))
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "exporter": "repro-telemetry",
+        "name": name,
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "none",
+                "startValue": 0,
+                "endValue": sum(weights),
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+    }

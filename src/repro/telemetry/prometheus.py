@@ -217,6 +217,8 @@ METRIC_INVENTORY: Tuple[Tuple[str, str, str], ...] = (
     ("cg.spmv", "counter", "sparse matrix-vector products"),
     ("cg.final_relative_residual", "histogram", "relative residual at convergence"),
     ("telemetry.jsonl.skipped", "counter", "corrupt JSONL lines skipped by `read_jsonl`"),
+    ("telemetry.profiler.samples", "gauge", "stack samples held by the sampling profiler (fork-worker profiles merged in)"),
+    ("telemetry.profiler.overhead_pct", "gauge", "profiler self-measurement: % of wall time spent inside sample ticks"),
     ("sim.*", "counter/gauge", "simulated-machine stats absorbed via `absorb_run_stats`"),
 )
 
@@ -247,7 +249,9 @@ def metric_inventory_table() -> str:
 # embedded HTTP endpoint
 # ----------------------------------------------------------------------
 class _Handler(BaseHTTPRequestHandler):
-    """Routes ``/metrics`` / ``/healthz`` / ``/statusz``; 404 otherwise."""
+    """Routes ``/metrics`` / ``/healthz`` / ``/statusz`` plus the debug
+    pair ``/debug/flame`` (collapsed stacks) and ``/debug/critpath``
+    (critical-path JSON); 404 otherwise."""
 
     server_version = "repro-metrics/1"
 
@@ -262,6 +266,17 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(200, "text/plain; charset=utf-8", b"ok\n")
         elif path == "/statusz":
             body = (json.dumps(srv.status(), indent=2, sort_keys=True)
+                    + "\n").encode()
+            self._reply(200, "application/json", body)
+        elif path == "/debug/flame":
+            text = srv.flame_text()
+            if text is None:
+                self._reply(404, "text/plain; charset=utf-8",
+                            b"profiler not running\n")
+            else:
+                self._reply(200, "text/plain; charset=utf-8", text.encode())
+        elif path == "/debug/critpath":
+            body = (json.dumps(srv.critpath_doc(), indent=2, sort_keys=True)
                     + "\n").encode()
             self._reply(200, "application/json", body)
         else:
@@ -297,10 +312,14 @@ class MetricsServer:
     def __init__(self, registry, port: int = 0, host: str = "127.0.0.1",
                  status_fn: Optional[Callable[[], dict]] = None,
                  calibration_fn: Optional[Callable[[], Optional[dict]]] = None,
+                 profile_fn: Optional[Callable[[], Optional[dict]]] = None,
+                 critpath_fn: Optional[Callable[[], Optional[dict]]] = None,
                  ) -> None:
         self.registry = registry
         self._status_fn = status_fn
         self._calibration_fn = calibration_fn
+        self._profile_fn = profile_fn
+        self._critpath_fn = critpath_fn
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.metrics_server = self  # type: ignore[attr-defined]
@@ -347,6 +366,52 @@ class MetricsServer:
         """Flip ``/statusz`` state to ``shutting-down`` (graceful drain)."""
         self._shutting_down = True
 
+    def flame_text(self) -> Optional[str]:
+        """Collapsed stacks for ``/debug/flame``; None = no profiler.
+
+        ``profile_fn`` (folded counts dict) wins when provided; the
+        default reads the process-wide sampling profiler, so ``repro
+        serve --profile --listen`` needs no extra wiring.
+        """
+        folded: Optional[dict] = None
+        if self._profile_fn is not None:
+            try:
+                folded = self._profile_fn()
+            except Exception:  # pragma: no cover - defensive
+                folded = None
+        else:
+            from repro.telemetry import profiler as _profiler
+
+            prof = _profiler.get_profiler()
+            folded = prof.folded() if prof is not None else None
+        if folded is None:
+            return None
+        from repro.telemetry.export import profile_to_collapsed
+
+        return profile_to_collapsed(folded)
+
+    def critpath_doc(self) -> dict:
+        """The ``/debug/critpath`` document (critical path + what-ifs).
+
+        ``critpath_fn`` overrides; the default analyzes the global
+        tracer's records.  Always JSON — an empty span store yields a
+        ``{"spans": 0, ...}`` stub rather than an error.
+        """
+        doc: Optional[dict] = None
+        if self._critpath_fn is not None:
+            try:
+                doc = self._critpath_fn()
+            except Exception as exc:  # pragma: no cover - defensive
+                doc = {"spans": 0, "error": repr(exc)}
+        else:
+            from repro import telemetry
+            from repro.telemetry.critical_path import critical_path
+
+            doc = critical_path(telemetry.get().tracer.records())
+        if doc is None:
+            doc = {"spans": 0, "note": "no completed spans recorded"}
+        return doc
+
     def status(self) -> dict:
         """The ``/statusz`` document: instrument totals + owner stats +
         SLO health + endpoint lifecycle (uptime, serving/shutting-down)."""
@@ -359,6 +424,9 @@ class MetricsServer:
             "uptime_s": time.time() - self._started_unix,
             "state": "shutting-down" if self._shutting_down else "serving",
         }
+        from repro.telemetry import profiler as _profiler
+
+        doc["profiler"] = _profiler.profiler_stats()
         if self._status_fn is not None:
             try:
                 doc["service"] = self._status_fn()

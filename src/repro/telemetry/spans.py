@@ -33,6 +33,33 @@ def current_trace():
     return getattr(_CONTEXT, "value", None)
 
 
+# ----------------------------------------------------------------------
+# sampling-profiler attribution mirrors
+# ----------------------------------------------------------------------
+# The span stack and active TraceContext live in thread-locals, which the
+# profiler's sampler thread cannot read. While a profiler runs
+# (``_MIRROR_ON``), span enter/exit and context activation additionally
+# maintain these plain ``{thread_id: ...}`` dicts; each individual dict /
+# list operation is atomic under the GIL, so the sampler reads them
+# lock-free. When no profiler runs the only cost on the span hot path is
+# one module-global bool check.
+
+_MIRROR_ON = False
+#: thread id -> list of ``(span_name, category)``, innermost last
+_SPAN_MIRROR: Dict[int, List[tuple]] = {}
+#: thread id -> active TraceContext
+_CTX_MIRROR: Dict[int, Any] = {}
+
+
+def _set_mirror(on: bool) -> None:
+    """Toggle mirror maintenance (called by the profiler's start/stop)."""
+    global _MIRROR_ON
+    _MIRROR_ON = bool(on)
+    if not on:
+        _SPAN_MIRROR.clear()
+        _CTX_MIRROR.clear()
+
+
 @dataclass
 class SpanRecord:
     """One finished wall-clock span."""
@@ -144,6 +171,10 @@ class _ActiveSpan:
         self._parent_id = stack[-1] if stack else None
         self._span_id = next(tr._ids)
         stack.append(self._span_id)
+        if _MIRROR_ON:
+            _SPAN_MIRROR.setdefault(threading.get_ident(), []).append(
+                (self._name, self._category)
+            )
         self._start_ns = time.perf_counter_ns()
         return self
 
@@ -153,6 +184,10 @@ class _ActiveSpan:
         stack = tr._stack()
         if stack and stack[-1] == self._span_id:
             stack.pop()
+        if _MIRROR_ON:
+            mirror = _SPAN_MIRROR.get(threading.get_ident())
+            if mirror:
+                mirror.pop()
         ctx = getattr(_CONTEXT, "value", None)
         rec = SpanRecord(
             span_id=self._span_id,

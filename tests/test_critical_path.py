@@ -1,0 +1,212 @@
+"""Tests for critical-path analysis (``repro.telemetry.critical_path``).
+
+The synthetic trees pin the backward-walk semantics exactly: sequential
+phases all land on the path, concurrent siblings contribute only the one
+that bounds the parent, self time is duration minus the chosen children,
+and the what-if rows apply Amdahl's law to path self time.  The CLI
+tests cover ``repro telemetry critpath`` including its clean no-data
+exit (satellite: absent/empty logs are not errors).
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.cli import main
+from repro.telemetry.critical_path import critical_path, format_report
+from repro.telemetry.spans import SpanRecord
+
+MS = 1_000_000  # ns per ms
+
+
+def _span(sid, parent, name, start_ms, dur_ms, *, category="api",
+          trace_id=None):
+    return SpanRecord(
+        span_id=sid,
+        parent_id=parent,
+        name=name,
+        category=category,
+        start_ns=int(start_ms * MS),
+        duration_ns=int(dur_ms * MS),
+        thread_id=1,
+        trace_id=trace_id,
+    )
+
+
+def _request_tree():
+    """request[0,100] -> ordering[0,40], parallel[40,100];
+    parallel -> worker w1[45,70] and w2[45,95] running concurrently."""
+    return [
+        _span(1, None, "request", 0, 100),
+        _span(2, 1, "ordering", 0, 40),
+        _span(3, 1, "parallel", 40, 60, category="parallel"),
+        _span(4, 3, "worker", 45, 25, category="parallel"),
+        _span(5, 3, "worker", 45, 50, category="parallel"),
+    ]
+
+
+class TestCriticalPath:
+    def test_concurrent_sibling_resolution(self):
+        report = critical_path(_request_tree())
+        assert report is not None
+        assert report["spans"] == 5
+        assert report["wall_ms"] == 100.0
+        # path: request -> ordering -> parallel -> the LATER worker only
+        names = [row["name"] for row in report["path"]]
+        assert names == ["request", "ordering", "parallel", "worker"]
+        by_name = {row["name"]: row for row in report["path"]}
+        assert by_name["worker"]["duration_ms"] == 50.0  # w2, not w1
+        assert by_name["worker"]["span_id"] == 5
+
+    def test_path_self_times(self):
+        report = critical_path(_request_tree())
+        # request fully explained by its children; parallel keeps the
+        # 10 ms its bounding worker does not cover
+        assert report["path_self_ms"] == {
+            "request": 0.0,
+            "ordering": 40.0,
+            "parallel": 10.0,
+            "worker": 50.0,
+        }
+        assert report["dominant_phase"] == "worker"
+        assert report["dominant_self_ms"] == 50.0
+        assert report["dominant_pct_of_wall"] == 50.0
+
+    def test_tree_self_rollup_counts_off_path_spans(self):
+        report = critical_path(_request_tree())
+        # BOTH workers contribute to the whole-tree rollup (25 + 50)
+        assert report["tree_self_ms"]["worker"] == 75.0
+        # parallel's children sum past its duration: clamped to 0
+        assert report["tree_self_ms"]["parallel"] == 0.0
+
+    def test_what_if_is_amdahl_on_path_self(self):
+        report = critical_path(_request_tree(), what_if_factor=2.0)
+        rows = {r["name"]: r for r in report["what_if"]}
+        # 2x faster worker: saves half of 50 ms path self = 25% of wall
+        assert rows["worker"]["saved_ms"] == 25.0
+        assert rows["worker"]["new_wall_ms"] == 75.0
+        assert rows["worker"]["wall_reduction_pct"] == 25.0
+        # rows sorted by path self time, descending
+        assert [r["name"] for r in report["what_if"]] == [
+            "worker", "ordering", "parallel", "request"
+        ]
+
+    def test_what_if_factor_scales(self):
+        report = critical_path(_request_tree(), what_if_factor=4.0)
+        rows = {r["name"]: r for r in report["what_if"]}
+        assert rows["worker"]["saved_ms"] == 37.5  # 50 * (1 - 1/4)
+        assert rows["worker"]["factor"] == 4.0
+
+    def test_factor_at_most_one_rejected(self):
+        with pytest.raises(ValueError):
+            critical_path(_request_tree(), what_if_factor=1.0)
+        with pytest.raises(ValueError):
+            critical_path(_request_tree(), what_if_factor=0.5)
+
+    def test_empty_and_span_free_input(self):
+        assert critical_path([]) is None
+        assert critical_path(_request_tree(), trace_id="absent") is None
+
+    def test_multiple_roots_form_one_envelope(self):
+        # phases recorded without a wrapping request span
+        records = [
+            _span(1, None, "find_start", 0, 30),
+            _span(2, None, "rcm", 30, 70),
+        ]
+        report = critical_path(records)
+        assert report["wall_ms"] == 100.0
+        assert [r["name"] for r in report["path"]] == ["find_start", "rcm"]
+        assert report["dominant_phase"] == "rcm"
+
+    def test_trace_id_filter(self):
+        records = [
+            _span(1, None, "request", 0, 100, trace_id="A"),
+            _span(2, None, "request", 0, 10, trace_id="B"),
+        ]
+        report = critical_path(records, trace_id="B")
+        assert report["spans"] == 1
+        assert report["wall_ms"] == 10.0
+        assert report["trace_id"] == "B"
+
+    def test_orphan_parent_treated_as_root(self):
+        # parent id points at a span that never flushed (crash tail)
+        report = critical_path([_span(7, 99, "ordering", 0, 20)])
+        assert report is not None
+        assert report["path"][0]["name"] == "ordering"
+
+    def test_format_report_names_dominant_and_what_if(self):
+        text = format_report(critical_path(_request_tree()))
+        assert "critical path : 4 of 5 spans" in text
+        assert "dominant phase: worker" in text
+        assert "50.0% of wall" in text
+        assert "what-if (2x faster):" in text
+        assert "wall -25.0%" in text
+
+
+class TestCritpathCli:
+    @pytest.fixture(autouse=True)
+    def clean_telemetry(self):
+        telemetry.reset()
+        telemetry.disable()
+        yield
+        telemetry.reset()
+        telemetry.disable()
+
+    def _write_events(self, path):
+        events = [{"type": "meta", "schema": "repro-telemetry/v1"}]
+        events += [rec.to_event() for rec in _request_tree()]
+        events.append({"type": "metrics", "counters": {}})
+        path.write_text(
+            "\n".join(json.dumps(e) for e in events) + "\n"
+        )
+
+    def test_missing_file_is_clean_no_data(self, tmp_path, capsys):
+        rc = main(
+            ["telemetry", "critpath", str(tmp_path / "missing.jsonl")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no span data" in out
+
+    def test_span_free_log_is_clean_no_data(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"type": "metrics", "counters": {}}\n')
+        assert main(["telemetry", "critpath", str(path)]) == 0
+        assert "no span data" in capsys.readouterr().out
+
+    def test_report_over_recorded_log(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        self._write_events(path)
+        assert main(["telemetry", "critpath", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "dominant phase: worker" in out
+        assert "what-if" in out
+
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        self._write_events(path)
+        rc = main(
+            ["telemetry", "critpath", str(path),
+             "--what-if-factor", "4", "--json"]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["spans"] == 5
+        assert doc["dominant_phase"] == "worker"
+        assert doc["what_if"][0]["factor"] == 4.0
+
+    def test_trace_filter_flag(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        events = [
+            _span(1, None, "request", 0, 100, trace_id="A").to_event(),
+            _span(2, None, "request", 0, 10, trace_id="B").to_event(),
+        ]
+        path.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+        rc = main(
+            ["telemetry", "critpath", str(path), "--trace", "B", "--json"]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["spans"] == 1
+        assert doc["trace_id"] == "B"

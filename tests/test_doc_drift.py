@@ -312,6 +312,57 @@ class TestProseDocs:
     def test_readme_cross_links_the_scenario_doc(self):
         assert "docs/scenarios.md" in (REPO / "README.md").read_text()
 
+    def test_observability_md_documents_the_profiler(self):
+        # the sampling profiler + critical-path analyzer shipped as one
+        # surface; the doc must cover the sampler design, both CLI and
+        # HTTP endpoints, and the enforced overhead budget
+        text = (DOCS / "observability.md").read_text()
+        for needle in (
+            "## Continuous profiling",
+            "## Critical path & what-if",
+            "sys._current_frames",
+            "repro telemetry critpath",
+            "/debug/flame",
+            "/debug/critpath",
+            "--profile",
+            "telemetry.profiler.overhead_pct",
+            "--max-profiler-overhead-pct",
+            "speedscope",
+        ):
+            assert needle in text, (
+                f"docs/observability.md missing {needle!r}; see the "
+                "'Continuous profiling' / 'Critical path & what-if' "
+                "sections"
+            )
+
+    def test_profiler_overhead_budget_doc_matches_gate(self):
+        # the documented budget is the bench gate's constant (parsed from
+        # source: benchmarks/ is not an importable package)
+        import re
+
+        source = (REPO / "benchmarks" / "bench_service.py").read_text()
+        match = re.search(
+            r"^MAX_PROFILER_OVERHEAD_PCT\s*=\s*([\d.]+)", source, re.M
+        )
+        assert match, "bench_service.py lost MAX_PROFILER_OVERHEAD_PCT"
+        budget = float(match.group(1))
+        text = (DOCS / "observability.md").read_text()
+        assert f"{budget:.0f}%" in text, (
+            "docs/observability.md overhead budget is stale; expected "
+            f"'{budget:.0f}%' (from benchmarks/bench_service.py "
+            "MAX_PROFILER_OVERHEAD_PCT)"
+        )
+
+    def test_profiling_cross_links(self):
+        readme = (REPO / "README.md").read_text()
+        for anchor in (
+            "observability.md#continuous-profiling",
+            "observability.md#critical-path--what-if",
+        ):
+            assert anchor in readme, (
+                f"README.md must link {anchor!r} from the Profiling section"
+            )
+
     def test_service_doc_exists_and_mentions_counters(self):
         text = (DOCS / "service.md").read_text()
         for counter in (
